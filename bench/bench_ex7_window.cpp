@@ -1,0 +1,49 @@
+// E5 -- Section 4, Example 7: the transformation ladder of Eisenbeis et al.
+// (interchange/reversal only) against the compound unimodular transformation,
+// which drives the maximum window size to 1.
+
+#include <iostream>
+
+#include "analysis/window.h"
+#include "codes/examples.h"
+#include "exact/oracle.h"
+#include "ir/printer.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+#include "transform/transformed.h"
+#include "transform/unimodular.h"
+
+using namespace lmre;
+
+int main() {
+  LoopNest nest = codes::example_7();
+  std::cout << "=== E5: Example 7 -- X[2i-3j] over [1,20]x[1,30] ===\n\n"
+            << print_nest(nest) << '\n';
+
+  auto res = minimize_mws_2d(nest);
+  TextTable t;
+  t.header({"transformation", "T", "eq.(2) estimate", "exact MWS", "paper cost"});
+  auto row = [&](const std::string& name, const IntMat& tm, const std::string& paper) {
+    Rational est = mws2_estimate(IntVec{2, -3}, nest.bounds(), tm(0, 0), tm(0, 1));
+    Int exact = simulate_transformed(nest, tm).mws_total;
+    t.row({name, tm.str(), est.str(), std::to_string(exact), paper});
+  };
+  row("original", IntMat::identity(2), "89");
+  row("interchange", interchange(2, 0, 1), "41");
+  row("reversal (inner)", reversal(2, 1), "86");
+  row("reversed interchange", IntMat{{0, 1}, {-1, 0}}, "36");
+  if (res) row("compound (ours)", res->transform, "1");
+  std::cout << t.render() << '\n';
+
+  if (res) {
+    std::cout << "compound transformation found by the minimizer:\n"
+              << "  T = " << res->transform.str() << "  (eq.(2) objective "
+              << res->predicted_mws.str() << ")\n\n"
+              << "transformed loop:\n"
+              << TransformedNest(nest, res->transform).print()
+            << "\nEvery access to an element of X now falls on consecutive\n"
+               "iterations of the inner loop: the window never holds more\n"
+               "than one element.\n";
+  }
+  return 0;
+}

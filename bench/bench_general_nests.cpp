@@ -1,0 +1,31 @@
+// Non-rectangular nests: the exact machinery (distinct counts, windows) on
+// triangular and banded iteration spaces -- shapes outside the paper's box
+// formulas, handled through the polyhedral scanner.
+
+#include <iostream>
+
+#include "codes/general_kernels.h"
+#include "exact/oracle.h"
+#include "support/text.h"
+
+using namespace lmre;
+
+int main() {
+  std::cout << "=== Exact analysis on non-rectangular iteration spaces ===\n\n";
+  TextTable t;
+  t.header({"kernel", "space", "iterations", "default", "distinct", "MWS",
+            "% of default live"});
+  for (auto& [name, nest] : codes::general_suite()) {
+    TraceStats s = simulate_general(nest);
+    std::string shape = name == "band_mv" ? "band |i-j|<=1" : "lower triangle";
+    t.row({name, shape, with_commas(s.iterations), with_commas(nest.default_memory()),
+           with_commas(s.distinct_total), with_commas(s.mws_total),
+           percent(double(s.mws_total) / double(nest.default_memory()))});
+  }
+  std::cout << t.render()
+            << "\n=> the windows of triangular solves are dominated by the\n"
+               "   vector operand (x stays live across rows), while the\n"
+               "   banded product's window is O(band width): the same sizing\n"
+               "   story the paper tells for boxes, now on general spaces.\n";
+  return 0;
+}

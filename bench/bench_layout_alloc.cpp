@@ -1,0 +1,75 @@
+// Layout & allocation bench:
+//  1. spatial windows: peak live memory LINES under row-/column-major
+//     layouts and several line sizes (the paper's announced layout
+//     extension);
+//  2. scratchpad allocation: MWS is achieved exactly by linear-scan slot
+//     assignment, and nearly by a cheap modulo (circular) buffer.
+
+#include <iostream>
+
+#include "alloc/scratchpad.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "layout/spatial.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+
+using namespace lmre;
+
+int main() {
+  std::cout << "=== Spatial windows: layout x line size ===\n\n";
+  TextTable s;
+  s.header({"kernel", "line", "row-major lines", "col-major lines", "best choice"});
+  for (auto& e : codes::figure2_suite()) {
+    if (e.nest.depth() > 3) continue;  // keep the sweep quick
+    for (Int line : {4, 8}) {
+      std::map<ArrayId, LayoutSpec> row, col;
+      for (ArrayId id = 0; id < e.nest.arrays().size(); ++id) {
+        if (e.nest.refs_to(id).empty()) continue;
+        row.emplace(id, LayoutSpec::fit(e.nest, id, LayoutKind::kRowMajor));
+        col.emplace(id, LayoutSpec::fit(e.nest, id, LayoutKind::kColMajor));
+      }
+      Int rw = simulate_lines(e.nest, row, line).mws_lines;
+      Int cw = simulate_lines(e.nest, col, line).mws_lines;
+      LayoutChoice choice = choose_layouts(e.nest, line);
+      std::string best;
+      for (auto& [id, spec] : choice.layouts) {
+        if (!best.empty()) best += ", ";
+        best += e.nest.array(id).name + ":" +
+                (spec.kind() == LayoutKind::kRowMajor ? "row" : "col");
+      }
+      s.row({e.name, std::to_string(line), std::to_string(rw), std::to_string(cw),
+             best + " (" + std::to_string(choice.stats.mws_lines) + ")"});
+    }
+  }
+  std::cout << s.render() << '\n';
+
+  std::cout << "=== Scratchpad allocation: the window bound is achievable ===\n\n";
+  TextTable a;
+  a.header({"loop", "declared", "MWS (lower bound)", "greedy slots", "verified",
+            "modulo buffer"});
+  auto add_row = [&](const std::string& name, const LoopNest& nest,
+                     const IntMat* t) {
+    Allocation alloc = allocate_scratchpad(nest, t);
+    ModuloBuffer mb = min_modulo_buffer(nest, default_layouts(nest), t);
+    a.row({name, with_commas(nest.default_memory()), with_commas(mb.lower_bound),
+           with_commas(alloc.slots), alloc.verified ? "yes" : "NO",
+           mb.found ? with_commas(mb.modulus) : "-"});
+  };
+  add_row("example 8 (as written)", codes::example_8(), nullptr);
+  {
+    LoopNest nest = codes::example_8();
+    auto res = minimize_mws_2d(nest);
+    if (res) add_row("example 8 (transformed)", nest, &res->transform);
+  }
+  for (auto& e : codes::figure2_suite()) {
+    if (e.nest.iteration_count() > 200000) continue;
+    add_row(e.name, e.nest, nullptr);
+  }
+  std::cout << a.render()
+            << "\n=> greedy slots == exact MWS on every loop (interval graphs\n"
+               "   are perfect); the circular buffer pays a small premium for\n"
+               "   its trivial addressing.\n";
+  return 0;
+}

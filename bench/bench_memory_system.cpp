@@ -1,0 +1,89 @@
+// Memory-system bench: the window analysis meets a concrete memory.
+//  1. Cache-capacity sweep: misses collapse to cold misses exactly when the
+//     cache reaches the maximum window size (the crossover the sizing
+//     argument predicts), and the optimized order moves that crossover.
+//  2. Energy/latency/area model: what window-based sizing buys on the
+//     Figure-2 suite (the paper's Section-1 motivation, quantified).
+
+#include <iostream>
+
+#include "cachesim/cache.h"
+#include "exact/stack_distance.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "energy/model.h"
+#include "exact/oracle.h"
+#include "layout/spatial.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+
+using namespace lmre;
+
+int main() {
+  std::cout << "=== 1. Cache-capacity sweep (example 8, MWS 44 -> 21) ===\n\n";
+  {
+    LoopNest nest = codes::example_8();
+    auto res = minimize_mws_2d(nest);
+    auto layouts = default_layouts(nest);
+    TextTable t;
+    t.header({"cache cells", "misses (as written)", "misses (transformed)",
+              "cold misses"});
+    for (Int cap : {4, 8, 16, 22, 32, 45, 64}) {
+      CacheConfig cfg{cap, 1, 0};
+      CacheStats before = simulate_cache(nest, layouts, cfg);
+      CacheStats after = res ? simulate_cache(nest, layouts, cfg, &res->transform)
+                             : before;
+      t.row({std::to_string(cap), std::to_string(before.misses),
+             std::to_string(after.misses), std::to_string(before.cold_misses)});
+    }
+    std::cout << t.render()
+              << "=> the window is the OPTIMAL-replacement bound; LRU needs a\n"
+                 "   little headroom above it (transformed: cold-only by 32\n"
+                 "   cells vs window 21; original: by 64 vs window 44).  The\n"
+                 "   transformation moves the crossover by exactly the window\n"
+                 "   ratio either way.\n\n";
+  }
+
+  std::cout << "=== 2. Full LRU miss curves from one stack-distance pass ===\n\n";
+  {
+    LoopNest nest = codes::kernel_matmult(12);
+    StackDistanceProfile p = stack_distances(nest);
+    TextTable t;
+    t.header({"capacity", "misses", "hit rate"});
+    for (Int c = 1; c <= p.max_distance() * 2; c *= 2) {
+      Int m = p.lru_misses(c);
+      t.row({with_commas(c), with_commas(m),
+             percent(1.0 - double(m) / double(p.total_accesses))});
+    }
+    t.row({with_commas(p.max_distance()), with_commas(p.cold_accesses),
+           percent(1.0 - double(p.cold_accesses) / double(p.total_accesses))});
+    std::cout << "matmult 12x12x12 (window " << simulate(nest).mws_total
+              << ", knee " << p.max_distance() << "):\n"
+              << t.render()
+              << "=> the exact reuse-distance histogram yields the miss count\n"
+                 "   of EVERY fully-associative LRU size in one pass; the knee\n"
+                 "   sits at the full-operand reuse the window identifies.\n\n";
+  }
+
+  std::cout << "=== 3. Energy/latency/area of window-based sizing ===\n\n";
+  {
+    MemoryModel model;
+    TextTable t;
+    t.header({"code", "declared", "window (opt)", "energy saving",
+              "latency ratio", "area ratio"});
+    for (auto& e : codes::figure2_suite()) {
+      OptimizeResult opt = optimize_locality(e.nest);
+      Int window = simulate_transformed(e.nest, opt.transform).mws_total;
+      SizingComparison cmp = compare_sizing(e.nest, window, model);
+      t.row({e.name, with_commas(cmp.declared_cells), with_commas(cmp.window_cells),
+             percent(cmp.energy_saving()),
+             pad_left(std::to_string(cmp.latency_ratio).substr(0, 4), 4),
+             percent(cmp.area_ratio)});
+    }
+    std::cout << t.render()
+              << "\nmodel: E(s) = 1 + 0.1*sqrt(s) per access, t(s) = 1 +\n"
+                 "0.05*sqrt(s), A(s) = s (ratios, not joules); see\n"
+                 "src/energy/model.h for the scaling argument.\n";
+  }
+  return 0;
+}

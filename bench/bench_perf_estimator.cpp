@@ -1,0 +1,87 @@
+// E10 -- the "quick and accurate" claim (Sections 1 and 5):
+// google-benchmark timings of the closed-form estimator against the exact
+// enumeration oracle (our stand-in for the Clauss/Pugh exact counting the
+// paper cites as "more expensive but exact").  The estimator's cost is
+// near-constant in the loop bounds; the oracle's grows with the iteration
+// count.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/distinct.h"
+#include "analysis/window.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "transform/minimizer.h"
+
+using namespace lmre;
+
+static void BM_EstimateDistinct_Example8(benchmark::State& state) {
+  LoopNest nest = codes::example_8(state.range(0), state.range(0) / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_distinct(nest, 0).distinct);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EstimateDistinct_Example8)->RangeMultiplier(4)->Range(16, 1024);
+
+static void BM_OracleDistinct_Example8(benchmark::State& state) {
+  LoopNest nest = codes::example_8(state.range(0), state.range(0) / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(nest).distinct_total);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OracleDistinct_Example8)->RangeMultiplier(4)->Range(16, 1024);
+
+static void BM_EstimateMws_Example8(benchmark::State& state) {
+  LoopNest nest = codes::example_8(state.range(0), state.range(0) / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_mws_total(nest));
+  }
+}
+BENCHMARK(BM_EstimateMws_Example8)->RangeMultiplier(4)->Range(16, 1024);
+
+static void BM_OracleMws_Example8(benchmark::State& state) {
+  LoopNest nest = codes::example_8(state.range(0), state.range(0) / 2 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(nest).mws_total);
+  }
+}
+BENCHMARK(BM_OracleMws_Example8)->RangeMultiplier(4)->Range(16, 1024);
+
+static void BM_DistinctEstimator_Matmult(benchmark::State& state) {
+  LoopNest nest = codes::kernel_matmult(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_distinct_total(nest));
+  }
+}
+BENCHMARK(BM_DistinctEstimator_Matmult)->RangeMultiplier(2)->Range(8, 64);
+
+static void BM_Oracle_Matmult(benchmark::State& state) {
+  LoopNest nest = codes::kernel_matmult(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(nest).distinct_total);
+  }
+}
+BENCHMARK(BM_Oracle_Matmult)->RangeMultiplier(2)->Range(8, 32);
+
+static void BM_MinimizerSearch_Example8(benchmark::State& state) {
+  LoopNest nest = codes::example_8();
+  MinimizerOptions opts;
+  opts.coeff_bound = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimize_mws_2d(nest, opts));
+  }
+}
+BENCHMARK(BM_MinimizerSearch_Example8)->DenseRange(4, 16, 4);
+
+static void BM_OptimizeLocality_Figure2(benchmark::State& state) {
+  auto suite = codes::figure2_suite();
+  auto& entry = suite[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_locality(entry.nest).predicted_mws);
+  }
+  state.SetLabel(entry.name);
+}
+BENCHMARK(BM_OptimizeLocality_Figure2)->DenseRange(0, 6);

@@ -1,0 +1,104 @@
+// Related-work comparison bench (Section 6 / Section 4 claims):
+//  A. per-dependence windows (Gannon/Eisenbeis) vs the paper's per-array
+//     window: summing per-dependence windows overcounts shared elements;
+//  B. Wolf-Lam style bounds-free permutation ranking vs our bound-aware
+//     optimizer;
+//  C. Li-Pingali access-matrix completion vs our legal-row search
+//     (Examples 7 and 8).
+
+#include <iostream>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "analysis/distinct.h"
+#include "exact/oracle.h"
+#include "related/ferrante.h"
+#include "related/li_pingali.h"
+#include "related/refwindow.h"
+#include "related/wolf_lam.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+
+using namespace lmre;
+
+int main() {
+  std::cout << "=== A: per-dependence windows vs per-array window ===\n\n";
+  TextTable a;
+  a.header({"loop", "deps", "sum of per-dep windows", "per-array exact MWS",
+            "overcount"});
+  for (auto [name, nest] : {std::pair{"example 2", codes::example_2()},
+                            std::pair{"example 4", codes::example_4()},
+                            std::pair{"example 7", codes::example_7()},
+                            std::pair{"example 8", codes::example_8()},
+                            std::pair{"sor", codes::kernel_sor(16)}}) {
+    auto windows = dependence_windows(nest);
+    Int sum = per_dependence_cost(nest);
+    Int exact = simulate(nest).mws_total;
+    a.row({name, std::to_string(windows.size()), std::to_string(sum),
+           std::to_string(exact),
+           exact > 0 ? percent(double(sum) / double(exact) - 1.0) : "-"});
+  }
+  std::cout << a.render()
+            << "=> \"the resultant need to approximate the combination of\n"
+               "   these windows results in a loss of precision\" (Sec. 6).\n\n";
+
+  std::cout << "=== B: bounds-free permutation ranking vs bound-aware search ===\n\n";
+  TextTable b;
+  b.header({"kernel", "MWS before", "Wolf-Lam pick", "ours", "ours method"});
+  for (auto& e : codes::figure2_suite()) {
+    auto wl = wolf_lam_best_permutation(e.nest);
+    Int before = simulate(e.nest).mws_total;
+    Int wl_mws = wl ? simulate_transformed(e.nest, *wl).mws_total : before;
+    OptimizeResult ours = optimize_locality(e.nest);
+    Int our_mws = simulate_transformed(e.nest, ours.transform).mws_total;
+    b.row({e.name, std::to_string(before), std::to_string(wl_mws),
+           std::to_string(our_mws), ours.method});
+  }
+  std::cout << b.render()
+            << "=> permutations alone (and bounds-free scores) leave window\n"
+               "   reductions on the table that compound transforms capture.\n\n";
+
+  std::cout << "=== C2: dependence-free estimates (Ferrante et al.) ===\n\n";
+  {
+    TextTable f;
+    f.header({"loop", "Ferrante (no deps)", "paper formula", "exact"});
+    for (auto [name, nest] : {std::pair{"example 2", codes::example_2()},
+                              std::pair{"example 3", codes::example_3()},
+                              std::pair{"example 4", codes::example_4()},
+                              std::pair{"example 5", codes::example_5()},
+                              std::pair{"example 8", codes::example_8()}}) {
+      FerranteEstimate fe = ferrante_estimate(nest, 0);
+      Int ours = estimate_distinct(nest, 0).distinct;
+      Int exact = simulate(nest).distinct_total;
+      f.row({name, std::to_string(fe.distinct), std::to_string(ours),
+             std::to_string(exact)});
+    }
+    std::cout << f.render()
+              << "=> without dependence information, multiple references and\n"
+                 "   coupled subscripts are mispriced (Sec. 6: \"arbitrary\n"
+                 "   correction factors\"); the dependence-based formulas\n"
+                 "   track the exact counts.\n\n";
+  }
+
+  std::cout << "=== C: Li-Pingali completion vs our legal-row search ===\n\n";
+  TextTable c;
+  c.header({"loop", "Li-Pingali", "MWS", "ours", "MWS"});
+  for (auto [name, nest] : {std::pair{"example 7", codes::example_7()},
+                            std::pair{"example 8", codes::example_8()}}) {
+    auto lp = li_pingali_transform(nest, 0);
+    auto ours = minimize_mws_2d(nest);
+    std::string lp_t = lp ? lp->transform.str() : "no legal completion";
+    std::string lp_m =
+        lp ? std::to_string(simulate_transformed(nest, lp->transform).mws_total) : "-";
+    std::string our_t = ours ? ours->transform.str() : "-";
+    std::string our_m =
+        ours ? std::to_string(simulate_transformed(nest, ours->transform).mws_total)
+             : "-";
+    c.row({name, lp_t, lp_m, our_t, our_m});
+  }
+  std::cout << c.render()
+            << "=> on Example 8 any transformation seeded with (2,5) or (-2,5)\n"
+               "   violates a flow/anti dependence (the paper's argument); the\n"
+               "   row search still finds [2 3; 1 1] and MWS 21.\n";
+  return 0;
+}

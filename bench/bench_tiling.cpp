@@ -1,0 +1,65 @@
+// Tiling bench: the payoff of the Section-4.1 tiling-legality requirement.
+// For a tileable transformed nest, sweep tile sizes and report the per-tile
+// footprint (the block a DMA would stage) against the cross-tile window.
+
+#include <iostream>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+#include "transform/tiling.h"
+
+using namespace lmre;
+
+namespace {
+
+void sweep(const std::string& name, const LoopNest& nest, const IntMat& t,
+           const std::vector<std::vector<Int>>& tilings) {
+  std::cout << "--- " << name << " (T = " << t.str() << ") ---\n";
+  TextTable table;
+  table.header({"tile", "tiles", "max tile iters", "max tile footprint",
+                "MWS (tiled order)"});
+  for (const auto& sizes : tilings) {
+    TilingReport rep = analyze_tiling(nest, t, sizes);
+    std::string label;
+    for (size_t k = 0; k < sizes.size(); ++k) {
+      if (k) label += "x";
+      label += std::to_string(sizes[k]);
+    }
+    table.row({label, std::to_string(rep.tiles), std::to_string(rep.max_tile_iterations),
+               std::to_string(rep.max_tile_footprint), std::to_string(rep.mws_tiled)});
+  }
+  std::cout << table.render() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Tiling: block footprints under tileable transforms ===\n\n";
+
+  {
+    LoopNest nest = codes::example_8();
+    auto res = minimize_mws_2d(nest);
+    if (res) {
+      std::cout << "Example 8, untransformed exact MWS "
+                << simulate(nest).mws_total << ", transformed "
+                << simulate_transformed(nest, res->transform).mws_total << "\n\n";
+      sweep("example 8 under the paper transform", nest, res->transform,
+            {{2, 2}, {4, 4}, {8, 8}, {16, 16}});
+    }
+  }
+
+  {
+    LoopNest nest = codes::kernel_matmult(16);
+    std::cout << "matmult 16x16x16: untiled MWS " << simulate(nest).mws_total
+              << " (one operand fully live)\n\n";
+    sweep("matmult identity order", nest, IntMat::identity(3),
+          {{16, 16, 16}, {8, 8, 8}, {4, 4, 4}, {2, 2, 2}});
+    std::cout << "=> the per-tile footprint is the classic 3*b^2 blocked\n"
+                 "   working set; the tiled-order window shows how much state\n"
+                 "   persists across blocks.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Scenario: how the loop schedule of a DSP filter drives its memory needs.
+//
+// The same RASTA-style FIR filter is analyzed under two schedules:
+//   frame-major (i, j, k): the natural streaming order
+//   tap-major   (k, i, j): accumulate one tap across the whole signal
+// The tap-major order keeps both the input and output arrays live across
+// every sweep, inflating the window ~47x.  A window-size *profile* over
+// execution is printed for both (the reference window is "a dynamic entity,
+// whose shape and size change with execution" -- Section 2.3).
+//
+// Usage: filter_scheduling [--frames 40] [--bands 12] [--taps 5]
+
+#include <algorithm>
+#include <iostream>
+
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "support/cli.h"
+#include "support/text.h"
+
+using namespace lmre;
+
+namespace {
+
+// Downsamples a window-size series into a fixed-width text profile.
+void print_profile(const std::vector<Int>& series, Int peak) {
+  constexpr int kCols = 64;
+  constexpr int kRows = 8;
+  if (series.empty() || peak <= 0) return;
+  std::vector<Int> cols(kCols, 0);
+  for (size_t i = 0; i < series.size(); ++i) {
+    size_t c = i * kCols / series.size();
+    cols[c] = std::max(cols[c], series[i]);
+  }
+  for (int r = kRows; r >= 1; --r) {
+    Int threshold = peak * r / kRows;
+    std::cout << pad_left(std::to_string(threshold), 7) << " |";
+    for (int c = 0; c < kCols; ++c) std::cout << (cols[c] >= threshold ? '#' : ' ');
+    std::cout << '\n';
+  }
+  std::cout << "        +" << std::string(kCols, '-') << "> execution\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag_int("frames", 40, "number of frames");
+  cli.flag_int("bands", 12, "critical bands per frame");
+  cli.flag_int("taps", 5, "filter taps");
+  if (!cli.parse(argc, argv)) return 0;
+  Int frames = cli.get_int("frames"), bands = cli.get_int("bands"),
+      taps = cli.get_int("taps");
+
+  std::vector<std::pair<std::string, LoopNest>> schedules;
+  schedules.emplace_back("frame-major (i, j, k)",
+                         codes::kernel_rasta_flt(frames, bands, taps));
+  schedules.emplace_back("tap-major (k, i, j)",
+                         codes::kernel_rasta_flt_tap_major(frames, bands, taps));
+
+  TextTable t;
+  t.header({"schedule", "declared", "distinct", "MWS", "% live at peak"});
+  for (auto& [name, nest] : schedules) {
+    TraceStats s = simulate(nest);
+    t.row({name, with_commas(nest.default_memory()), with_commas(s.distinct_total),
+           with_commas(s.mws_total),
+           percent(double(s.mws_total) / double(nest.default_memory()))});
+  }
+  std::cout << t.render() << '\n';
+
+  for (auto& [name, nest] : schedules) {
+    std::vector<Int> series = window_series(nest, IntMat::identity(3));
+    Int peak = *std::max_element(series.begin(), series.end());
+    std::cout << "window profile, " << name << " (peak " << with_commas(peak)
+              << " elements):\n";
+    print_profile(series, peak);
+    std::cout << '\n';
+  }
+
+  std::cout << "The frame-major schedule only ever holds the last few tap\n"
+               "lines; the tap-major schedule keeps the whole signal live.\n"
+               "Choosing the right schedule is a "
+            << (simulate(schedules[1].second).mws_total /
+                std::max<Int>(simulate(schedules[0].second).mws_total, 1))
+            << "x difference in required data memory.\n";
+  return 0;
+}

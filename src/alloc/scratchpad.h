@@ -1,0 +1,50 @@
+#pragma once
+
+// Scratchpad allocation: turning a window size into an actual buffer.
+//
+// MWS is the paper's *lower bound* on the data memory that captures all
+// reuse.  This module shows the bound is achievable: elements that live
+// across iterations form an interval graph over execution time, so a greedy
+// linear-scan assignment uses exactly MWS slots (interval graphs are
+// perfect), and the assignment is verified conflict-free.  A cheaper
+// addressing scheme -- a circular buffer addressed by (linear address mod
+// M), in the spirit of the storage-order work of De Greef & Catthoor the
+// paper cites -- is also sized: the smallest modulus with no live conflict.
+
+#include <map>
+#include <vector>
+
+#include "ir/nest.h"
+#include "layout/layout.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct Allocation {
+  Int slots = 0;          ///< scratchpad slots used by the greedy scan
+  Int live_elements = 0;  ///< elements that needed a slot
+  bool verified = false;  ///< no two overlapping lifetimes share a slot
+};
+
+/// Greedy linear-scan slot assignment for all cross-iteration-live elements
+/// of the nest, in original (`transform == nullptr`) or transformed order.
+/// The slot count equals the exact MWS.
+Allocation allocate_scratchpad(const LoopNest& nest, const IntMat* transform = nullptr);
+
+struct ModuloBuffer {
+  Int modulus = 0;     ///< chosen buffer size M
+  Int lower_bound = 0; ///< exact MWS (no buffer can be smaller)
+  bool found = false;  ///< false when no M below the search limit worked
+};
+
+/// Smallest modulus M such that addressing each array element by
+/// (layout address mod M) never maps two simultaneously-live elements of
+/// the same array to the same cell.  Each array gets its own buffer; the
+/// returned modulus is the sum over arrays (comparable to mws_total).
+/// `limit` bounds the per-array search (declared size is always safe).
+ModuloBuffer min_modulo_buffer(const LoopNest& nest,
+                               const std::map<ArrayId, LayoutSpec>& layouts,
+                               const IntMat* transform = nullptr,
+                               Int limit = 1 << 20);
+
+}  // namespace lmre

@@ -1,0 +1,61 @@
+#pragma once
+
+// Distinct-access estimation (Section 3 of the paper).
+//
+// Three regimes:
+//  * array dimension == nest depth, r uniformly generated references
+//    (Section 3.1): reuse is the sum of the r-1 pairwise overlap volumes
+//    against a chosen anchor reference;
+//  * array dimension < nest depth, single reference (Section 3.2): reuse
+//    along the kernel (null-space) of the access matrix;
+//  * multiple references with array dimension < depth: the paper omits this
+//    case; we implement the natural combination (kernel reuse per reference
+//    + cross-reference overlap against an anchor) and flag it as an
+//    extension -- exactness is NOT claimed there.
+
+#include <optional>
+#include <string>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+/// Which formula produced an estimate (for reporting and tests).
+enum class DistinctMethod {
+  kFullDim,          // d == n, Section 3.1
+  kKernelSingleRef,  // d < n, one reference, Section 3.2
+  kKernelMultiRef,   // d < n, multiple references (our extension)
+  kNonUniform,       // bounds only; see nonuniform.h
+};
+
+std::string to_string(DistinctMethod m);
+
+/// Result of estimating one array's distinct accesses.
+struct DistinctEstimate {
+  DistinctMethod method = DistinctMethod::kFullDim;
+  Int reuse = 0;     ///< estimated reused accesses
+  Int distinct = 0;  ///< estimated number of distinct elements
+  /// True when the paper claims the formula is exact for this input shape.
+  bool exact_claimed = false;
+};
+
+/// Estimates the distinct accesses to `array` in `nest`.
+///
+/// Preconditions: all references to the array are uniformly generated
+/// (throws UnsupportedError otherwise -- use the non-uniform bounds for
+/// those), and the array is actually referenced.
+DistinctEstimate estimate_distinct(const LoopNest& nest, ArrayId array);
+
+/// Sum of per-array estimates over every referenced array.
+Int estimate_distinct_total(const LoopNest& nest);
+
+/// EXACT closed-form distinct count for the d == n case with r uniformly
+/// generated references (our extension of Section 3.1): the union of the r
+/// translated images by inclusion-exclusion.  Each subset's intersection is
+/// a box (translates of one injective image), so the count is a sum of
+/// 2^r - 1 box volumes -- no enumeration.  Example 3: 121 (the paper's
+/// anchor formula prints 139).  Throws UnsupportedError when the access
+/// matrix has a nontrivial kernel or references are not uniform.
+Int distinct_exact_inclusion_exclusion(const LoopNest& nest, ArrayId array);
+
+}  // namespace lmre

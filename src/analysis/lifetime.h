@@ -1,0 +1,35 @@
+#pragma once
+
+// Analytic lifetime estimation (Section 1: "the time between the first and
+// last accesses to a given array location", and how transformations change
+// it).
+//
+// For a constant reuse distance v in lexicographic execution order, two
+// consecutive accesses to the same element are exactly
+//   ordinal_distance(v) = sum_k v_k * prod_{j>k} N_j
+// iterations apart.  An element reused m times therefore lives
+// (m-1) * ordinal_distance(v) iterations, and for single-reference loops the
+// window can never exceed ordinal_distance(v) + 1 elements (at most that
+// many iterations separate a live element from its next use).
+
+#include <optional>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+/// Lexicographic ordinal distance of `v` in `box`: how many iterations
+/// apart two points separated by v execute.  v is normalized to be
+/// lex-positive first.
+Int ordinal_distance(const IntVec& v, const IntBox& box);
+
+/// Analytic maximum-lifetime estimate for an array with uniformly generated
+/// references: (max chain length - 1) * ordinal_distance(dominant reuse
+/// vector).  nullopt when no formula applies (non-uniform refs, no reuse).
+std::optional<Int> estimate_max_lifetime(const LoopNest& nest, ArrayId array);
+
+/// Analytic window cap from the lifetime argument: for single-reference
+/// arrays, MWS <= ordinal_distance(reuse vector) + 1.
+std::optional<Int> lifetime_window_cap(const LoopNest& nest, ArrayId array);
+
+}  // namespace lmre

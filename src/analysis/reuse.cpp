@@ -1,0 +1,24 @@
+#include "analysis/reuse.h"
+
+#include "support/error.h"
+
+namespace lmre {
+
+Int reuse_volume(const IntVec& d, const IntBox& box) {
+  require(d.size() == box.dims(), "reuse_volume: dimension mismatch");
+  Int vol = 1;
+  for (size_t k = 0; k < d.size(); ++k) {
+    Int side = checked_sub(box.range(k).trip_count(), checked_abs(d[k]));
+    if (side <= 0) return 0;
+    vol = checked_mul(vol, side);
+  }
+  return vol;
+}
+
+Int reuse_volume_sum(const std::vector<IntVec>& ds, const IntBox& box) {
+  Int total = 0;
+  for (const auto& d : ds) total = checked_add(total, reuse_volume(d, box));
+  return total;
+}
+
+}  // namespace lmre

@@ -1,0 +1,21 @@
+#pragma once
+
+// Reuse-volume arithmetic (Section 2.2, Figure 1).
+//
+// A constant dependence/reuse distance d in an N1 x ... x Nn box induces
+// reuse on (N1 - |d1|) ... (Nn - |dn|) iterations: the shaded region of
+// Figure 1.  Signs of the components do not matter.
+
+#include "linalg/vec.h"
+#include "polyhedra/box.h"
+
+namespace lmre {
+
+/// (trip_1 - |d_1|) * ... * (trip_n - |d_n|), clamped at 0 when any
+/// component's magnitude reaches the trip count.
+Int reuse_volume(const IntVec& d, const IntBox& box);
+
+/// Sum of reuse volumes over a set of distances.
+Int reuse_volume_sum(const std::vector<IntVec>& ds, const IntBox& box);
+
+}  // namespace lmre

@@ -1,0 +1,73 @@
+#pragma once
+
+// Symbolic (parametric-bound) versions of the paper's formulas.
+//
+// The paper states its results as expressions in the loop bounds --
+// "reuse = (N1-1)(N2-2)", "MWS = d1(N2-|d2|)(N3-|d3|) + ..." -- valid for
+// ALL bounds, not one instance.  This module derives those expressions as
+// multivariate polynomials in N1..Nn, so a designer can read the formula
+// once and evaluate it for any candidate configuration.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace lmre {
+
+/// Sparse multivariate polynomial with integer coefficients over the
+/// variables N1..Nn (indices 0..n-1).
+class Poly {
+ public:
+  /// The zero polynomial over n variables.
+  explicit Poly(size_t vars) : vars_(vars) {}
+
+  static Poly constant(size_t vars, Int c);
+  static Poly variable(size_t vars, size_t index);  ///< N_{index+1}
+
+  size_t vars() const { return vars_; }
+  bool is_zero() const { return terms_.empty(); }
+
+  Poly operator+(const Poly& o) const;
+  Poly operator-(const Poly& o) const;
+  Poly operator*(const Poly& o) const;
+  Poly operator*(Int s) const;
+  Poly operator+(Int c) const { return *this + constant(vars_, c); }
+  Poly operator-(Int c) const { return *this - constant(vars_, c); }
+  bool operator==(const Poly& o) const { return vars_ == o.vars_ && terms_ == o.terms_; }
+
+  /// Evaluates at concrete bounds (one value per variable).
+  Int eval(const std::vector<Int>& values) const;
+
+  /// Total degree (0 for constants and the zero polynomial).
+  Int degree() const;
+
+  /// Human-readable form with the paper's variable names:
+  /// "N1*N2 - 2*N1 - ..." (terms in graded-lex order, highest first).
+  std::string str() const;
+
+ private:
+  // exponent vector -> coefficient; zero coefficients are never stored.
+  std::map<std::vector<Int>, Int, std::greater<std::vector<Int>>> terms_;
+  size_t vars_;
+  void add_term(const std::vector<Int>& exps, Int coef);
+};
+
+/// Symbolic reuse volume of a constant distance d (Section 2.2):
+/// prod_k (N_k - |d_k|).
+Poly symbolic_reuse(const IntVec& d);
+
+/// Symbolic distinct count for r uniformly generated references with anchor
+/// distances ds in a d==n nest (Section 3.1): r*prod N_k - sum reuse(d_i).
+Poly symbolic_distinct_full_dim(size_t vars, Int r, const std::vector<IntVec>& anchor_ds);
+
+/// Symbolic distinct count for a single reference with reuse vector v
+/// (Section 3.2): prod N_k - reuse(v).
+Poly symbolic_distinct_kernel(const IntVec& v);
+
+/// Symbolic depth-n window formula (Section 4.3 generalized):
+/// 1 + sum_k max(d_k, 0) * prod_{j>k} (N_j - |d_j|).
+Poly symbolic_mws(const IntVec& v);
+
+}  // namespace lmre

@@ -1,0 +1,73 @@
+#include "cachesim/cache.h"
+
+#include <algorithm>
+
+#include "exact/oracle.h"
+#include "support/error.h"
+
+namespace lmre {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  require(config_.capacity >= 1, "Cache: capacity must be >= 1");
+  require(config_.line_size >= 1, "Cache: line size must be >= 1");
+  Int total_lines = std::max<Int>(config_.capacity / config_.line_size, 1);
+  if (config_.associativity <= 0 || config_.associativity >= total_lines) {
+    // Fully associative.
+    sets_ = 1;
+    ways_ = total_lines;
+  } else {
+    ways_ = config_.associativity;
+    sets_ = std::max<Int>(total_lines / ways_, 1);
+  }
+  sets_lru_.resize(static_cast<size_t>(sets_));
+}
+
+bool Cache::access(Int address) {
+  Int line = floor_div(address, config_.line_size);
+  Int set = mod_floor(line, sets_);
+  auto& lru = sets_lru_[static_cast<size_t>(set)];
+
+  ++stats_.accesses;
+  auto it = std::find(lru.begin(), lru.end(), line);
+  if (it != lru.end()) {
+    // Hit: move to the MRU position.
+    lru.erase(it);
+    lru.insert(lru.begin(), line);
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  if (ever_seen_.insert(line).second) ++stats_.cold_misses;
+  lru.insert(lru.begin(), line);
+  if (static_cast<Int>(lru.size()) > ways_) lru.pop_back();
+  return false;
+}
+
+CacheStats simulate_cache(const LoopNest& nest,
+                          const std::map<ArrayId, LayoutSpec>& layouts,
+                          const CacheConfig& config, const IntMat* transform) {
+  // Give every array a disjoint address range (line-aligned bases so arrays
+  // never share a cache line).
+  std::map<ArrayId, Int> base;
+  Int next = 0;
+  for (const auto& [id, layout] : layouts) {
+    base[id] = next;
+    Int span = layout.size();
+    Int aligned = checked_mul(ceil_div(span, config.line_size), config.line_size);
+    next = checked_add(next, aligned);
+  }
+
+  Cache cache(config);
+  visit_iterations(nest, transform, [&](Int, const IntVec& iter) {
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        const LayoutSpec& layout = layouts.at(ref.array);
+        Int addr = checked_add(base.at(ref.array), layout.address(ref.index_at(iter)));
+        cache.access(addr);
+      }
+    }
+  });
+  return cache.stats();
+}
+
+}  // namespace lmre

@@ -1,0 +1,104 @@
+#include "codes/examples.h"
+
+#include "ir/builder.h"
+
+namespace lmre::codes {
+
+LoopNest example_1a() {
+  NestBuilder b;
+  b.loop("i", 1, 10).loop("j", 1, 10);
+  ArrayId a = b.array("A", {14, 13});  // covers i-3 in [-2,10], j+2 in [3,12]
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-3, 2});
+  return b.build();
+}
+
+LoopNest example_1b() {
+  NestBuilder b;
+  b.loop("i", 1, 10).loop("j", 1, 10);
+  ArrayId a = b.array("A", {51});  // 2i+3j in [5,50]
+  b.statement().read(a, {{2, 3}}, {0});
+  return b.build();
+}
+
+LoopNest example_2(Int n1, Int n2) {
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2);
+  ArrayId a = b.array("A", {n1 + 1, n2 + 2});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})    // S1: A[i][j]
+      .read(a, {{1, 0}, {0, 1}}, {-1, 2});   // S2: A[i-1][j+2]
+  return b.build();
+}
+
+LoopNest example_3() {
+  NestBuilder b;
+  b.loop("i", 1, 10).loop("j", 1, 10);
+  ArrayId a = b.array("A", {11, 11});
+  b.statement()
+      .read(a, {{1, 0}, {0, 1}}, {0, 0})     // S1: A[i][j]
+      .read(a, {{1, 0}, {0, 1}}, {-1, 0})    // S2: A[i-1][j]
+      .read(a, {{1, 0}, {0, 1}}, {0, -1})    // S3: A[i][j-1]
+      .read(a, {{1, 0}, {0, 1}}, {-1, -1});  // S4: A[i-1][j-1]
+  return b.build();
+}
+
+LoopNest example_4() {
+  NestBuilder b;
+  b.loop("i", 1, 20).loop("j", 1, 10);
+  ArrayId a = b.array("A", {92});  // 2i+5j+1 in [8,91]
+  b.statement().read(a, {{2, 5}}, {1});
+  return b.build();
+}
+
+LoopNest example_5() {
+  NestBuilder b;
+  b.loop("i", 1, 10).loop("j", 1, 20).loop("k", 1, 30);
+  ArrayId a = b.array("A", {61, 51});  // 3i+k in [4,60], j+k in [2,50]
+  b.statement().read(a, {{3, 0, 1}, {0, 1, 1}}, {0, 0});
+  return b.build();
+}
+
+LoopNest example_6() {
+  NestBuilder b;
+  b.loop("i", 1, 20).loop("j", 1, 20);
+  ArrayId a = b.array("A", {191});  // values span [0, 190]
+  b.statement().read(a, {{3, 7}}, {-10});   // S1: A[3i+7j-10]
+  b.statement().read(a, {{4, -3}}, {60});   // S2: A[4i-3j+60]
+  return b.build();
+}
+
+LoopNest example_7() {
+  NestBuilder b;
+  b.loop("i", 1, 20).loop("j", 1, 30);
+  ArrayId x = b.array("X", {129});  // 2i-3j in [-88,37]; any cover works
+  b.statement().read(x, {{2, -3}}, {0});
+  return b.build();
+}
+
+LoopNest example_8(Int n1, Int n2) {
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2);
+  ArrayId x = b.array("X", {static_cast<Int>(2 * n1 + 5 * n2 + 6)});
+  b.statement()
+      .write(x, {{2, 5}}, {1})   // X[2i+5j+1] =
+      .read(x, {{2, 5}}, {5});   //   X[2i+5j+5]
+  return b.build();
+}
+
+LoopNest example_sec23(Int n1, Int n2) {
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2);
+  ArrayId x = b.array("X", {static_cast<Int>(2 * n1 + 3 * n2 + 4)});
+  ArrayId y = b.array("Y", {static_cast<Int>(n1 + n2 + 2)});
+  b.statement()
+      .write(x, {{2, 3}}, {2})   // X[2i+3j+2] =
+      .read(y, {{1, 1}}, {0});   //   Y[i+j]
+  b.statement()
+      .write(y, {{1, 1}}, {1})   // Y[i+j+1] =
+      .read(x, {{2, 3}}, {3});   //   X[2i+3j+3]
+  return b.build();
+}
+
+}  // namespace lmre::codes

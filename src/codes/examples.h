@@ -1,0 +1,57 @@
+#pragma once
+
+// The numbered example loops of the paper, as LoopNest builders.
+//
+// OCR note: the paper's text drops minus signs inside subscripts; the
+// versions here are reconstructed so that every derived quantity (dependence
+// vectors, reuse counts, distinct counts, window sizes) matches the numbers
+// printed in the paper.  See DESIGN.md section 4.
+
+#include "ir/nest.h"
+
+namespace lmre::codes {
+
+/// Example 1(a): for i,j in [1,10]^2:  A[i][j] = A[i-3][j+2]
+/// (d == n, r == 2, dependence (3,-2), reuse 56).
+LoopNest example_1a();
+
+/// Example 1(b): for i,j in [1,10]^2:  use A[2i+3j]
+/// (d == n-1, reuse vector (3,-2), reuse 56).
+LoopNest example_1b();
+
+/// Example 2: for i in [1,n1], j in [1,n2]:  A[i][j] = A[i-1][j+2]
+/// (dependence (1,-2), reuse (n1-1)(n2-2)).
+LoopNest example_2(Int n1 = 10, Int n2 = 10);
+
+/// Example 3: 10x10, four reads A[i][j], A[i-1][j], A[i][j-1], A[i-1][j-1]
+/// (anchor reuse 261, paper's distinct estimate 139).
+LoopNest example_3();
+
+/// Example 4: for i in [1,20], j in [1,10]:  use A[2i+5j+1]
+/// (reuse vector (5,-2), reuse 120, distinct 80).
+LoopNest example_4();
+
+/// Example 5 / Example 10: for i in [1,10], j in [1,20], k in [1,30]:
+/// use A[3i+k][j+k]  (reuse vector (1,3,-3), reuse 4131, distinct 1869;
+/// MWS formula value 540(+1) in Section 4.3).
+LoopNest example_5();
+
+/// Example 6: for i,j in [1,20]^2: reads A[3i+7j-10] and A[4i-3j+60]
+/// (non-uniform; UB 191, paper LB 179, actual 181).
+LoopNest example_6();
+
+/// Example 7: for i in [1,20], j in [1,30]:  use X[2i-3j]
+/// (Eisenbeis et al. cost 89; interchange 41, reversal 86, both 36;
+/// compound transformation drives MWS to 1).
+LoopNest example_7();
+
+/// Example 8: for i in [1,25], j in [1,10]:  X[2i+5j+1] = X[2i+5j+5]
+/// (distances (3,-2),(2,0),(5,-2); MWS 50 -> 21 under T = [[2,3],[1,1]];
+/// Li-Pingali rows (2,5)/(-2,5) are illegal here).
+LoopNest example_8(Int n1 = 25, Int n2 = 10);
+
+/// Section 2.3's uniformly generated pair of arrays:
+/// X[-2i+3j+2] = Y[i+j];  Y[i+j+1] = X[-2i+3j+3].
+LoopNest example_sec23(Int n1 = 10, Int n2 = 10);
+
+}  // namespace lmre::codes

@@ -1,0 +1,99 @@
+#include "codes/extra_kernels.h"
+
+#include "ir/builder.h"
+
+namespace lmre::codes {
+
+LoopNest kernel_fir(Int samples, Int taps) {
+  NestBuilder b;
+  b.loop("i", 1, samples).loop("k", 1, taps);
+  ArrayId y = b.array("y", {samples});
+  ArrayId x = b.array("x", {samples + taps});
+  ArrayId h = b.array("h", {taps});
+  b.statement()
+      .write(y, {{1, 0}}, {0})
+      .read(y, {{1, 0}}, {0})
+      .read(x, {{1, 1}}, {0})   // x[i+k]
+      .read(h, {{0, 1}}, {0});
+  return b.build();
+}
+
+LoopNest kernel_iir(Int samples) {
+  NestBuilder b;
+  b.loop("i", 3, samples);
+  ArrayId y = b.array("y", {samples + 1});
+  ArrayId x = b.array("x", {samples + 1});
+  b.statement()
+      .write(y, {{1}}, {0})
+      .read(x, {{1}}, {0})
+      .read(y, {{1}}, {-1})
+      .read(y, {{1}}, {-2});
+  return b.build();
+}
+
+LoopNest kernel_conv2d(Int image, Int kernel) {
+  NestBuilder b;
+  b.loop("i", 1, image).loop("j", 1, image).loop("u", 1, kernel).loop("v", 1, kernel);
+  ArrayId out = b.array("out", {image, image});
+  ArrayId img = b.array("img", {image + kernel, image + kernel});
+  ArrayId k = b.array("k", {kernel, kernel});
+  b.statement()
+      .write(out, {{1, 0, 0, 0}, {0, 1, 0, 0}}, {0, 0})
+      .read(out, {{1, 0, 0, 0}, {0, 1, 0, 0}}, {0, 0})
+      .read(img, {{1, 0, 1, 0}, {0, 1, 0, 1}}, {0, 0})  // img[i+u][j+v]
+      .read(k, {{0, 0, 1, 0}, {0, 0, 0, 1}}, {0, 0});
+  return b.build();
+}
+
+LoopNest kernel_transpose_mm(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n).loop("k", 1, n);
+  ArrayId c = b.array("C", {n, n});
+  ArrayId a = b.array("A", {n, n});
+  ArrayId bm = b.array("B", {n, n});
+  b.statement()
+      .write(c, {{1, 0, 0}, {0, 1, 0}}, {0, 0})
+      .read(c, {{1, 0, 0}, {0, 1, 0}}, {0, 0})
+      .read(a, {{0, 0, 1}, {1, 0, 0}}, {0, 0})   // A[k][i]
+      .read(bm, {{0, 0, 1}, {0, 1, 0}}, {0, 0});  // B[k][j]
+  return b.build();
+}
+
+LoopNest kernel_jacobi(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId in = b.array("A", {n + 2, n + 2});
+  ArrayId out = b.array("B", {n, n});
+  b.statement()
+      .write(out, {{1, 0}, {0, 1}}, {0, 0})
+      .read(in, {{1, 0}, {0, 1}}, {-1, 0})
+      .read(in, {{1, 0}, {0, 1}}, {1, 0})
+      .read(in, {{1, 0}, {0, 1}}, {0, -1})
+      .read(in, {{1, 0}, {0, 1}}, {0, 1});
+  return b.build();
+}
+
+LoopNest kernel_row_sum(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId s = b.array("s", {n});
+  ArrayId m = b.array("M", {n, n});
+  b.statement()
+      .write(s, {{1, 0}}, {0})
+      .read(s, {{1, 0}}, {0})
+      .read(m, {{1, 0}, {0, 1}}, {0, 0});
+  return b.build();
+}
+
+std::vector<std::pair<std::string, LoopNest>> extra_suite() {
+  std::vector<std::pair<std::string, LoopNest>> suite;
+  suite.emplace_back("fir", kernel_fir());
+  suite.emplace_back("iir", kernel_iir());
+  suite.emplace_back("conv2d", kernel_conv2d());
+  suite.emplace_back("transpose_mm", kernel_transpose_mm());
+  suite.emplace_back("jacobi", kernel_jacobi());
+  suite.emplace_back("row_sum", kernel_row_sum());
+  return suite;
+}
+
+}  // namespace lmre::codes

@@ -1,0 +1,39 @@
+#pragma once
+
+// Kernels beyond the paper's Figure-2 suite, exercising the analysis on the
+// wider embedded/DSP idiom space: 1-d FIR and IIR filters, 2-d convolution
+// (depth-4), matrix transpose-multiply (DCT-like), Jacobi two-array
+// relaxation, and a row-sum reduction.
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+
+namespace lmre::codes {
+
+/// y[i] = sum_k h[k] * x[i+k]  over samples x taps (depth 2).
+LoopNest kernel_fir(Int samples = 256, Int taps = 8);
+
+/// y[i] = x[i] + a*y[i-1] + b*y[i-2]: a recurrence -- the output feeds back,
+/// so the window carries the feedback state.
+LoopNest kernel_iir(Int samples = 256);
+
+/// out[i][j] += img[i+u][j+v] * k[u][v]  (depth 4: image x kernel).
+LoopNest kernel_conv2d(Int image = 16, Int kernel = 3);
+
+/// C[i][j] += A[k][i] * B[k][j]: transpose-multiply (the DCT's A^T * B
+/// shape); A is walked column-wise.
+LoopNest kernel_transpose_mm(Int n = 12);
+
+/// B[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1] (Jacobi sweep,
+/// two arrays -- unlike the in-place Gauss-Seidel `kernel_sor`).
+LoopNest kernel_jacobi(Int n = 24);
+
+/// s[i] += M[i][j]: row reduction; one accumulator live at a time.
+LoopNest kernel_row_sum(Int n = 32);
+
+/// The extended suite with names, for the generality bench.
+std::vector<std::pair<std::string, LoopNest>> extra_suite();
+
+}  // namespace lmre::codes

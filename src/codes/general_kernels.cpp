@@ -1,0 +1,64 @@
+#include "codes/general_kernels.h"
+
+namespace lmre::codes {
+
+namespace {
+
+ArrayRef read2(ArrayId a, IntMat acc, IntVec off) {
+  return ArrayRef{a, AccessKind::kRead, std::move(acc), std::move(off)};
+}
+
+ArrayRef write2(ArrayId a, IntMat acc, IntVec off) {
+  return ArrayRef{a, AccessKind::kWrite, std::move(acc), std::move(off)};
+}
+
+}  // namespace
+
+GeneralNest kernel_forward_subst(Int n) {
+  // Space { (i, j) : 2 <= i <= n, 1 <= j <= i-1 }.
+  ConstraintSystem sys(2);
+  sys.add_range(AffineExpr::variable(2, 0), 2, n);
+  sys.add(AffineExpr::variable(2, 1) - 1);
+  sys.add(AffineExpr::variable(2, 0) - AffineExpr::variable(2, 1) - 1);  // j <= i-1
+  std::vector<Array> arrays{Array{"x", {n}}, Array{"L", {n, n}}};
+  Statement stmt;
+  stmt.refs.push_back(write2(0, IntMat{{1, 0}}, IntVec{0}));       // x[i] =
+  stmt.refs.push_back(read2(0, IntMat{{1, 0}}, IntVec{0}));        //   x[i]
+  stmt.refs.push_back(read2(1, IntMat{{1, 0}, {0, 1}}, IntVec{0, 0}));  // L[i][j]
+  stmt.refs.push_back(read2(0, IntMat{{0, 1}}, IntVec{0}));        //   x[j]
+  return GeneralNest({"i", "j"}, sys, arrays, {stmt});
+}
+
+GeneralNest kernel_syr_lower(Int n) {
+  std::vector<Array> arrays{Array{"A", {n, n}}, Array{"v", {n}}};
+  Statement stmt;
+  stmt.refs.push_back(write2(0, IntMat{{1, 0}, {0, 1}}, IntVec{0, 0}));
+  stmt.refs.push_back(read2(0, IntMat{{1, 0}, {0, 1}}, IntVec{0, 0}));
+  stmt.refs.push_back(read2(1, IntMat{{1, 0}}, IntVec{0}));
+  stmt.refs.push_back(read2(1, IntMat{{0, 1}}, IntVec{0}));
+  return GeneralNest({"i", "j"}, lower_triangle_space(n), arrays, {stmt});
+}
+
+GeneralNest kernel_band_mv(Int n) {
+  ConstraintSystem sys(2);
+  sys.add_range(AffineExpr::variable(2, 0), 1, n);
+  sys.add_range(AffineExpr::variable(2, 1), 1, n);
+  sys.add_range(AffineExpr::variable(2, 0) - AffineExpr::variable(2, 1), -1, 1);
+  std::vector<Array> arrays{Array{"y", {n}}, Array{"M", {n, n}}, Array{"x", {n}}};
+  Statement stmt;
+  stmt.refs.push_back(write2(0, IntMat{{1, 0}}, IntVec{0}));
+  stmt.refs.push_back(read2(0, IntMat{{1, 0}}, IntVec{0}));
+  stmt.refs.push_back(read2(1, IntMat{{1, 0}, {0, 1}}, IntVec{0, 0}));
+  stmt.refs.push_back(read2(2, IntMat{{0, 1}}, IntVec{0}));
+  return GeneralNest({"i", "j"}, sys, arrays, {stmt});
+}
+
+std::vector<std::pair<std::string, GeneralNest>> general_suite() {
+  std::vector<std::pair<std::string, GeneralNest>> suite;
+  suite.emplace_back("forward_subst", kernel_forward_subst());
+  suite.emplace_back("syr_lower", kernel_syr_lower());
+  suite.emplace_back("band_mv", kernel_band_mv());
+  return suite;
+}
+
+}  // namespace lmre::codes

@@ -1,0 +1,31 @@
+#pragma once
+
+// Non-rectangular kernels (GeneralNest spaces): triangular solves and
+// banded sweeps -- shapes the paper's box formulas exclude but the exact
+// machinery handles.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/general.h"
+
+namespace lmre::codes {
+
+/// Forward substitution: for i = 1..n, j = 1..i-1:
+///   x[i] = x[i] - L[i][j] * x[j]   (plus the diagonal scale, folded in).
+/// Triangular space { 1 <= j < i <= n }.
+GeneralNest kernel_forward_subst(Int n = 16);
+
+/// Symmetric rank-1 update on the lower triangle:
+///   A[i][j] = A[i][j] + v[i] * v[j]  over { 1 <= j <= i <= n }.
+GeneralNest kernel_syr_lower(Int n = 16);
+
+/// Tridiagonal (banded) matrix-vector product:
+///   y[i] = y[i] + M[i][j] * x[j]  over { |i - j| <= 1 } in an n x n box.
+GeneralNest kernel_band_mv(Int n = 24);
+
+/// The suite, named.
+std::vector<std::pair<std::string, GeneralNest>> general_suite();
+
+}  // namespace lmre::codes

@@ -1,0 +1,130 @@
+#include "codes/kernels.h"
+
+#include "ir/builder.h"
+
+namespace lmre::codes {
+
+LoopNest kernel_two_point(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId a = b.array("A", {n, n});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-1, 0});
+  return b.build();
+}
+
+LoopNest kernel_three_point(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId in = b.array("A", {n + 2, n});
+  ArrayId out = b.array("B", {n, n});
+  b.statement()
+      .write(out, {{1, 0}, {0, 1}}, {0, 0})
+      .read(in, {{1, 0}, {0, 1}}, {-1, 0})
+      .read(in, {{1, 0}, {0, 1}}, {0, 0})
+      .read(in, {{1, 0}, {0, 1}}, {1, 0});
+  return b.build();
+}
+
+LoopNest kernel_sor(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId a = b.array("A", {n + 2, n + 2});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-1, 0})
+      .read(a, {{1, 0}, {0, 1}}, {1, 0})
+      .read(a, {{1, 0}, {0, 1}}, {0, -1})
+      .read(a, {{1, 0}, {0, 1}}, {0, 1});
+  return b.build();
+}
+
+LoopNest kernel_matmult(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n).loop("k", 1, n);
+  ArrayId c = b.array("C", {n, n});
+  ArrayId a = b.array("A", {n, n});
+  ArrayId bm = b.array("B", {n, n});
+  b.statement()
+      .write(c, {{1, 0, 0}, {0, 1, 0}}, {0, 0})
+      .read(c, {{1, 0, 0}, {0, 1, 0}}, {0, 0})
+      .read(a, {{1, 0, 0}, {0, 0, 1}}, {0, 0})
+      .read(bm, {{0, 0, 1}, {0, 1, 0}}, {0, 0});
+  return b.build();
+}
+
+LoopNest kernel_three_step_log(Int block, Int shift) {
+  NestBuilder b;
+  b.loop("c", -shift, shift).loop("i", 1, block).loop("j", 1, block);
+  ArrayId cur = b.array("cur", {block, block});
+  ArrayId ref = b.array("ref", {block + 2 * shift, block + 2 * shift});
+  b.statement()
+      .read(cur, {{0, 1, 0}, {0, 0, 1}}, {0, 0})
+      .read(ref, {{1, 1, 0}, {1, 0, 1}}, {0, 0});  // ref[i+c][j+c]
+  return b.build();
+}
+
+LoopNest kernel_full_search(Int block, Int search) {
+  NestBuilder b;
+  b.loop("u", -search, search)
+      .loop("v", -search, search)
+      .loop("i", 1, block)
+      .loop("j", 1, block);
+  ArrayId cur = b.array("cur", {block, block});
+  ArrayId ref = b.array("ref", {block + 2 * search, block + 2 * search});
+  b.statement()
+      .read(cur, {{0, 0, 1, 0}, {0, 0, 0, 1}}, {0, 0})
+      .read(ref, {{1, 0, 1, 0}, {0, 1, 0, 1}}, {0, 0});  // ref[i+u][j+v]
+  return b.build();
+}
+
+LoopNest kernel_rasta_flt(Int frames, Int bands, Int taps) {
+  NestBuilder b;
+  b.loop("i", 1, frames).loop("j", 1, bands).loop("k", 1, taps);
+  ArrayId in = b.array("in", {frames + taps, bands});
+  ArrayId out = b.array("out", {frames, bands});
+  ArrayId coef = b.array("coef", {taps});
+  b.statement()
+      .write(out, {{1, 0, 0}, {0, 1, 0}}, {0, 0})
+      .read(out, {{1, 0, 0}, {0, 1, 0}}, {0, 0})
+      .read(in, {{1, 0, -1}, {0, 1, 0}}, {0, 0})  // in[i-k][j]
+      .read(coef, {{0, 0, 1}}, {0});
+  return b.build();
+}
+
+LoopNest kernel_rasta_flt_tap_major(Int frames, Int bands, Int taps) {
+  // Tap-major accumulation: one tap's contribution is swept across the whole
+  // signal before the next tap, so `out` (and `in`) stay live across every
+  // sweep -- a naive schedule whose window is ~47x the frame-major one.
+  // Used by the scheduling example and the ablation bench.
+  NestBuilder b;
+  b.loop("k", 1, taps).loop("i", 1, frames).loop("j", 1, bands);
+  ArrayId in = b.array("in", {frames + taps, bands});
+  ArrayId out = b.array("out", {frames, bands});
+  ArrayId coef = b.array("coef", {taps});
+  b.statement()
+      .write(out, {{0, 1, 0}, {0, 0, 1}}, {0, 0})
+      .read(out, {{0, 1, 0}, {0, 0, 1}}, {0, 0})
+      .read(in, {{-1, 1, 0}, {0, 0, 1}}, {0, 0})  // in[i-k][j]
+      .read(coef, {{1, 0, 0}}, {0});
+  return b.build();
+}
+
+std::vector<Figure2Entry> figure2_suite() {
+  // Paper Figure 2 rows.  The OCR preserved all percentages, the MWS_opt
+  // column, and rasta_flt's full row; the remaining default / MWS_unopt
+  // magnitudes (marked by *_unopt == 0 below where fully lost) are
+  // reconstructed from the surviving percentages in EXPERIMENTS.md.
+  std::vector<Figure2Entry> suite;
+  suite.push_back({"2point", kernel_two_point(), 4096, 66, 3, 0.984, 0.999});
+  suite.push_back({"3point", kernel_three_point(), 1024, 69, 35, 0.933, 0.965});
+  suite.push_back({"sor", kernel_sor(), 1024, 66, 35, 0.936, 0.965});
+  suite.push_back({"matmult", kernel_matmult(), 768, 273, 273, 0.644, 0.644});
+  suite.push_back({"3step_log", kernel_three_step_log(16, 12), 2048, 508, 122, 0.752, 0.940});
+  suite.push_back({"full_search", kernel_full_search(16, 12), 2048, 250, 60, 0.878, 0.971});
+  suite.push_back({"rasta_flt", kernel_rasta_flt(), 5152, 2040, 127, 0.604, 0.975});
+  return suite;
+}
+
+}  // namespace lmre::codes

@@ -1,0 +1,75 @@
+#pragma once
+
+// Data dependence analysis for perfect affine nests (Section 2.1/4.2).
+//
+// For uniformly generated reference pairs the analysis produces constant
+// distance vectors: the lexicographically smallest positive realizable
+// solution per ordered pair, plus the primitive reuse generators of
+// self-dependences.  Non-uniformly generated pairs are flagged; the
+// estimator falls back to range bounds for those (Section 3.2).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+enum class DepKind { kFlow, kAnti, kOutput, kInput };
+
+std::string to_string(DepKind k);
+
+/// One constant-distance dependence edge between two references
+/// (indices into nest.all_refs(), source executes first).
+struct Dependence {
+  size_t src_ref = 0;
+  size_t dst_ref = 0;
+  DepKind kind = DepKind::kFlow;
+  IntVec distance;  ///< lexicographically positive (never the zero vector)
+
+  /// 1-based index of the first nonzero distance entry -- the loop that
+  /// carries the dependence.
+  int level() const { return distance.level(); }
+};
+
+/// Result of analyzing one nest.
+struct DependenceInfo {
+  std::vector<Dependence> deps;
+
+  /// Arrays for which some reference pair is NOT uniformly generated; the
+  /// constant-distance machinery does not apply to those pairs.
+  std::vector<ArrayId> nonuniform_arrays;
+
+  bool has_nonuniform() const { return !nonuniform_arrays.empty(); }
+
+  /// Deduplicated distance vectors, optionally restricted to memory
+  /// dependences (flow/anti/output); input (read-read) reuse vectors are
+  /// included when `include_input` -- the paper's transformation legality
+  /// uses the full set (Examples 7 and 8).
+  std::vector<IntVec> distance_vectors(bool include_input = true) const;
+};
+
+/// Classifies an edge by the access kinds at its endpoints.
+DepKind classify(AccessKind src, AccessKind dst);
+
+/// Classic direction-vector rendering of a distance vector: '<' for a
+/// positive component (forward), '=' for zero, '>' for negative,
+/// e.g. (3,-2) -> "(<, >)".
+std::string direction_string(const IntVec& distance);
+
+/// One-line-per-edge textual summary of a nest's dependences, e.g.
+/// "flow (3, -2) (<, >) level 1" -- for reports and tools.
+std::string summarize_dependences(const DependenceInfo& info);
+
+/// Computes all constant-distance dependences of the nest.
+///
+/// For every ordered pair of uniformly generated references (r_i, r_j) the
+/// edge set contains the lex-min positive realizable distance for each
+/// orientation; for self pairs and equal-offset pairs the generators of the
+/// kernel lattice (primitive, lex-positive, realizable) are used, so e.g.
+/// X[2i+5j+1] = X[2i+5j+5] (Example 8) yields exactly
+/// (3,-2) flow, (2,0) anti, (5,-2) output [+ (5,-2) input].
+DependenceInfo analyze_dependences(const LoopNest& nest);
+
+}  // namespace lmre

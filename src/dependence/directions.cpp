@@ -1,0 +1,132 @@
+#include "dependence/directions.h"
+
+#include "linalg/diophantine.h"
+#include "polyhedra/scanner.h"
+#include "support/error.h"
+
+namespace lmre {
+
+std::string to_string(Dir d) {
+  switch (d) {
+    case Dir::kAny: return "*";
+    case Dir::kLt: return "<";
+    case Dir::kEq: return "=";
+    case Dir::kGt: return ">";
+  }
+  return "?";
+}
+
+std::string direction_vector_string(const std::vector<Dir>& dirs) {
+  std::string out = "(";
+  for (size_t k = 0; k < dirs.size(); ++k) {
+    if (k) out += ", ";
+    out += to_string(dirs[k]);
+  }
+  return out + ")";
+}
+
+bool depends_with_directions(const ArrayRef& a, const ArrayRef& b, const IntBox& box,
+                             const std::vector<Dir>& dirs) {
+  require(a.array == b.array, "directions: references to different arrays");
+  const size_t n = box.dims();
+  require(dirs.size() == n, "directions: direction vector rank mismatch");
+  const size_t d = a.access.rows();
+
+  // Subscript equality system over z = (I, J).
+  IntMat m(d, 2 * n);
+  IntVec c(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    for (size_t k = 0; k < n; ++k) {
+      m(dim, k) = a.access(dim, k);
+      m(dim, n + k) = checked_neg(b.access(dim, k));
+    }
+    c[dim] = checked_sub(b.offset[dim], a.offset[dim]);
+  }
+  auto sol = solve_diophantine(m, c);
+  if (!sol) return false;
+
+  const size_t kdim = sol->kernel.size();
+  // z_i(t) = particular_i + sum_j kernel_j[i] * t_j; constraints below are
+  // affine in t.
+  auto coord_expr = [&](size_t i) {
+    IntVec row(kdim);
+    for (size_t j = 0; j < kdim; ++j) row[j] = sol->kernel[j][i];
+    return AffineExpr(row, sol->particular[i]);
+  };
+
+  ConstraintSystem sys(std::max<size_t>(kdim, 1));
+  auto add = [&](const AffineExpr& e) {
+    if (kdim == 0) {
+      // Constant feasibility check.
+      if (e.constant() < 0) throw UnsupportedError("__infeasible__");
+      return;
+    }
+    sys.add(e);
+  };
+
+  try {
+    for (size_t k = 0; k < n; ++k) {
+      const Range& r = box.range(k);
+      AffineExpr ik = kdim == 0 ? AffineExpr(IntVec(1), sol->particular[k])
+                                : coord_expr(k);
+      AffineExpr jk = kdim == 0 ? AffineExpr(IntVec(1), sol->particular[n + k])
+                                : coord_expr(n + k);
+      add(ik - r.lo);
+      add(-(ik) + r.hi);
+      add(jk - r.lo);
+      add(-(jk) + r.hi);
+      switch (dirs[k]) {
+        case Dir::kAny:
+          break;
+        case Dir::kLt:  // I_k < J_k
+          add(jk - ik - 1);
+          break;
+        case Dir::kEq:
+          add(jk - ik);
+          add(ik - jk);
+          break;
+        case Dir::kGt:
+          add(ik - jk - 1);
+          break;
+      }
+    }
+  } catch (const UnsupportedError&) {
+    return false;  // a constant constraint failed (kdim == 0 path)
+  }
+
+  if (kdim == 0) return true;  // all constant constraints held
+
+  bool found = false;
+  scan(sys, [&](const IntVec&) { found = true; });
+  return found;
+}
+
+namespace {
+
+void refine(const ArrayRef& a, const ArrayRef& b, const IntBox& box,
+            std::vector<Dir>& dirs, size_t level,
+            std::vector<std::vector<Dir>>& out) {
+  if (!depends_with_directions(a, b, box, dirs)) return;  // prune
+  if (level == dirs.size()) {
+    out.push_back(dirs);
+    return;
+  }
+  for (Dir d : {Dir::kLt, Dir::kEq, Dir::kGt}) {
+    dirs[level] = d;
+    refine(a, b, box, dirs, level + 1, out);
+  }
+  dirs[level] = Dir::kAny;
+}
+
+}  // namespace
+
+std::vector<std::vector<Dir>> feasible_direction_vectors(const ArrayRef& a,
+                                                         const ArrayRef& b,
+                                                         const IntBox& box) {
+  std::vector<Dir> dirs(box.dims(), Dir::kAny);
+  std::vector<std::vector<Dir>> out;
+  refine(a, b, box, dirs, 0, out);
+  return out;
+}
+
+}  // namespace lmre

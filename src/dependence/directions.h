@@ -1,0 +1,37 @@
+#pragma once
+
+// Direction-vector constrained dependence testing (the classic (<, =, >)
+// hierarchy of parallelizing compilers).
+//
+// A dependence test under a direction vector asks: is there a pair (I, J)
+// touching a common element with the prescribed per-level relation between
+// I_k and J_k?  Refining 'any' entries level by level yields exactly the set
+// of feasible direction vectors -- the summary parallelizers consume when
+// constant distances do not exist (non-uniform pairs).
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+#include "polyhedra/box.h"
+
+namespace lmre {
+
+enum class Dir { kAny, kLt, kEq, kGt };  // relation of I_k to J_k
+
+std::string to_string(Dir d);
+std::string direction_vector_string(const std::vector<Dir>& dirs);
+
+/// Exact test: does some pair (I, J) in box x box with I_k <dir_k> J_k for
+/// every level touch a common element of the two references?
+bool depends_with_directions(const ArrayRef& a, const ArrayRef& b, const IntBox& box,
+                             const std::vector<Dir>& dirs);
+
+/// All fully-refined feasible direction vectors (no kAny entries), obtained
+/// by hierarchical refinement with pruning: a prefix that admits no solution
+/// is never expanded.
+std::vector<std::vector<Dir>> feasible_direction_vectors(const ArrayRef& a,
+                                                         const ArrayRef& b,
+                                                         const IntBox& box);
+
+}  // namespace lmre

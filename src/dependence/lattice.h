@@ -1,0 +1,30 @@
+#pragma once
+
+// Enumeration of realizable dependence distances.
+//
+// For uniformly generated references the distance vectors are the integer
+// solutions of  A d == c  (a coset of the kernel lattice of A) that are
+// "realizable" in the iteration box: some iteration I has both I and I+d
+// inside the box, i.e. |d_k| <= trip_k - 1 for every level of a
+// constant-bound nest.
+
+#include <optional>
+#include <vector>
+
+#include "linalg/diophantine.h"
+#include "polyhedra/box.h"
+
+namespace lmre {
+
+/// All solutions of A d == c with |d_k| <= trip_k(box) - 1, enumerated by
+/// scanning the (bounded) coefficient space of the kernel lattice.
+/// Exact; intended for the small kernel dimensions (0..2) of DSP nests.
+std::vector<IntVec> realizable_solutions(const IntMat& a, const IntVec& c,
+                                         const IntBox& box);
+
+/// Lexicographically smallest *positive* realizable solution, if any:
+/// the paper's "dependence vector of interest" (Section 4.2).
+std::optional<IntVec> lexmin_positive_solution(const IntMat& a, const IntVec& c,
+                                               const IntBox& box);
+
+}  // namespace lmre

@@ -1,0 +1,141 @@
+#include "dependence/tests.h"
+
+#include <algorithm>
+
+#include "linalg/diophantine.h"
+#include "polyhedra/scanner.h"
+#include "support/error.h"
+
+namespace lmre {
+
+namespace {
+
+void check_pair(const ArrayRef& a, const ArrayRef& b) {
+  require(a.array == b.array, "dependence test: references to different arrays");
+  require(a.access.rows() == b.access.rows() && a.access.cols() == b.access.cols(),
+          "dependence test: access shape mismatch");
+}
+
+// Combined coefficient row for dimension d of  Aa*I - Ab*J == c_d.
+IntVec combined_row(const ArrayRef& a, const ArrayRef& b, size_t d) {
+  const size_t n = a.access.cols();
+  IntVec row(2 * n);
+  for (size_t k = 0; k < n; ++k) {
+    row[k] = a.access(d, k);
+    row[n + k] = checked_neg(b.access(d, k));
+  }
+  return row;
+}
+
+}  // namespace
+
+bool gcd_test_may_depend(const ArrayRef& a, const ArrayRef& b) {
+  check_pair(a, b);
+  for (size_t d = 0; d < a.access.rows(); ++d) {
+    IntVec row = combined_row(a, b, d);
+    Int g = row.content();
+    Int c = checked_sub(b.offset[d], a.offset[d]);
+    if (g == 0) {
+      if (c != 0) return false;  // 0 == c unsatisfiable
+      continue;
+    }
+    if (c % g != 0) return false;
+  }
+  return true;
+}
+
+bool banerjee_may_depend(const ArrayRef& a, const ArrayRef& b, const IntBox& box) {
+  check_pair(a, b);
+  require(a.access.cols() == box.dims(), "banerjee: box dimension mismatch");
+  const size_t n = box.dims();
+  for (size_t d = 0; d < a.access.rows(); ++d) {
+    IntVec row = combined_row(a, b, d);
+    Int c = checked_sub(b.offset[d], a.offset[d]);
+    // Range of row . (I, J) over box x box.
+    Int lo = 0, hi = 0;
+    for (size_t k = 0; k < 2 * n; ++k) {
+      const Range& r = box.range(k % n);
+      Int coef = row[k];
+      if (coef >= 0) {
+        lo = checked_add(lo, checked_mul(coef, r.lo));
+        hi = checked_add(hi, checked_mul(coef, r.hi));
+      } else {
+        lo = checked_add(lo, checked_mul(coef, r.hi));
+        hi = checked_add(hi, checked_mul(coef, r.lo));
+      }
+    }
+    if (c < lo || c > hi) return false;
+  }
+  return true;
+}
+
+ExactDependence depends_exact(const ArrayRef& a, const ArrayRef& b, const IntBox& box) {
+  check_pair(a, b);
+  const size_t n = box.dims();
+  const size_t d = a.access.rows();
+  IntMat m(d, 2 * n);
+  IntVec c(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    IntVec row = combined_row(a, b, dim);
+    for (size_t k = 0; k < 2 * n; ++k) m(dim, k) = row[k];
+    c[dim] = checked_sub(b.offset[dim], a.offset[dim]);
+  }
+  auto sol = solve_diophantine(m, c);
+  ExactDependence result;
+  if (!sol) return result;
+
+  const size_t kdim = sol->kernel.size();
+  auto inspect = [&](const IntVec& z) {
+    bool inside = true;
+    for (size_t k = 0; k < 2 * n; ++k) {
+      const Range& r = box.range(k % n);
+      if (z[k] < r.lo || z[k] > r.hi) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) return;
+    result.any = true;
+    for (size_t k = 0; k < n; ++k) {
+      if (z[k] != z[n + k]) {
+        result.cross_iteration = true;
+        break;
+      }
+    }
+  };
+
+  if (kdim == 0) {
+    inspect(sol->particular);
+    return result;
+  }
+  ConstraintSystem sys(kdim);
+  for (size_t k = 0; k < 2 * n; ++k) {
+    IntVec row(kdim);
+    for (size_t j = 0; j < kdim; ++j) row[j] = sol->kernel[j][k];
+    AffineExpr expr(row, sol->particular[k]);
+    const Range& r = box.range(k % n);
+    sys.add_range(expr, r.lo, r.hi);
+  }
+  scan(sys, [&](const IntVec& t) {
+    IntVec z = sol->particular;
+    for (size_t j = 0; j < kdim; ++j) z = z + sol->kernel[j] * t[j];
+    inspect(z);
+  });
+  return result;
+}
+
+DepAnswer may_depend(const ArrayRef& a, const ArrayRef& b, const IntBox& box,
+                     Int exact_limit) {
+  if (!gcd_test_may_depend(a, b)) return DepAnswer::kIndependent;
+  if (!banerjee_may_depend(a, b, box)) return DepAnswer::kIndependent;
+  // The exact scan costs at most the squared iteration count; compare
+  // without forming vol^2 (it can overflow for huge spaces).
+  Int vol = box.volume();
+  if (vol <= exact_limit / std::max<Int>(vol, 1)) {
+    ExactDependence e = depends_exact(a, b, box);
+    return e.any ? DepAnswer::kDependent : DepAnswer::kIndependent;
+  }
+  return DepAnswer::kMaybe;
+}
+
+}  // namespace lmre

@@ -1,0 +1,43 @@
+#pragma once
+
+// Conservative dependence tests for arbitrary reference pairs.
+//
+// The paper's constant-distance machinery needs uniformly generated
+// references; for everything else compilers fall back on screens: the GCD
+// test (divisibility of the offset difference) and the Banerjee bounds
+// (value-range feasibility).  Both are conservative -- "false" proves
+// independence, "true" means *maybe*.  For small iteration spaces an exact
+// decision procedure (Diophantine solve + bounded scan over the kernel
+// lattice, a miniature Omega test) settles the question.
+
+#include "ir/nest.h"
+#include "polyhedra/box.h"
+
+namespace lmre {
+
+/// GCD screen on  Aa*I - Ab*J == offb - offa : returns false when some
+/// dimension's equation has no integer solution at all (independent).
+bool gcd_test_may_depend(const ArrayRef& a, const ArrayRef& b);
+
+/// Banerjee screen: returns false when some dimension's equation cannot be
+/// satisfied by any real-valued I, J inside the box (value ranges disjoint).
+bool banerjee_may_depend(const ArrayRef& a, const ArrayRef& b, const IntBox& box);
+
+struct ExactDependence {
+  bool any = false;              ///< some (I, J) touches a common element
+  bool cross_iteration = false;  ///< some such pair has I != J
+};
+
+/// Exact decision: solves the 2n-variable system and scans the kernel
+/// lattice for solutions inside box x box.  Exponential only in the kernel
+/// dimension; intended for the embedded-scale spaces this library targets.
+ExactDependence depends_exact(const ArrayRef& a, const ArrayRef& b, const IntBox& box);
+
+/// Combined three-valued answer for reporting: 0 = independent (proved by a
+/// screen), 1 = dependent (proved exactly), 2 = maybe (screens passed, exact
+/// skipped because the space exceeds `exact_limit` candidate solutions).
+enum class DepAnswer { kIndependent, kDependent, kMaybe };
+DepAnswer may_depend(const ArrayRef& a, const ArrayRef& b, const IntBox& box,
+                     Int exact_limit = 1 << 22);
+
+}  // namespace lmre

@@ -1,0 +1,50 @@
+#include "energy/model.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace lmre {
+
+double MemoryModel::energy_per_access(Int cells) const {
+  require(cells >= 1, "energy_per_access: cells must be >= 1");
+  return 1.0 + alpha * std::sqrt(static_cast<double>(cells));
+}
+
+double MemoryModel::latency(Int cells) const {
+  require(cells >= 1, "latency: cells must be >= 1");
+  return 1.0 + beta * std::sqrt(static_cast<double>(cells));
+}
+
+double MemoryModel::area(Int cells) const {
+  require(cells >= 1, "area: cells must be >= 1");
+  return static_cast<double>(cells);
+}
+
+double MemoryModel::total_energy(Int cells, Int accesses) const {
+  require(accesses >= 0, "total_energy: negative access count");
+  double dynamic = static_cast<double>(accesses) * energy_per_access(cells);
+  double duration = static_cast<double>(accesses) * latency(cells);
+  double standby = leakage * static_cast<double>(cells) * duration;
+  return dynamic + standby;
+}
+
+SizingComparison compare_sizing(const LoopNest& nest, Int window_cells,
+                                const MemoryModel& model) {
+  SizingComparison cmp;
+  cmp.declared_cells = nest.default_memory();
+  cmp.window_cells = std::max<Int>(window_cells, 1);
+  // One access per reference per iteration.
+  Int refs = static_cast<Int>(nest.all_refs().size());
+  cmp.accesses = checked_mul(nest.iteration_count(), refs);
+
+  cmp.energy_declared =
+      static_cast<double>(cmp.accesses) * model.energy_per_access(cmp.declared_cells);
+  cmp.energy_window =
+      static_cast<double>(cmp.accesses) * model.energy_per_access(cmp.window_cells);
+  cmp.area_ratio = model.area(cmp.window_cells) / model.area(cmp.declared_cells);
+  cmp.latency_ratio = model.latency(cmp.window_cells) / model.latency(cmp.declared_cells);
+  return cmp;
+}
+
+}  // namespace lmre

@@ -1,0 +1,68 @@
+#pragma once
+
+// First-order energy/latency/area model for on-chip data memories.
+//
+// The paper's Section 1 motivates window minimization with three costs of
+// oversized memories: "per access energy consumption of a memory module
+// increases with its size", "large memory modules tend to incur large
+// delays", and "large memories by definition occupy more chip space".
+// This model makes those statements quantitative with standard first-order
+// SRAM scaling: bitline/wordline lengths grow with the square root of the
+// cell count, so per-access energy and latency scale as
+//     E(s) = e0 * (1 + alpha * sqrt(s)),   t(s) = t0 * (1 + beta * sqrt(s)),
+// and area scales linearly, A(s) = a0 * s.  The constants are normalized
+// (e0 = t0 = a0 = 1 for a 1-cell memory) -- the model is for RATIOS between
+// sizing choices, not absolute joules.
+
+#include <string>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+struct MemoryModel {
+  double alpha = 0.1;    ///< dynamic energy growth per sqrt(cell)
+  double beta = 0.05;    ///< latency growth per sqrt(cell)
+  double leakage = 0.0;  ///< static power per cell per access-time unit
+
+  /// Relative energy of one access to a memory of `cells` cells.
+  double energy_per_access(Int cells) const;
+
+  /// Relative latency of one access.
+  double latency(Int cells) const;
+
+  /// Relative area.
+  double area(Int cells) const;
+
+  /// Total relative energy of `accesses` accesses: dynamic plus leakage
+  /// (leakage integrates cell count over the run's duration, approximated
+  /// by accesses x latency).
+  double total_energy(Int cells, Int accesses) const;
+};
+
+/// Comparison of provisioning choices for one nest: the same access stream
+/// served by memories sized at the declared footprint vs the (optimized)
+/// maximum window.
+struct SizingComparison {
+  Int accesses = 0;
+  Int declared_cells = 0;
+  Int window_cells = 0;
+
+  double energy_declared = 0;  ///< total relative energy, declared sizing
+  double energy_window = 0;    ///< total relative energy, window sizing
+  double area_ratio = 0;       ///< window area / declared area
+  double latency_ratio = 0;    ///< window latency / declared latency
+
+  double energy_saving() const {
+    return energy_declared == 0 ? 0.0 : 1.0 - energy_window / energy_declared;
+  }
+};
+
+/// Evaluates the model for a nest given its measured window.  Every access
+/// is served from the sized memory (the window guarantee); refills from the
+/// backing store are not charged to either side, keeping the comparison
+/// conservative.
+SizingComparison compare_sizing(const LoopNest& nest, Int window_cells,
+                                const MemoryModel& model = {});
+
+}  // namespace lmre

@@ -1,0 +1,129 @@
+#include "exact/liveness.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "exact/oracle.h"
+#include "support/error.h"
+
+namespace lmre {
+
+namespace {
+
+struct ElementKey {
+  ArrayId array;
+  std::vector<Int> index;
+  bool operator==(const ElementKey& o) const {
+    return array == o.array && index == o.index;
+  }
+};
+
+struct ElementKeyHash {
+  size_t operator()(const ElementKey& k) const {
+    size_t h = std::hash<size_t>()(k.array);
+    for (Int v : k.index) {
+      h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct Access {
+  Int ordinal;
+  bool is_write;
+};
+
+}  // namespace
+
+LivenessStats min_memory_liveness(const LoopNest& nest, const IntMat* transform) {
+  std::unordered_map<ElementKey, std::vector<Access>, ElementKeyHash> history;
+  Int iterations = 0;
+  visit_iterations(nest, transform, [&](Int ordinal, const IntVec& iter) {
+    iterations = ordinal + 1;
+    for (const auto& stmt : nest.statements()) {
+      // Reads before writes within a statement: the RHS is consumed before
+      // the store happens, so "A[i] = A[i] + ..." reads the OLD value.
+      for (const auto& ref : stmt.refs) {
+        if (ref.is_write()) continue;
+        ElementKey key{ref.array, ref.index_at(iter).data()};
+        history[key].push_back(Access{ordinal, false});
+      }
+      for (const auto& ref : stmt.refs) {
+        if (!ref.is_write()) continue;
+        ElementKey key{ref.array, ref.index_at(iter).data()};
+        history[key].push_back(Access{ordinal, true});
+      }
+    }
+  });
+
+  // Live intervals (inclusive of the final use: the value must be present
+  // when it is read).  Events: +1 at birth, -1 at last_use + 1.
+  LivenessStats stats;
+  const size_t horizon = static_cast<size_t>(iterations) + 2;
+  std::vector<Int> delta_total(horizon, 0);
+  std::map<ArrayId, std::vector<Int>> delta;
+  auto add_interval = [&](ArrayId array, Int birth, Int last_use) {
+    if (last_use < birth) return;  // dead value
+    auto& d = delta[array];
+    if (d.empty()) d.assign(horizon, 0);
+    d[static_cast<size_t>(birth)] += 1;
+    d[static_cast<size_t>(last_use) + 1] -= 1;
+    delta_total[static_cast<size_t>(birth)] += 1;
+    delta_total[static_cast<size_t>(last_use) + 1] -= 1;
+  };
+
+  for (auto& [key, accesses] : history) {
+    // Accesses arrive in execution order already (visit order), but within
+    // one iteration a write can precede reads in statement order; that
+    // granularity is below the iteration-level model, so ordering inside an
+    // ordinal follows statement order as recorded.
+    size_t i = 0;
+    const size_t n = accesses.size();
+    // Upward-exposed input value: staged just in time from the backing
+    // store, so live from its FIRST use to its last read before the first
+    // write.
+    if (!accesses[0].is_write) {
+      Int first_read = accesses[0].ordinal;
+      Int last_read = accesses[0].ordinal;
+      size_t j = 0;
+      while (j < n && !accesses[j].is_write) {
+        last_read = accesses[j].ordinal;
+        ++j;
+      }
+      stats.input_elements += 1;
+      add_interval(key.array, first_read, last_read);
+      i = j;
+    }
+    // Each write starts a value; it lives until the last read before the
+    // next write.
+    while (i < n) {
+      ensure(accesses[i].is_write, "liveness walk must be at a write");
+      Int birth = accesses[i].ordinal;
+      Int last_read = birth - 1;  // empty unless a read follows
+      size_t j = i + 1;
+      while (j < n && !accesses[j].is_write) {
+        last_read = accesses[j].ordinal;
+        ++j;
+      }
+      add_interval(key.array, birth, last_read);
+      i = j;
+    }
+  }
+
+  for (auto& [array, d] : delta) {
+    Int cur = 0, best = 0;
+    for (Int v : d) {
+      cur += v;
+      best = std::max(best, cur);
+    }
+    stats.per_array[array] = best;
+  }
+  Int cur = 0;
+  for (Int v : delta_total) {
+    cur += v;
+    stats.max_live = std::max(stats.max_live, cur);
+  }
+  return stats;
+}
+
+}  // namespace lmre

@@ -1,0 +1,37 @@
+#pragma once
+
+// Zhao-Malik style exact minimum-memory measurement (the paper's reference
+// [20], its stated point of comparison).
+//
+// Zhao & Malik size memory by VALUE liveness: a location is live while it
+// holds a value that is still needed -- from a write to the last read before
+// the next write (or from program start for values the loop only reads).
+// The paper's reference window counts a superset: any element touched
+// before and after the current iteration, whether or not a value is carried
+// (e.g. an element that is re-WRITTEN later is in the window but holds no
+// live value if never read in between).  Comparing the two on the same
+// trace quantifies the difference between "buffer that captures all reuse"
+// (MWS) and "minimum correct memory" (liveness).
+
+#include <map>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct LivenessStats {
+  Int max_live = 0;                  ///< peak number of live values
+  std::map<ArrayId, Int> per_array;  ///< independent per-array peaks
+  Int input_elements = 0;            ///< elements read before any write
+};
+
+/// Exact value-liveness sweep in original (`transform == nullptr`) or
+/// transformed order.  A value is live from its defining write (or, for
+/// upward-exposed reads of input data, from its first use -- just-in-time
+/// staging from a backing store) until its last read before the next write
+/// of the same location.
+LivenessStats min_memory_liveness(const LoopNest& nest,
+                                  const IntMat* transform = nullptr);
+
+}  // namespace lmre

@@ -1,0 +1,307 @@
+#include "exact/oracle.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "polyhedra/scanner.h"
+#include "support/error.h"
+
+namespace lmre {
+
+namespace {
+
+// Key for one touched element: array id + full index vector.
+struct ElementKey {
+  ArrayId array;
+  std::vector<Int> index;
+  bool operator==(const ElementKey& o) const {
+    return array == o.array && index == o.index;
+  }
+};
+
+struct ElementKeyHash {
+  size_t operator()(const ElementKey& k) const {
+    size_t h = std::hash<size_t>()(k.array);
+    for (Int v : k.index) {
+      h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct FirstLast {
+  Int first;
+  Int last;
+};
+
+}  // namespace
+
+void visit_iterations(const LoopNest& nest, const IntMat* t,
+                      const std::function<void(Int, const IntVec&)>& body) {
+  Int ordinal = 0;
+  if (t == nullptr) {
+    scan(nest.bounds().to_constraints(), [&](const IntVec& iter) {
+      body(ordinal++, iter);
+    });
+    return;
+  }
+  require(t->rows() == nest.depth() && t->cols() == nest.depth(),
+          "simulate_transformed: transform shape mismatch");
+  require(t->is_unimodular(), "simulate_transformed: transform not unimodular");
+  IntMat t_inv = t->inverse_unimodular();
+  // u ranges over the image T * box; the constraints are the box bounds
+  // applied to i = T^-1 u.
+  const IntBox& box = nest.bounds();
+  const size_t n = nest.depth();
+  ConstraintSystem sys(n);
+  for (size_t k = 0; k < n; ++k) {
+    AffineExpr expr(t_inv.row(k), 0);
+    sys.add_range(expr, box.range(k).lo, box.range(k).hi);
+  }
+  scan(sys, [&](const IntVec& u) {
+    IntVec iter = t_inv * u;
+    ensure(box.contains(iter), "transformed scan left the iteration space");
+    body(ordinal++, iter);
+  });
+}
+
+namespace {
+
+// Shared trace pass: computes first/last touch per element and the access
+// counters; window statistics are derived from the event sweep.
+struct Trace {
+  std::unordered_map<ElementKey, FirstLast, ElementKeyHash> touch;
+  Int iterations = 0;
+  Int total_accesses = 0;
+  std::map<ArrayId, Int> distinct;
+
+  void run(const LoopNest& nest, const IntMat* t) {
+    visit_iterations(nest, t, [&](Int ordinal, const IntVec& iter) {
+      iterations = ordinal + 1;
+      for (const auto& stmt : nest.statements()) {
+        for (const auto& ref : stmt.refs) {
+          ++total_accesses;
+          IntVec idx = ref.index_at(iter);
+          ElementKey key{ref.array, idx.data()};
+          auto [it, inserted] = touch.try_emplace(key, FirstLast{ordinal, ordinal});
+          if (inserted) {
+            ++distinct[ref.array];
+          } else {
+            it->second.last = ordinal;
+          }
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+static TraceStats stats_from_trace(const LoopNest& nest, Trace& trace) {
+  TraceStats s;
+  s.iterations = trace.iterations;
+  s.total_accesses = trace.total_accesses;
+  s.distinct = trace.distinct;
+  for (const auto& [array, count] : s.distinct) {
+    s.distinct_total = checked_add(s.distinct_total, count);
+  }
+  s.reuse_total = checked_sub(s.total_accesses, s.distinct_total);
+
+  // Per-array access counts, to fill reuse per array.
+  std::map<ArrayId, Int> accesses;
+  for (const auto& stmt : nest.statements()) {
+    for (const auto& ref : stmt.refs) {
+      accesses[ref.array] = checked_add(accesses[ref.array], s.iterations);
+    }
+  }
+  for (const auto& [array, count] : accesses) {
+    s.reuse[array] = checked_sub(count, s.distinct.count(array) ? s.distinct[array] : 0);
+  }
+
+  // Window sweep: an element is in the window at ordinal t iff
+  // first <= t < last.  Delta events: +1 at `first`, -1 at `last`.
+  const size_t horizon = static_cast<size_t>(s.iterations) + 1;
+  std::map<ArrayId, std::vector<Int>> delta;
+  std::vector<Int> delta_total(horizon, 0);
+  for (const auto& [key, fl] : trace.touch) {
+    if (fl.first == fl.last) continue;  // never live across iterations
+    auto& d = delta[key.array];
+    if (d.empty()) d.assign(horizon, 0);
+    d[static_cast<size_t>(fl.first)] += 1;
+    d[static_cast<size_t>(fl.last)] -= 1;
+    delta_total[static_cast<size_t>(fl.first)] += 1;
+    delta_total[static_cast<size_t>(fl.last)] -= 1;
+  }
+  for (auto& [array, d] : delta) {
+    Int cur = 0, best = 0;
+    for (Int v : d) {
+      cur += v;
+      best = std::max(best, cur);
+    }
+    s.mws[array] = best;
+  }
+  // Arrays touched but never live across iterations still get an entry.
+  for (const auto& [array, count] : s.distinct) {
+    (void)count;
+    s.mws.try_emplace(array, 0);
+  }
+  Int cur = 0;
+  for (Int v : delta_total) {
+    cur += v;
+    s.mws_total = std::max(s.mws_total, cur);
+  }
+  return s;
+}
+
+TraceStats simulate(const LoopNest& nest) {
+  Trace trace;
+  trace.run(nest, nullptr);
+  return stats_from_trace(nest, trace);
+}
+
+TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t) {
+  Trace trace;
+  trace.run(nest, &t);
+  return stats_from_trace(nest, trace);
+}
+
+TraceStats simulate_general(const GeneralNest& nest) {
+  Trace trace;
+  Int ordinal = 0;
+  scan(nest.space(), [&](const IntVec& iter) {
+    trace.iterations = ordinal + 1;
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        ++trace.total_accesses;
+        ElementKey key{ref.array, ref.index_at(iter).data()};
+        auto [it, inserted] = trace.touch.try_emplace(key, FirstLast{ordinal, ordinal});
+        if (inserted) {
+          ++trace.distinct[ref.array];
+        } else {
+          it->second.last = ordinal;
+        }
+      }
+    }
+    ++ordinal;
+  });
+  // The window sweep is recomputed directly (stats_from_trace wants a
+  // rectangular LoopNest for its per-array reuse bookkeeping).
+  TraceStats s;
+  s.iterations = trace.iterations;
+  s.total_accesses = trace.total_accesses;
+  s.distinct = trace.distinct;
+  for (const auto& [array, count] : s.distinct) {
+    s.distinct_total = checked_add(s.distinct_total, count);
+  }
+  s.reuse_total = checked_sub(s.total_accesses, s.distinct_total);
+  const size_t horizon = static_cast<size_t>(s.iterations) + 1;
+  std::map<ArrayId, std::vector<Int>> delta;
+  std::vector<Int> delta_total(horizon, 0);
+  for (const auto& [key, fl] : trace.touch) {
+    if (fl.first == fl.last) continue;
+    auto& d = delta[key.array];
+    if (d.empty()) d.assign(horizon, 0);
+    d[static_cast<size_t>(fl.first)] += 1;
+    d[static_cast<size_t>(fl.last)] -= 1;
+    delta_total[static_cast<size_t>(fl.first)] += 1;
+    delta_total[static_cast<size_t>(fl.last)] -= 1;
+  }
+  for (auto& [array, d] : delta) {
+    Int cur = 0, best = 0;
+    for (Int v : d) {
+      cur += v;
+      best = std::max(best, cur);
+    }
+    s.mws[array] = best;
+  }
+  for (const auto& [array, count] : s.distinct) {
+    (void)count;
+    s.mws.try_emplace(array, 0);
+  }
+  Int cur = 0;
+  for (Int v : delta_total) {
+    cur += v;
+    s.mws_total = std::max(s.mws_total, cur);
+  }
+  return s;
+}
+
+TraceStats simulate_order(const LoopNest& nest, const std::vector<IntVec>& order) {
+  Trace trace;
+  Int ordinal = 0;
+  for (const IntVec& iter : order) {
+    require(nest.bounds().contains(iter),
+            "simulate_order: iteration outside the nest bounds");
+    trace.iterations = ordinal + 1;
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        ++trace.total_accesses;
+        IntVec idx = ref.index_at(iter);
+        ElementKey key{ref.array, idx.data()};
+        auto [it, inserted] = trace.touch.try_emplace(key, FirstLast{ordinal, ordinal});
+        if (inserted) {
+          ++trace.distinct[ref.array];
+        } else {
+          it->second.last = ordinal;
+        }
+      }
+    }
+    ++ordinal;
+  }
+  return stats_from_trace(nest, trace);
+}
+
+namespace {
+
+LifetimeReport lifetimes_from_trace(const Trace& trace) {
+  LifetimeReport rep;
+  for (const auto& [key, fl] : trace.touch) {
+    Int life = fl.last - fl.first;
+    auto bump = [&](LifetimeStats& s) {
+      s.elements += 1;
+      if (life > 0) s.live_elements += 1;
+      s.max_lifetime = std::max(s.max_lifetime, life);
+      s.total_lifetime = checked_add(s.total_lifetime, life);
+    };
+    bump(rep.per_array[key.array]);
+    bump(rep.total);
+  }
+  return rep;
+}
+
+}  // namespace
+
+LifetimeReport lifetime_report(const LoopNest& nest) {
+  Trace trace;
+  trace.run(nest, nullptr);
+  return lifetimes_from_trace(trace);
+}
+
+LifetimeReport lifetime_report_transformed(const LoopNest& nest, const IntMat& t) {
+  Trace trace;
+  trace.run(nest, &t);
+  return lifetimes_from_trace(trace);
+}
+
+std::vector<Int> window_series(const LoopNest& nest, const IntMat& t) {
+  Trace trace;
+  trace.run(nest, &t);
+  std::vector<Int> delta(static_cast<size_t>(trace.iterations) + 1, 0);
+  for (const auto& [key, fl] : trace.touch) {
+    (void)key;
+    if (fl.first == fl.last) continue;
+    delta[static_cast<size_t>(fl.first)] += 1;
+    delta[static_cast<size_t>(fl.last)] -= 1;
+  }
+  std::vector<Int> series;
+  series.reserve(delta.size());
+  Int cur = 0;
+  for (Int v : delta) {
+    cur += v;
+    series.push_back(cur);
+  }
+  if (!series.empty()) series.pop_back();  // last entry is past the end
+  return series;
+}
+
+}  // namespace lmre

@@ -1,0 +1,74 @@
+#include "exact/stack_distance.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "exact/oracle.h"
+#include "support/error.h"
+
+namespace lmre {
+
+Int StackDistanceProfile::lru_misses(Int capacity) const {
+  require(capacity >= 0, "lru_misses: negative capacity");
+  Int misses = cold_accesses;
+  for (const auto& [d, count] : histogram) {
+    if (d > capacity) misses = checked_add(misses, count);
+  }
+  return misses;
+}
+
+Int StackDistanceProfile::max_distance() const {
+  return histogram.empty() ? 0 : histogram.rbegin()->first;
+}
+
+StackDistanceProfile stack_distances(const LoopNest& nest, const IntMat* transform) {
+  struct Key {
+    ArrayId array;
+    std::vector<Int> index;
+    bool operator==(const Key& o) const {
+      return array == o.array && index == o.index;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = std::hash<size_t>()(k.array);
+      for (Int v : k.index) {
+        h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  // Classic stack algorithm: a list ordered most-recent-first; the distance
+  // of a re-access is its 1-based position in the list.
+  std::list<Key> stack;
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> where;
+
+  StackDistanceProfile profile;
+  visit_iterations(nest, transform, [&](Int, const IntVec& iter) {
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        ++profile.total_accesses;
+        Key key{ref.array, ref.index_at(iter).data()};
+        auto it = where.find(key);
+        if (it == where.end()) {
+          ++profile.cold_accesses;
+          stack.push_front(key);
+          where[key] = stack.begin();
+          continue;
+        }
+        // Distance = position of the element in the stack (1-based).
+        Int distance = 1;
+        for (auto walk = stack.begin(); walk != it->second; ++walk) ++distance;
+        profile.histogram[distance] += 1;
+        stack.erase(it->second);
+        stack.push_front(key);
+        it->second = stack.begin();
+      }
+    }
+  });
+  return profile;
+}
+
+}  // namespace lmre

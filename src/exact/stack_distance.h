@@ -1,0 +1,42 @@
+#pragma once
+
+// Exact LRU stack (reuse) distances.
+//
+// The stack distance of an access is the number of distinct elements
+// touched since the previous access to the same element.  Its histogram
+// yields, in one pass, the hit count of EVERY fully-associative LRU cache
+// size at once: a cache of capacity C hits exactly the accesses with stack
+// distance <= C.  This links the paper's window analysis to miss curves:
+// the curve flattens to cold misses once C covers the reuse the window
+// describes.
+
+#include <map>
+#include <vector>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct StackDistanceProfile {
+  /// histogram[d] = number of accesses with stack distance d (d >= 1);
+  /// distance 0 is unused.
+  std::map<Int, Int> histogram;
+  Int cold_accesses = 0;  ///< first touches (infinite distance)
+  Int total_accesses = 0;
+
+  /// Misses of a fully-associative LRU cache with `capacity` elements:
+  /// cold misses plus accesses with stack distance > capacity.
+  Int lru_misses(Int capacity) const;
+
+  /// Largest finite stack distance (the capacity beyond which only cold
+  /// misses remain).
+  Int max_distance() const;
+};
+
+/// Computes the exact element-granularity stack-distance profile of the
+/// nest in original (`transform == nullptr`) or transformed order.
+StackDistanceProfile stack_distances(const LoopNest& nest,
+                                     const IntMat* transform = nullptr);
+
+}  // namespace lmre

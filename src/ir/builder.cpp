@@ -1,0 +1,92 @@
+#include "ir/builder.h"
+
+#include "support/error.h"
+
+namespace lmre {
+
+StatementBuilder& StatementBuilder::read(ArrayId array, IntMat access, IntVec offset) {
+  owner_->statements_[index_].refs.push_back(
+      ArrayRef{array, AccessKind::kRead, std::move(access), std::move(offset)});
+  return *this;
+}
+
+StatementBuilder& StatementBuilder::read(
+    ArrayId array, std::initializer_list<std::initializer_list<Int>> access,
+    std::initializer_list<Int> offset) {
+  return read(array, IntMat(access), IntVec(offset));
+}
+
+StatementBuilder& StatementBuilder::write(ArrayId array, IntMat access, IntVec offset) {
+  owner_->statements_[index_].refs.push_back(
+      ArrayRef{array, AccessKind::kWrite, std::move(access), std::move(offset)});
+  return *this;
+}
+
+StatementBuilder& StatementBuilder::write(
+    ArrayId array, std::initializer_list<std::initializer_list<Int>> access,
+    std::initializer_list<Int> offset) {
+  return write(array, IntMat(access), IntVec(offset));
+}
+
+NestBuilder& NestBuilder::loop(const std::string& var, Int lo, Int hi) {
+  require(hi >= lo, "NestBuilder::loop: empty range for " + var);
+  vars_.push_back(var);
+  ranges_.push_back(Range{lo, hi});
+  los_.push_back(lo);
+  steps_.push_back(1);
+  return *this;
+}
+
+NestBuilder& NestBuilder::loop_strided(const std::string& var, Int lo, Int hi,
+                                       Int step) {
+  require(step >= 1, "NestBuilder::loop_strided: step must be >= 1");
+  require(hi >= lo, "NestBuilder::loop_strided: empty range for " + var);
+  vars_.push_back(var);
+  // Normalized range 0..floor((hi-lo)/step); references are rewritten in
+  // build().
+  ranges_.push_back(Range{0, floor_div(checked_sub(hi, lo), step)});
+  los_.push_back(lo);
+  steps_.push_back(step);
+  return *this;
+}
+
+ArrayId NestBuilder::array(const std::string& name, std::vector<Int> extents) {
+  for (Int e : extents) require(e >= 1, "NestBuilder::array: extent < 1 for " + name);
+  arrays_.push_back(Array{name, std::move(extents)});
+  return arrays_.size() - 1;
+}
+
+StatementBuilder NestBuilder::statement() {
+  statements_.emplace_back();
+  return StatementBuilder(this, statements_.size() - 1);
+}
+
+LoopNest NestBuilder::build() const {
+  require(!vars_.empty(), "NestBuilder::build: no loops");
+  bool any_strided = false;
+  for (Int s : steps_) {
+    if (s != 1) any_strided = true;
+  }
+  if (!any_strided) {
+    return LoopNest(vars_, IntBox(ranges_), arrays_, statements_);
+  }
+  // Rewrite references: original index i_k = lo_k + step_k * i'_k, so the
+  // access column scales by step_k and the offset absorbs A * lo (only for
+  // strided levels -- unit-step levels keep their original coordinates).
+  std::vector<Statement> rewritten = statements_;
+  for (auto& stmt : rewritten) {
+    for (auto& ref : stmt.refs) {
+      for (size_t k = 0; k < vars_.size(); ++k) {
+        if (steps_[k] == 1) continue;
+        for (size_t d = 0; d < ref.access.rows(); ++d) {
+          Int a = ref.access(d, k);
+          ref.offset[d] = checked_add(ref.offset[d], checked_mul(a, los_[k]));
+          ref.access(d, k) = checked_mul(a, steps_[k]);
+        }
+      }
+    }
+  }
+  return LoopNest(vars_, IntBox(ranges_), arrays_, rewritten);
+}
+
+}  // namespace lmre

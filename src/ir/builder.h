@@ -1,0 +1,76 @@
+#pragma once
+
+// Fluent construction of LoopNest values.
+//
+// Example (the paper's Example 2):
+//
+//   NestBuilder b;
+//   b.loop("i", 1, N1).loop("j", 1, N2);
+//   ArrayId A = b.array("A", {N1, N2});
+//   b.statement()
+//       .write(A, {{1, 0}, {0, 1}}, {0, 0})    // A[i, j]
+//       .read(A, {{1, 0}, {0, 1}}, {-1, 2});   // A[i-1, j+2]
+//   LoopNest nest = b.build();
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+class NestBuilder;
+
+/// Accumulates the references of one statement; obtained from
+/// NestBuilder::statement().
+class StatementBuilder {
+ public:
+  /// Adds a read A_D * I + b with the given access matrix and offset.
+  StatementBuilder& read(ArrayId array, IntMat access, IntVec offset);
+  StatementBuilder& read(ArrayId array, std::initializer_list<std::initializer_list<Int>> access,
+                         std::initializer_list<Int> offset);
+
+  /// Adds a write.
+  StatementBuilder& write(ArrayId array, IntMat access, IntVec offset);
+  StatementBuilder& write(ArrayId array, std::initializer_list<std::initializer_list<Int>> access,
+                          std::initializer_list<Int> offset);
+
+ private:
+  friend class NestBuilder;
+  StatementBuilder(NestBuilder* owner, size_t index) : owner_(owner), index_(index) {}
+  NestBuilder* owner_;
+  size_t index_;
+};
+
+class NestBuilder {
+ public:
+  /// Appends a loop level (outermost first); returns *this for chaining.
+  NestBuilder& loop(const std::string& var, Int lo, Int hi);
+
+  /// Appends a loop with a non-unit step (i = lo, lo+step, ..., <= hi).
+  /// Normalized at build() time: the stored loop runs 0..floor((hi-lo)/step)
+  /// and every reference's access column / offset is rewritten so the SAME
+  /// elements are touched in the same order.
+  NestBuilder& loop_strided(const std::string& var, Int lo, Int hi, Int step);
+
+  /// Declares an array and returns its id.
+  ArrayId array(const std::string& name, std::vector<Int> extents);
+
+  /// Starts a new (empty) statement.
+  StatementBuilder statement();
+
+  /// Finalizes and validates the nest.
+  LoopNest build() const;
+
+ private:
+  friend class StatementBuilder;
+  std::vector<std::string> vars_;
+  std::vector<Range> ranges_;
+  std::vector<Int> los_;    // original lower bounds (for normalization)
+  std::vector<Int> steps_;  // 1 for plain loops
+  std::vector<Array> arrays_;
+  std::vector<Statement> statements_;
+};
+
+}  // namespace lmre

@@ -1,0 +1,59 @@
+#include "ir/general.h"
+
+#include <set>
+
+#include "polyhedra/scanner.h"
+#include "support/error.h"
+
+namespace lmre {
+
+GeneralNest::GeneralNest(std::vector<std::string> loop_vars, ConstraintSystem space,
+                         std::vector<Array> arrays, std::vector<Statement> statements)
+    : loop_vars_(std::move(loop_vars)),
+      space_(std::move(space)),
+      arrays_(std::move(arrays)),
+      statements_(std::move(statements)) {
+  require(space_.dims() == loop_vars_.size(), "GeneralNest: space/vars mismatch");
+  const size_t n = loop_vars_.size();
+  for (const auto& s : statements_) {
+    for (const auto& r : s.refs) {
+      require(r.array < arrays_.size(), "GeneralNest: array id out of range");
+      const Array& a = arrays_[r.array];
+      require(r.access.rows() == a.dims(), "GeneralNest: access rows != array dims");
+      require(r.access.cols() == n, "GeneralNest: access cols != depth");
+      require(r.offset.size() == a.dims(), "GeneralNest: offset length mismatch");
+    }
+  }
+}
+
+const Array& GeneralNest::array(ArrayId id) const {
+  require(id < arrays_.size(), "GeneralNest::array out of range");
+  return arrays_[id];
+}
+
+Int GeneralNest::iteration_count() const { return count_points(space_); }
+
+Int GeneralNest::default_memory() const {
+  std::set<ArrayId> used;
+  for (const auto& s : statements_) {
+    for (const auto& r : s.refs) used.insert(r.array);
+  }
+  Int total = 0;
+  for (ArrayId id : used) total = checked_add(total, arrays_[id].declared_size());
+  return total;
+}
+
+ConstraintSystem lower_triangle_space(Int n) {
+  ConstraintSystem sys(2);
+  sys.add_range(AffineExpr::variable(2, 0), 1, n);                   // 1 <= i <= n
+  sys.add(AffineExpr::variable(2, 1) - 1);                           // j >= 1
+  sys.add(AffineExpr::variable(2, 0) - AffineExpr::variable(2, 1));  // j <= i
+  return sys;
+}
+
+GeneralNest to_general(const LoopNest& nest) {
+  return GeneralNest(nest.loop_vars(), nest.bounds().to_constraints(), nest.arrays(),
+                     nest.statements());
+}
+
+}  // namespace lmre

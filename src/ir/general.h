@@ -1,0 +1,56 @@
+#pragma once
+
+// Non-rectangular (general affine) iteration spaces.
+//
+// The paper's formulas assume constant-bound boxes, but its exact
+// machinery does not have to: a GeneralNest carries an arbitrary affine
+// constraint system as its iteration space (triangular solves, banded
+// sweeps, wavefronts), and the oracle-side analyses -- distinct counts,
+// windows, lifetimes -- run on it unchanged via the polyhedral scanner.
+// The closed-form estimators deliberately do NOT accept GeneralNest: their
+// box assumptions are part of the paper's contract.
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+#include "polyhedra/constraint.h"
+
+namespace lmre {
+
+class GeneralNest {
+ public:
+  /// `space` constrains the iteration vector (dims == loop_vars.size());
+  /// it must be bounded (scanning requires finite loops).
+  GeneralNest(std::vector<std::string> loop_vars, ConstraintSystem space,
+              std::vector<Array> arrays, std::vector<Statement> statements);
+
+  size_t depth() const { return loop_vars_.size(); }
+  const std::vector<std::string>& loop_vars() const { return loop_vars_; }
+  const ConstraintSystem& space() const { return space_; }
+  const std::vector<Array>& arrays() const { return arrays_; }
+  const Array& array(ArrayId id) const;
+  const std::vector<Statement>& statements() const { return statements_; }
+
+  /// Exact iteration count (by enumeration).
+  Int iteration_count() const;
+
+  /// Sum of declared sizes over referenced arrays.
+  Int default_memory() const;
+
+ private:
+  std::vector<std::string> loop_vars_;
+  ConstraintSystem space_;
+  std::vector<Array> arrays_;
+  std::vector<Statement> statements_;
+};
+
+/// Triangular-nest convenience: { (i, j) : 1 <= i <= n, 1 <= j <= i }.
+ConstraintSystem lower_triangle_space(Int n);
+
+/// Every rectangular nest is also a general nest.
+/// (The exact measurement entry point lives in exact/oracle.h:
+/// simulate_general.)
+GeneralNest to_general(const LoopNest& nest);
+
+}  // namespace lmre

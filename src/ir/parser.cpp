@@ -1,0 +1,524 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/builder.h"
+#include "polyhedra/affine.h"
+
+namespace lmre {
+
+ParseError::ParseError(const std::string& what, int line, int column)
+    : Error("parse error at " + std::to_string(line) + ":" + std::to_string(column) +
+            ": " + what),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+enum class Tok { kIdent, kInt, kPunct, kEnd };
+
+struct Token {
+  Tok kind;
+  std::string text;  // identifier, punctuation, or digits
+  Int value = 0;     // for kInt
+  int line = 1, column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    cur_.line = line_;
+    cur_.column = column_;
+    if (pos_ >= src_.size()) {
+      cur_.kind = Tok::kEnd;
+      cur_.text = "<end of input>";
+      return;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        bump();
+      }
+      cur_.kind = Tok::kIdent;
+      cur_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        bump();
+      }
+      cur_.kind = Tok::kInt;
+      cur_.text = src_.substr(start, pos_ - start);
+      cur_.value = static_cast<Int>(std::stoll(cur_.text));
+      return;
+    }
+    cur_.kind = Tok::kPunct;
+    cur_.text = std::string(1, c);
+    bump();
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1, column_ = 1;
+  Token cur_;
+};
+
+// A reference as parsed: name + per-dimension affine subscripts.
+struct ParsedRef {
+  std::string name;
+  std::vector<AffineExpr> subscripts;
+  bool is_write = false;
+  int line = 1, column = 1;
+};
+
+struct ParsedStatement {
+  std::vector<ParsedRef> refs;  // write first when present
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  LoopNest parse() {
+    while (at_ident("array")) parse_array_decl();
+    expect_ident("for");
+    parse_loop();
+    if (lex_.peek().kind != Tok::kEnd) {
+      fail("unexpected trailing input '" + lex_.peek().text + "'");
+    }
+    return build();
+  }
+
+  Program parse_program() {
+    Program program;
+    while (at_ident("array")) parse_array_decl();
+    if (!at_ident("phase")) {
+      // Single-nest form: one phase named "main".
+      expect_ident("for");
+      parse_loop();
+      if (lex_.peek().kind != Tok::kEnd) {
+        fail("unexpected trailing input '" + lex_.peek().text + "'");
+      }
+      program.add_phase("main", build());
+      return program;
+    }
+    // Promote top-level declarations to globals shared by every phase.
+    global_declared_ = declared_;
+    global_order_ = order_;
+    while (at_ident("phase")) {
+      lex_.take();
+      std::string name = take_name();
+      expect_punct("{");
+      reset_phase_state();
+      while (at_ident("array")) parse_array_decl();
+      expect_ident("for");
+      parse_loop();
+      expect_punct("}");
+      program.add_phase(name, build());
+    }
+    if (lex_.peek().kind != Tok::kEnd) {
+      fail("unexpected trailing input '" + lex_.peek().text + "'");
+    }
+    return program;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, lex_.peek().line, lex_.peek().column);
+  }
+
+  bool at_ident(const std::string& word) const {
+    return lex_.peek().kind == Tok::kIdent && lex_.peek().text == word;
+  }
+
+  bool at_punct(const std::string& p) const {
+    return lex_.peek().kind == Tok::kPunct && lex_.peek().text == p;
+  }
+
+  void expect_ident(const std::string& word) {
+    if (!at_ident(word)) fail("expected '" + word + "', got '" + lex_.peek().text + "'");
+    lex_.take();
+  }
+
+  void expect_punct(const std::string& p) {
+    if (!at_punct(p)) fail("expected '" + p + "', got '" + lex_.peek().text + "'");
+    lex_.take();
+  }
+
+  std::string take_name() {
+    if (lex_.peek().kind != Tok::kIdent) {
+      fail("expected identifier, got '" + lex_.peek().text + "'");
+    }
+    return lex_.take().text;
+  }
+
+  Int take_int() {
+    bool neg = false;
+    if (at_punct("-")) {
+      lex_.take();
+      neg = true;
+    }
+    if (lex_.peek().kind != Tok::kInt) {
+      fail("expected integer, got '" + lex_.peek().text + "'");
+    }
+    Int v = lex_.take().value;
+    return neg ? -v : v;
+  }
+
+  void parse_array_decl() {
+    expect_ident("array");
+    std::string name = take_name();
+    if (declared_.count(name)) fail("array '" + name + "' declared twice");
+    std::vector<Int> extents;
+    while (at_punct("[")) {
+      lex_.take();
+      extents.push_back(take_int());
+      expect_punct("]");
+    }
+    if (extents.empty()) fail("array '" + name + "' needs at least one extent");
+    expect_punct(";");
+    declared_[name] = extents;
+    order_.push_back(name);
+  }
+
+  void parse_loop() {
+    std::string var = take_name();
+    for (const auto& [v, idx] : vars_) {
+      (void)idx;
+      if (v == var) fail("loop variable '" + var + "' reused");
+    }
+    expect_punct("=");
+    Int lo = take_int();
+    expect_ident("to");
+    Int hi = take_int();
+    if (hi < lo) fail("empty loop range for '" + var + "'");
+    Int step = 1;
+    if (at_ident("step")) {
+      lex_.take();
+      step = take_int();
+      if (step < 1) fail("loop step must be >= 1 for '" + var + "'");
+    }
+    vars_.emplace_back(var, vars_.size());
+    ranges_.push_back(Range{lo, hi});
+    steps_.push_back(step);
+
+    if (at_ident("for")) {
+      lex_.take();
+      parse_loop();
+    } else if (at_punct("{")) {
+      lex_.take();
+      while (!at_punct("}")) parse_statement();
+      lex_.take();
+    } else {
+      parse_statement();
+    }
+  }
+
+  void parse_statement() {
+    ParsedStatement stmt;
+    if (at_ident("use")) {
+      lex_.take();
+      parse_rhs(stmt);
+    } else {
+      ParsedRef lhs = parse_ref();
+      lhs.is_write = true;
+      stmt.refs.push_back(std::move(lhs));
+      expect_punct("=");
+      parse_rhs(stmt);
+    }
+    expect_punct(";");
+    statements_.push_back(std::move(stmt));
+  }
+
+  void parse_rhs(ParsedStatement& stmt) {
+    // A bare integer rhs ("A[i] = 0;") means no reads.
+    if (lex_.peek().kind == Tok::kInt) {
+      lex_.take();
+      return;
+    }
+    stmt.refs.push_back(parse_ref());
+    while (at_punct("+") || at_punct("-")) {
+      lex_.take();
+      stmt.refs.push_back(parse_ref());
+    }
+  }
+
+  ParsedRef parse_ref() {
+    ParsedRef ref;
+    ref.line = lex_.peek().line;
+    ref.column = lex_.peek().column;
+    ref.name = take_name();
+    if (!at_punct("[")) fail("reference '" + ref.name + "' needs subscripts");
+    while (at_punct("[")) {
+      lex_.take();
+      ref.subscripts.push_back(parse_affine());
+      expect_punct("]");
+    }
+    return ref;
+  }
+
+  // affine := ['-'] term (('+' | '-') term)*
+  AffineExpr parse_affine() {
+    const size_t n = vars_.size();
+    AffineExpr expr(n);
+    Int sign = 1;
+    if (at_punct("-")) {
+      lex_.take();
+      sign = -1;
+    }
+    expr = expr + parse_term(sign);
+    while (at_punct("+") || at_punct("-")) {
+      sign = at_punct("+") ? 1 : -1;
+      lex_.take();
+      expr = expr + parse_term(sign);
+    }
+    return expr;
+  }
+
+  // term := INT ['*' IDENT] | IDENT
+  AffineExpr parse_term(Int sign) {
+    const size_t n = vars_.size();
+    if (lex_.peek().kind == Tok::kInt) {
+      Int coef = checked_mul(sign, lex_.take().value);
+      if (at_punct("*")) {
+        lex_.take();
+        size_t var = take_var();
+        AffineExpr e(n);
+        e.set_coeff(var, coef);
+        return e;
+      }
+      return AffineExpr::constant_expr(n, coef);
+    }
+    if (lex_.peek().kind == Tok::kIdent) {
+      size_t var = take_var();
+      AffineExpr e(n);
+      e.set_coeff(var, sign);
+      return e;
+    }
+    fail("expected subscript term, got '" + lex_.peek().text + "'");
+  }
+
+  size_t take_var() {
+    Token t = lex_.take();
+    for (const auto& [v, idx] : vars_) {
+      if (v == t.text) return idx;
+    }
+    throw ParseError("unknown loop variable '" + t.text + "'", t.line, t.column);
+  }
+
+  LoopNest build() {
+    NestBuilder b;
+    for (size_t k = 0; k < vars_.size(); ++k) {
+      if (steps_[k] == 1) {
+        b.loop(vars_[k].first, ranges_[k].lo, ranges_[k].hi);
+      } else {
+        b.loop_strided(vars_[k].first, ranges_[k].lo, ranges_[k].hi, steps_[k]);
+      }
+    }
+    // Collect per-array dimensionality and (for undeclared arrays) the
+    // subscript ranges so extents can be inferred.
+    std::map<std::string, size_t> dims;
+    std::map<std::string, Int> max_reach;
+    for (const auto& stmt : statements_) {
+      for (const auto& ref : stmt.refs) {
+        auto [it, inserted] = dims.emplace(ref.name, ref.subscripts.size());
+        if (!inserted && it->second != ref.subscripts.size()) {
+          throw ParseError("array '" + ref.name + "' used with inconsistent rank",
+                           ref.line, ref.column);
+        }
+        const std::vector<Int>* decl = nullptr;
+        if (auto it = declared_.find(ref.name); it != declared_.end()) {
+          decl = &it->second;
+        } else if (auto git = global_declared_.find(ref.name);
+                   git != global_declared_.end()) {
+          decl = &git->second;
+        }
+        if (decl != nullptr) {
+          if (decl->size() != ref.subscripts.size()) {
+            throw ParseError("array '" + ref.name + "' declared with different rank",
+                             ref.line, ref.column);
+          }
+        } else {
+          // Track the largest subscript magnitude for extent inference.
+          for (const auto& s : ref.subscripts) {
+            Int lo = s.constant(), hi = s.constant();
+            for (size_t k = 0; k < vars_.size(); ++k) {
+              Int a = s.coeff(k);
+              if (a >= 0) {
+                lo += a * ranges_[k].lo;
+                hi += a * ranges_[k].hi;
+              } else {
+                lo += a * ranges_[k].hi;
+                hi += a * ranges_[k].lo;
+              }
+            }
+            Int reach = std::max(checked_abs(lo), checked_abs(hi)) + 1;
+            auto [mit, minserted] = max_reach.emplace(ref.name, reach);
+            if (!minserted) mit->second = std::max(mit->second, reach);
+          }
+        }
+      }
+    }
+    std::map<std::string, ArrayId> ids;
+    for (const auto& name : order_) {
+      ids[name] = b.array(name, declared_[name]);
+    }
+    // Globally declared arrays that this phase references.
+    for (const auto& name : global_order_) {
+      if (ids.count(name) || !dims.count(name)) continue;
+      ids[name] = b.array(name, global_declared_[name]);
+    }
+    for (const auto& [name, rank] : dims) {
+      if (ids.count(name)) continue;
+      std::vector<Int> extents(rank, std::max<Int>(max_reach[name], 1));
+      ids[name] = b.array(name, extents);
+    }
+
+    for (const auto& stmt : statements_) {
+      StatementBuilder sb = b.statement();
+      for (const auto& ref : stmt.refs) {
+        IntMat access(ref.subscripts.size(), vars_.size());
+        IntVec offset(ref.subscripts.size());
+        for (size_t d = 0; d < ref.subscripts.size(); ++d) {
+          for (size_t k = 0; k < vars_.size(); ++k) {
+            access(d, k) = ref.subscripts[d].coeff(k);
+          }
+          offset[d] = ref.subscripts[d].constant();
+        }
+        if (ref.is_write) {
+          sb.write(ids.at(ref.name), access, offset);
+        } else {
+          sb.read(ids.at(ref.name), access, offset);
+        }
+      }
+    }
+    return b.build();
+  }
+
+  void reset_phase_state() {
+    vars_.clear();
+    ranges_.clear();
+    steps_.clear();
+    declared_.clear();
+    order_.clear();
+    statements_.clear();
+  }
+
+  Lexer lex_;
+  std::vector<std::pair<std::string, size_t>> vars_;
+  std::vector<Range> ranges_;
+  std::vector<Int> steps_;
+  std::map<std::string, std::vector<Int>> declared_;
+  std::vector<std::string> order_;  // declaration order
+  std::map<std::string, std::vector<Int>> global_declared_;
+  std::vector<std::string> global_order_;
+  std::vector<ParsedStatement> statements_;
+};
+
+}  // namespace
+
+LoopNest parse_nest(const std::string& source) { return Parser(source).parse(); }
+
+Program parse_program(const std::string& source) {
+  return Parser(source).parse_program();
+}
+
+std::string to_dsl(const LoopNest& nest) {
+  std::ostringstream os;
+  for (const auto& a : nest.arrays()) {
+    os << "array " << a.name;
+    for (Int e : a.extents) os << '[' << e << ']';
+    os << ";\n";
+  }
+  const auto& box = nest.bounds();
+  for (size_t k = 0; k < nest.depth(); ++k) {
+    os << std::string(2 * k, ' ') << "for " << nest.loop_vars()[k] << " = "
+       << box.range(k).lo << " to " << box.range(k).hi << '\n';
+  }
+  std::string indent(2 * nest.depth(), ' ');
+  os << indent << "{\n";
+  for (const auto& stmt : nest.statements()) {
+    // DSL statements carry at most one write; split extra writes off into
+    // their own statements (reference-set semantics are unchanged).
+    std::vector<const ArrayRef*> writes, reads;
+    for (const auto& r : stmt.refs) {
+      (r.is_write() ? writes : reads).push_back(&r);
+    }
+    auto ref_str = [&](const ArrayRef& r) {
+      std::ostringstream rs;
+      rs << nest.array(r.array).name;
+      for (size_t d = 0; d < r.access.rows(); ++d) {
+        AffineExpr e(r.access.row(d), r.offset[d]);
+        rs << '[' << e.str(nest.loop_vars()) << ']';
+      }
+      return rs.str();
+    };
+    auto emit_reads = [&](std::ostream& o) {
+      for (size_t i = 0; i < reads.size(); ++i) {
+        if (i) o << " + ";
+        o << ref_str(*reads[i]);
+      }
+    };
+    if (writes.empty()) {
+      os << indent << "  use ";
+      emit_reads(os);
+      os << ";\n";
+    } else {
+      os << indent << "  " << ref_str(*writes[0]) << " = ";
+      if (reads.empty()) {
+        os << "0";  // write with no reads
+      } else {
+        emit_reads(os);
+      }
+      os << ";\n";
+      for (size_t w = 1; w < writes.size(); ++w) {
+        os << indent << "  " << ref_str(*writes[w]) << " = 0;\n";
+      }
+    }
+  }
+  os << indent << "}\n";
+  return os.str();
+}
+
+}  // namespace lmre

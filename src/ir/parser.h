@@ -1,0 +1,70 @@
+#pragma once
+
+// A small textual front end for loop nests.
+//
+// Grammar (whitespace-insensitive, '#' starts a line comment):
+//
+//   program    := array_decl* (loop | phase+)
+//   phase      := 'phase' IDENT '{' array_decl* loop '}' 
+//   array_decl := 'array' IDENT ('[' INT ']')+ ';'
+//   loop       := 'for' IDENT '=' INT 'to' INT ['step' INT] (loop | body)
+//   body       := '{' stmt+ '}' | stmt
+//   stmt       := ref '=' rhs ';'            (write then reads)
+//               | 'use' rhs ';'              (reads only)
+//   rhs        := INT | ref (('+' | '-') ref)*   (INT: no reads)
+//   ref        := IDENT ('[' affine ']')+
+//   affine     := ['-'] term (('+' | '-') term)*
+//   term       := INT ['*' IDENT] | IDENT
+//
+// Subscripts must be affine in the loop indices; arrays not declared get
+// extents inferred from their subscript ranges.  Example (paper Example 2):
+//
+//   for i = 1 to 10
+//     for j = 1 to 10
+//       A[i][j] = A[i-1][j+2];
+//
+// Errors carry 1-based line/column positions.
+
+#include <string>
+
+#include "ir/nest.h"
+#include "program/program.h"
+#include "support/error.h"
+
+namespace lmre {
+
+/// Parses the DSL into a validated LoopNest.  Throws ParseError on any
+/// syntactic or semantic problem (unknown identifier, non-affine subscript,
+/// inconsistent dimensionality, ...).
+LoopNest parse_nest(const std::string& source);
+
+/// Multi-phase form: top-level array declarations are shared by all phases;
+/// each phase is a named nest.  A source without any 'phase' keyword parses
+/// as a single-phase program named "main".
+///
+///   array A[64];
+///   phase produce {
+///     for i = 1 to 64
+///       A[i] = 0;
+///   }
+///   phase consume {
+///     for i = 1 to 64
+///       B[i] = A[i];
+///   }
+Program parse_program(const std::string& source);
+
+/// Renders a nest back into the DSL (parse(to_dsl(n)) is semantically n).
+std::string to_dsl(const LoopNest& nest);
+
+/// Error with source position information.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_, column_;
+};
+
+}  // namespace lmre

@@ -1,0 +1,47 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "polyhedra/affine.h"
+#include "support/text.h"
+
+namespace lmre {
+
+std::string print_ref(const LoopNest& nest, const ArrayRef& ref) {
+  std::ostringstream os;
+  os << nest.array(ref.array).name;
+  for (size_t d = 0; d < ref.access.rows(); ++d) {
+    AffineExpr e(ref.access.row(d), ref.offset[d]);
+    os << '[' << e.str(nest.loop_vars()) << ']';
+  }
+  return os.str();
+}
+
+std::string print_nest(const LoopNest& nest) {
+  std::ostringstream os;
+  const auto& box = nest.bounds();
+  for (size_t k = 0; k < nest.depth(); ++k) {
+    os << repeat("  ", static_cast<int>(k)) << "for (" << nest.loop_vars()[k] << " = "
+       << box.range(k).lo << "; " << nest.loop_vars()[k] << " <= " << box.range(k).hi
+       << "; ++" << nest.loop_vars()[k] << ")\n";
+  }
+  std::string indent = repeat("  ", static_cast<int>(nest.depth()));
+  for (const auto& stmt : nest.statements()) {
+    os << indent;
+    bool wrote_lhs = false;
+    std::vector<std::string> reads;
+    for (const auto& ref : stmt.refs) {
+      if (ref.is_write() && !wrote_lhs) {
+        os << print_ref(nest, ref) << " = ";
+        wrote_lhs = true;
+      } else {
+        reads.push_back(print_ref(nest, ref));
+      }
+    }
+    if (!wrote_lhs) os << "use ";
+    os << (reads.empty() ? std::string("...") : join(reads, " + ")) << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace lmre

@@ -1,0 +1,21 @@
+#pragma once
+
+// C-like pretty printing of loop nests (for reports and debugging).
+
+#include <string>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+/// Renders the nest as pseudo-C:
+///   for (i = 1; i <= 10; ++i)
+///     for (j = 1; j <= 10; ++j) {
+///       A[i][j] = ... A[i-1][j+2] ...;
+///     }
+std::string print_nest(const LoopNest& nest);
+
+/// Renders one reference like "A[i-1][j+2]" using the nest's loop vars.
+std::string print_ref(const LoopNest& nest, const ArrayRef& ref);
+
+}  // namespace lmre

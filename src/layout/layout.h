@@ -1,0 +1,67 @@
+#pragma once
+
+// Memory layouts of arrays: mapping d-dimensional indices to linear
+// addresses.
+//
+// The paper closes with "work is in progress to extend our techniques to
+// include the effects of memory layouts of arrays"; this module supplies
+// that extension.  A LayoutSpec fixes a storage order (row-major,
+// column-major, or blocked) over a rectangular index region; the spatial
+// analysis in spatial.h then measures windows in units of memory lines.
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+enum class LayoutKind { kRowMajor, kColMajor, kBlocked };
+
+std::string to_string(LayoutKind k);
+
+/// Storage mapping for one array: the index region it covers (origin +
+/// extents per dimension) and the traversal order.
+class LayoutSpec {
+ public:
+  /// Row-major (last dimension contiguous) over [origin, origin+extent).
+  static LayoutSpec row_major(IntVec origin, std::vector<Int> extents);
+
+  /// Column-major (first dimension contiguous).
+  static LayoutSpec col_major(IntVec origin, std::vector<Int> extents);
+
+  /// Blocked: the region is partitioned into blocks of the given edge
+  /// lengths, blocks stored row-major, elements inside a block row-major.
+  static LayoutSpec blocked(IntVec origin, std::vector<Int> extents,
+                            std::vector<Int> block);
+
+  /// Derives origin/extents from the index ranges the nest actually touches
+  /// for `array` (subscript interval arithmetic), so out-of-declaration
+  /// offsets (negative indices etc.) are covered.
+  static LayoutSpec fit(const LoopNest& nest, ArrayId array,
+                        LayoutKind kind = LayoutKind::kRowMajor,
+                        std::vector<Int> block = {});
+
+  LayoutKind kind() const { return kind_; }
+  const IntVec& origin() const { return origin_; }
+  const std::vector<Int>& extents() const { return extents_; }
+
+  /// Number of addressable cells in the region.
+  Int size() const;
+
+  /// Linear address of an index (throws InvalidArgument outside the region).
+  Int address(const IntVec& index) const;
+
+  std::string str() const;
+
+ private:
+  LayoutSpec(LayoutKind kind, IntVec origin, std::vector<Int> extents,
+             std::vector<Int> block);
+
+  LayoutKind kind_;
+  IntVec origin_;
+  std::vector<Int> extents_;
+  std::vector<Int> block_;  // used by kBlocked
+};
+
+}  // namespace lmre

@@ -1,0 +1,111 @@
+#include "layout/spatial.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "exact/oracle.h"
+#include "support/error.h"
+
+namespace lmre {
+
+SpatialStats simulate_lines(const LoopNest& nest,
+                            const std::map<ArrayId, LayoutSpec>& layouts,
+                            Int line_size, const IntMat* transform) {
+  require(line_size >= 1, "simulate_lines: line size must be >= 1");
+  struct FirstLast {
+    Int first, last;
+  };
+  // Key: array id * 2^40 + line index would overflow composability; use a
+  // pair-keyed hash map instead.
+  struct Key {
+    ArrayId array;
+    Int line;
+    bool operator==(const Key& o) const { return array == o.array && line == o.line; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<size_t>()(k.array) * 1000003u ^ std::hash<Int>()(k.line);
+    }
+  };
+  std::unordered_map<Key, FirstLast, KeyHash> touch;
+
+  Int iterations = 0;
+  visit_iterations(nest, transform, [&](Int ordinal, const IntVec& iter) {
+    iterations = ordinal + 1;
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        const LayoutSpec& layout = layouts.at(ref.array);
+        Int addr = layout.address(ref.index_at(iter));
+        Key key{ref.array, floor_div(addr, line_size)};
+        auto [it, inserted] = touch.try_emplace(key, FirstLast{ordinal, ordinal});
+        if (!inserted) it->second.last = ordinal;
+      }
+    }
+  });
+
+  SpatialStats stats;
+  stats.line_size = line_size;
+  stats.distinct_lines = static_cast<Int>(touch.size());
+  const size_t horizon = static_cast<size_t>(iterations) + 1;
+  std::vector<Int> delta_total(horizon, 0);
+  std::map<ArrayId, std::vector<Int>> delta;
+  for (const auto& [key, fl] : touch) {
+    if (fl.first == fl.last) continue;
+    auto& d = delta[key.array];
+    if (d.empty()) d.assign(horizon, 0);
+    d[static_cast<size_t>(fl.first)] += 1;
+    d[static_cast<size_t>(fl.last)] -= 1;
+    delta_total[static_cast<size_t>(fl.first)] += 1;
+    delta_total[static_cast<size_t>(fl.last)] -= 1;
+  }
+  for (auto& [array, d] : delta) {
+    Int cur = 0, best = 0;
+    for (Int v : d) {
+      cur += v;
+      best = std::max(best, cur);
+    }
+    stats.mws_lines_per_array[array] = best;
+  }
+  Int cur = 0;
+  for (Int v : delta_total) {
+    cur += v;
+    stats.mws_lines = std::max(stats.mws_lines, cur);
+  }
+  return stats;
+}
+
+std::map<ArrayId, LayoutSpec> default_layouts(const LoopNest& nest) {
+  std::map<ArrayId, LayoutSpec> layouts;
+  for (ArrayId id = 0; id < nest.arrays().size(); ++id) {
+    if (nest.refs_to(id).empty()) continue;
+    layouts.emplace(id, LayoutSpec::fit(nest, id, LayoutKind::kRowMajor));
+  }
+  return layouts;
+}
+
+LayoutChoice choose_layouts(const LoopNest& nest, Int line_size,
+                            const IntMat* transform) {
+  std::vector<ArrayId> arrays;
+  for (ArrayId id = 0; id < nest.arrays().size(); ++id) {
+    if (!nest.refs_to(id).empty()) arrays.push_back(id);
+  }
+  require(arrays.size() <= 16, "choose_layouts: too many arrays for exhaustion");
+
+  std::optional<LayoutChoice> best;
+  for (unsigned mask = 0; mask < (1u << arrays.size()); ++mask) {
+    std::map<ArrayId, LayoutSpec> layouts;
+    for (size_t a = 0; a < arrays.size(); ++a) {
+      LayoutKind kind =
+          (mask >> a) & 1 ? LayoutKind::kColMajor : LayoutKind::kRowMajor;
+      layouts.emplace(arrays[a], LayoutSpec::fit(nest, arrays[a], kind));
+    }
+    SpatialStats stats = simulate_lines(nest, layouts, line_size, transform);
+    if (!best || stats.mws_lines < best->stats.mws_lines) {
+      best = LayoutChoice{std::move(layouts), stats};
+    }
+  }
+  ensure(best.has_value(), "choose_layouts examined no combination");
+  return *best;
+}
+
+}  // namespace lmre

@@ -1,0 +1,50 @@
+#pragma once
+
+// Spatial (memory-line granularity) window analysis.
+//
+// With arrays laid out in linear memory and data moved in lines of L cells,
+// the quantity that sizes buffers and DMA transfers is the peak number of
+// *lines* live at once, not elements.  This measures exactly that: the
+// element-level trace is re-keyed to (array, address / L) under a chosen
+// LayoutSpec per array, and the same first/last-touch sweep yields the
+// line-window.  Layout choice (row- vs column-major vs blocked) changes the
+// answer; choose_layouts searches the per-array layout combination that
+// minimizes it.
+
+#include <map>
+#include <vector>
+
+#include "ir/nest.h"
+#include "layout/layout.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct SpatialStats {
+  Int line_size = 1;
+  Int distinct_lines = 0;  ///< lines ever touched
+  Int mws_lines = 0;       ///< peak simultaneously-live lines
+  std::map<ArrayId, Int> mws_lines_per_array;
+};
+
+/// Measures line-granularity windows for the nest under the given layouts
+/// (one LayoutSpec per referenced array) and execution order (`transform`
+/// nullptr = original).
+SpatialStats simulate_lines(const LoopNest& nest,
+                            const std::map<ArrayId, LayoutSpec>& layouts,
+                            Int line_size, const IntMat* transform = nullptr);
+
+/// Fitted row-major layouts for every referenced array (the baseline).
+std::map<ArrayId, LayoutSpec> default_layouts(const LoopNest& nest);
+
+struct LayoutChoice {
+  std::map<ArrayId, LayoutSpec> layouts;
+  SpatialStats stats;
+};
+
+/// Exhaustively tries row-/column-major per referenced array (2^arrays
+/// combinations) and returns the combination minimizing the line-window.
+LayoutChoice choose_layouts(const LoopNest& nest, Int line_size,
+                            const IntMat* transform = nullptr);
+
+}  // namespace lmre

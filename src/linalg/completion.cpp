@@ -1,0 +1,42 @@
+#include "linalg/completion.h"
+
+#include "linalg/normal_form.h"
+#include "support/error.h"
+
+namespace lmre {
+
+IntMat complete_row_to_unimodular(const IntVec& row) {
+  require(!row.is_zero(), "complete_row_to_unimodular: zero row");
+  require(row.content() == 1, "complete_row_to_unimodular: row is not primitive");
+  std::optional<IntMat> m = complete_rows_to_unimodular(IntMat::from_rows({row}));
+  ensure(m.has_value(), "primitive row must be completable");
+  return *m;
+}
+
+std::optional<IntMat> complete_rows_to_unimodular(const IntMat& rows) {
+  const size_t k = rows.rows(), n = rows.cols();
+  require(k >= 1 && k <= n, "complete_rows_to_unimodular: need 1..n rows");
+
+  // U R V == [D 0] with D diagonal.  Extendability <=> D == I_k.  Then with
+  // W := V^-1,  R == U^-1 [I 0] W == U^-1 * (first k rows of W), so
+  //   M := blockdiag(U^-1, I_{n-k}) * W
+  // is unimodular with first k rows equal to R.
+  SnfResult snf = smith_normal_form(rows);
+  for (size_t i = 0; i < k; ++i) {
+    if (snf.d(i, i) != 1) return std::nullopt;
+  }
+  IntMat u_inv = snf.u.inverse_unimodular();
+  IntMat w = snf.v.inverse_unimodular();
+  IntMat block = IntMat::identity(n);
+  for (size_t r = 0; r < k; ++r)
+    for (size_t c = 0; c < k; ++c) block(r, c) = u_inv(r, c);
+  IntMat m = block * w;
+  ensure(m.is_unimodular(), "completion produced non-unimodular matrix");
+  for (size_t r = 0; r < k; ++r) {
+    for (size_t c = 0; c < n; ++c)
+      ensure(m(r, c) == rows(r, c), "completion changed a given row");
+  }
+  return m;
+}
+
+}  // namespace lmre

@@ -1,0 +1,28 @@
+#pragma once
+
+// Completion of partial (row) transformations to unimodular matrices.
+//
+// The MWS minimizer (Section 4.2) picks the first row (a, b) of the
+// transformation; this module supplies legal rows below it.  The
+// access-matrix embedding of Section 4.3 needs the same operation for a
+// block of rows (the data reference matrix becomes the first rows of T).
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// Completes a primitive vector (content 1) of length n to an n x n
+/// unimodular matrix whose FIRST row is that vector.
+/// Throws InvalidArgument when the vector is zero or not primitive.
+IntMat complete_row_to_unimodular(const IntVec& row);
+
+/// Completes k given rows (k <= n) to an n x n unimodular matrix whose first
+/// k rows are exactly the given ones.  Possible iff the rows generate a
+/// primitive lattice (all Smith invariant factors are 1); returns nullopt
+/// otherwise.
+std::optional<IntMat> complete_rows_to_unimodular(const IntMat& rows);
+
+}  // namespace lmre

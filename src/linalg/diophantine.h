@@ -1,0 +1,30 @@
+#pragma once
+
+// Linear Diophantine systems A x == b over the integers.
+//
+// Dependence testing between two uniformly generated references reduces to
+// exactly this: the set of distance vectors is a particular solution plus
+// the kernel lattice of the access matrix.
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// Full solution set of A x == b over Z: x = particular + sum k_i * kernel[i].
+struct DiophantineSolution {
+  IntVec particular;           ///< one integer solution
+  std::vector<IntVec> kernel;  ///< lattice basis of the homogeneous solutions
+};
+
+/// Solves A x == b over the integers via the Smith normal form.
+/// Returns nullopt when no integer solution exists.
+std::optional<DiophantineSolution> solve_diophantine(const IntMat& a, const IntVec& b);
+
+/// Solves the two-variable equation a*x + b*y == c.  Returns nullopt when
+/// gcd(a,b) does not divide c (and when a==b==0 with c!=0).
+std::optional<std::pair<Int, Int>> solve_linear2(Int a, Int b, Int c);
+
+}  // namespace lmre

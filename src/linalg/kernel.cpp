@@ -1,0 +1,27 @@
+#include "linalg/kernel.h"
+
+#include "linalg/normal_form.h"
+
+namespace lmre {
+
+std::vector<IntVec> integer_kernel_basis(const IntMat& a) {
+  // Column HNF: A * U == H.  Columns of U aligned with zero columns of H
+  // form a basis of the integer kernel (U unimodular makes it a lattice
+  // basis, not just a rational one).
+  HnfResult hnf = column_hermite(a);
+  std::vector<IntVec> basis;
+  for (size_t c = 0; c < hnf.h.cols(); ++c) {
+    if (hnf.h.col(c).is_zero()) basis.push_back(hnf.u.col(c));
+  }
+  return basis;
+}
+
+std::optional<IntVec> reuse_direction(const IntMat& access) {
+  std::vector<IntVec> basis = integer_kernel_basis(access);
+  if (basis.size() != 1) return std::nullopt;
+  IntVec v = basis.front().primitive();
+  if (!v.lex_positive()) v = -v;
+  return v;
+}
+
+}  // namespace lmre

@@ -1,0 +1,26 @@
+#pragma once
+
+// Integer kernel (null space) computation.
+//
+// The reuse direction of a reference whose array dimension is smaller than
+// the nest depth is the integer kernel of its access matrix (Section 3.2 of
+// the paper); these helpers compute a lattice basis for that kernel.
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// Basis of the lattice { x in Z^n : A x == 0 }.  The returned vectors are
+/// primitive directions spanning the kernel; empty when the kernel is {0}.
+std::vector<IntVec> integer_kernel_basis(const IntMat& a);
+
+/// The paper's "reuse vector" for a single reference: defined when the
+/// kernel is one-dimensional.  Normalized so the first nonzero entry is
+/// positive and entries have gcd 1 (e.g. access row (2,5) -> (5,-2)).
+/// Returns nullopt when the kernel dimension is not exactly one.
+std::optional<IntVec> reuse_direction(const IntMat& access);
+
+}  // namespace lmre

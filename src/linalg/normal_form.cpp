@@ -1,0 +1,191 @@
+#include "linalg/normal_form.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace lmre {
+
+namespace {
+
+// Column operations applied in lockstep to the work matrix and the
+// accumulated unimodular transform.
+struct ColOps {
+  IntMat* a;
+  IntMat* u;
+
+  void swap_cols(size_t c1, size_t c2) {
+    if (c1 == c2) return;
+    for (size_t r = 0; r < a->rows(); ++r) std::swap((*a)(r, c1), (*a)(r, c2));
+    for (size_t r = 0; r < u->rows(); ++r) std::swap((*u)(r, c1), (*u)(r, c2));
+  }
+
+  void negate_col(size_t c) {
+    for (size_t r = 0; r < a->rows(); ++r) (*a)(r, c) = checked_neg((*a)(r, c));
+    for (size_t r = 0; r < u->rows(); ++r) (*u)(r, c) = checked_neg((*u)(r, c));
+  }
+
+  // col[dst] += k * col[src]
+  void add_col(size_t dst, size_t src, Int k) {
+    if (k == 0) return;
+    for (size_t r = 0; r < a->rows(); ++r)
+      (*a)(r, dst) = checked_add((*a)(r, dst), checked_mul(k, (*a)(r, src)));
+    for (size_t r = 0; r < u->rows(); ++r)
+      (*u)(r, dst) = checked_add((*u)(r, dst), checked_mul(k, (*u)(r, src)));
+  }
+};
+
+// Row operations applied in lockstep to the work matrix and the accumulated
+// left unimodular transform.
+struct RowOps {
+  IntMat* a;
+  IntMat* u;
+
+  void swap_rows(size_t r1, size_t r2) {
+    if (r1 == r2) return;
+    for (size_t c = 0; c < a->cols(); ++c) std::swap((*a)(r1, c), (*a)(r2, c));
+    for (size_t c = 0; c < u->cols(); ++c) std::swap((*u)(r1, c), (*u)(r2, c));
+  }
+
+  void negate_row(size_t r) {
+    for (size_t c = 0; c < a->cols(); ++c) (*a)(r, c) = checked_neg((*a)(r, c));
+    for (size_t c = 0; c < u->cols(); ++c) (*u)(r, c) = checked_neg((*u)(r, c));
+  }
+
+  // row[dst] += k * row[src]
+  void add_row(size_t dst, size_t src, Int k) {
+    if (k == 0) return;
+    for (size_t c = 0; c < a->cols(); ++c)
+      (*a)(dst, c) = checked_add((*a)(dst, c), checked_mul(k, (*a)(src, c)));
+    for (size_t c = 0; c < u->cols(); ++c)
+      (*u)(dst, c) = checked_add((*u)(dst, c), checked_mul(k, (*u)(src, c)));
+  }
+};
+
+}  // namespace
+
+HnfResult column_hermite(const IntMat& a) {
+  HnfResult res{a, IntMat::identity(a.cols())};
+  ColOps ops{&res.h, &res.u};
+  const size_t m = res.h.rows(), n = res.h.cols();
+
+  size_t piv_col = 0;
+  for (size_t r = 0; r < m && piv_col < n; ++r) {
+    // Euclid over columns piv_col..n-1 restricted to row r until a single
+    // nonzero remains at piv_col.
+    for (;;) {
+      // Find the column with smallest nonzero |entry| in row r.
+      size_t best = n;
+      for (size_t c = piv_col; c < n; ++c) {
+        if (res.h(r, c) == 0) continue;
+        if (best == n || checked_abs(res.h(r, c)) < checked_abs(res.h(r, best))) best = c;
+      }
+      if (best == n) break;  // row r all zero in the active columns
+      ops.swap_cols(piv_col, best);
+      if (res.h(r, piv_col) < 0) ops.negate_col(piv_col);
+      bool cleared = true;
+      for (size_t c = piv_col + 1; c < n; ++c) {
+        if (res.h(r, c) == 0) continue;
+        Int q = floor_div(res.h(r, c), res.h(r, piv_col));
+        ops.add_col(c, piv_col, checked_neg(q));
+        if (res.h(r, c) != 0) cleared = false;
+      }
+      if (cleared) break;
+    }
+    if (res.h(r, piv_col) != 0) {
+      // Reduce the entries left of the pivot into [0, pivot).
+      for (size_t c = 0; c < piv_col; ++c) {
+        Int q = floor_div(res.h(r, c), res.h(r, piv_col));
+        ops.add_col(c, piv_col, checked_neg(q));
+      }
+      ++piv_col;
+    }
+  }
+  return res;
+}
+
+size_t SnfResult::rank() const {
+  size_t n = std::min(d.rows(), d.cols());
+  size_t r = 0;
+  while (r < n && d(r, r) != 0) ++r;
+  return r;
+}
+
+SnfResult smith_normal_form(const IntMat& a) {
+  SnfResult res{a, IntMat::identity(a.rows()), IntMat::identity(a.cols())};
+  RowOps rops{&res.d, &res.u};
+  ColOps cops{&res.d, &res.v};
+  const size_t m = res.d.rows(), n = res.d.cols();
+  const size_t k = std::min(m, n);
+
+  // Clears row p and column p outside the diagonal, leaving a positive
+  // pivot at (p, p) (or leaves the trailing block untouched when it is
+  // entirely zero).  Returns false in the all-zero case.
+  auto diagonalize_at = [&](size_t p) -> bool {
+    // Find the entry with smallest nonzero magnitude in the trailing block.
+    size_t pr = p, pc = p;
+    bool found = false;
+    for (size_t r = p; r < m; ++r) {
+      for (size_t c = p; c < n; ++c) {
+        if (res.d(r, c) == 0) continue;
+        if (!found || checked_abs(res.d(r, c)) < checked_abs(res.d(pr, pc))) {
+          pr = r;
+          pc = c;
+          found = true;
+        }
+      }
+    }
+    if (!found) return false;
+    rops.swap_rows(p, pr);
+    cops.swap_cols(p, pc);
+
+    // Eliminate row p and column p; restart while a division leaves residue.
+    for (;;) {
+      bool dirty = false;
+      for (size_t r = p + 1; r < m; ++r) {
+        if (res.d(r, p) == 0) continue;
+        Int q = floor_div(res.d(r, p), res.d(p, p));
+        rops.add_row(r, p, checked_neg(q));
+        if (res.d(r, p) != 0) {
+          rops.swap_rows(p, r);  // smaller remainder becomes the pivot
+          dirty = true;
+        }
+      }
+      for (size_t c = p + 1; c < n; ++c) {
+        if (res.d(p, c) == 0) continue;
+        Int q = floor_div(res.d(p, c), res.d(p, p));
+        cops.add_col(c, p, checked_neg(q));
+        if (res.d(p, c) != 0) {
+          cops.swap_cols(p, c);
+          dirty = true;
+        }
+      }
+      if (!dirty) break;
+    }
+    if (res.d(p, p) < 0) rops.negate_row(p);
+    return true;
+  };
+
+  for (size_t p = 0; p < k; ++p) {
+    if (!diagonalize_at(p)) break;
+  }
+
+  // Divisibility normalization: while some d_p does not divide d_{p+1},
+  // fold d_{p+1} into column p and re-diagonalize the pair.  Each fix
+  // replaces the pair by (gcd, lcm), so the process converges.
+  for (;;) {
+    bool fixed = false;
+    for (size_t p = 0; p + 1 < k; ++p) {
+      if (res.d(p, p) == 0 || res.d(p + 1, p + 1) == 0) continue;
+      if (res.d(p + 1, p + 1) % res.d(p, p) == 0) continue;
+      cops.add_col(p, p + 1, 1);
+      ensure(diagonalize_at(p), "divisibility fix lost the pivot");
+      ensure(diagonalize_at(p + 1), "divisibility fix lost the follower");
+      fixed = true;
+    }
+    if (!fixed) break;
+  }
+  return res;
+}
+
+}  // namespace lmre

@@ -1,0 +1,34 @@
+#pragma once
+
+// Integer matrix normal forms: column-style Hermite and Smith.
+//
+// These are the backbone of the dependence machinery: kernels of access
+// matrices (reuse vectors), solvability of linear Diophantine systems
+// (dependence distances), and completion of partial transformations to
+// unimodular matrices all reduce to them.
+
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// Column-style Hermite normal form: A * U == H with U unimodular and H in
+/// column echelon form (each row's pivot is the last nonzero in that row,
+/// pivots positive, entries left of a pivot reduced into [0, pivot)).
+struct HnfResult {
+  IntMat h;  ///< the Hermite form, same shape as A
+  IntMat u;  ///< unimodular column transform, cols(A) x cols(A)
+};
+HnfResult column_hermite(const IntMat& a);
+
+/// Smith normal form: U * A * V == D with U, V unimodular and D diagonal,
+/// d1 | d2 | ... | dr, remaining diagonal entries zero.
+struct SnfResult {
+  IntMat d;  ///< diagonal form, same shape as A
+  IntMat u;  ///< unimodular, rows(A) x rows(A)
+  IntMat v;  ///< unimodular, cols(A) x cols(A)
+  /// Number of nonzero diagonal entries (the rank of A).
+  size_t rank() const;
+};
+SnfResult smith_normal_form(const IntMat& a);
+
+}  // namespace lmre

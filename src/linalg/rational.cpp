@@ -1,0 +1,77 @@
+#include "linalg/rational.h"
+
+#include <ostream>
+
+#include "support/error.h"
+
+namespace lmre {
+
+Rational::Rational(Int n, Int d) : num_(n), den_(d) {
+  require(d != 0, "Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked_neg(num_);
+    den_ = checked_neg(den_);
+  }
+  Int g = gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Int Rational::floor() const { return floor_div(num_, den_); }
+Int Rational::ceil() const { return ceil_div(num_, den_); }
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_neg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d); keeps factors small.
+  Int l = lcm(den_, o.den_);
+  Int n = checked_add(checked_mul(num_, l / den_), checked_mul(o.num_, l / o.den_));
+  return Rational(n, l);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce before multiplying to dodge avoidable overflow.
+  Int g1 = gcd(num_, o.den_);
+  Int g2 = gcd(o.num_, den_);
+  Int n = checked_mul(num_ / g1, o.num_ / g2);
+  Int d = checked_mul(den_ / g2, o.den_ / g1);
+  return Rational(n, d);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  require(!o.is_zero(), "Rational division by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Compare via 128-bit cross product; denominators are positive.
+  __int128 lhs = static_cast<__int128>(num_) * o.den_;
+  __int128 rhs = static_cast<__int128>(o.num_) * den_;
+  return lhs < rhs;
+}
+
+std::string Rational::str() const {
+  if (is_integer()) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.str(); }
+
+Rational rat_min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+Rational rat_max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+
+}  // namespace lmre

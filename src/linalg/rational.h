@@ -1,0 +1,79 @@
+#pragma once
+
+// Exact rational arithmetic over 64-bit integers.
+//
+// Used wherever the analysis needs exact non-integer values: Fourier-Motzkin
+// bounds, the rational maxspan in the paper's eq. (2), matrix inverses.
+// All operations normalize (gcd-reduced, positive denominator) and go through
+// overflow-checked multiplication.
+
+#include <iosfwd>
+#include <string>
+
+#include "support/checked.h"
+
+namespace lmre {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// The integer `n`.
+  Rational(Int n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// n/d, normalized; d must be nonzero.
+  Rational(Int n, Int d);
+
+  Int num() const { return num_; }
+  Int den() const { return den_; }
+
+  bool is_integer() const { return den_ == 1; }
+  bool is_zero() const { return num_ == 0; }
+
+  /// Largest integer <= this.
+  Int floor() const;
+  /// Smallest integer >= this.
+  Int ceil() const;
+  /// Truncation toward zero.
+  Int trunc() const { return num_ / den_; }
+  /// Closest double (for reporting only; analysis never rounds).
+  double to_double() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const { return num_ == o.num_ && den_ == o.den_; }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  Rational abs() const { return num_ < 0 ? -*this : *this; }
+
+  /// "n" when integral, otherwise "n/d".
+  std::string str() const;
+
+ private:
+  Int num_;
+  Int den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+  void normalize();
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// min/max helpers (std::min needs identical value categories; these are
+/// friendlier at call sites mixing Int and Rational).
+Rational rat_min(const Rational& a, const Rational& b);
+Rational rat_max(const Rational& a, const Rational& b);
+
+}  // namespace lmre

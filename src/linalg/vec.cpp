@@ -1,0 +1,105 @@
+#include "linalg/vec.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace lmre {
+
+Int IntVec::at(size_t i) const {
+  require(i < v_.size(), "IntVec index out of range");
+  return v_[i];
+}
+
+IntVec IntVec::operator+(const IntVec& o) const {
+  require(size() == o.size(), "IntVec size mismatch in +");
+  IntVec r(size());
+  for (size_t i = 0; i < size(); ++i) r.v_[i] = checked_add(v_[i], o.v_[i]);
+  return r;
+}
+
+IntVec IntVec::operator-(const IntVec& o) const {
+  require(size() == o.size(), "IntVec size mismatch in -");
+  IntVec r(size());
+  for (size_t i = 0; i < size(); ++i) r.v_[i] = checked_sub(v_[i], o.v_[i]);
+  return r;
+}
+
+IntVec IntVec::operator-() const {
+  IntVec r(size());
+  for (size_t i = 0; i < size(); ++i) r.v_[i] = checked_neg(v_[i]);
+  return r;
+}
+
+IntVec IntVec::operator*(Int s) const {
+  IntVec r(size());
+  for (size_t i = 0; i < size(); ++i) r.v_[i] = checked_mul(v_[i], s);
+  return r;
+}
+
+Int IntVec::dot(const IntVec& o) const {
+  require(size() == o.size(), "IntVec size mismatch in dot");
+  Int acc = 0;
+  for (size_t i = 0; i < size(); ++i) acc = checked_add(acc, checked_mul(v_[i], o.v_[i]));
+  return acc;
+}
+
+bool IntVec::is_zero() const {
+  for (Int x : v_)
+    if (x != 0) return false;
+  return true;
+}
+
+size_t IntVec::first_nonzero() const {
+  for (size_t i = 0; i < v_.size(); ++i)
+    if (v_[i] != 0) return i;
+  return v_.size();
+}
+
+int IntVec::level() const {
+  size_t i = first_nonzero();
+  return i == v_.size() ? 0 : static_cast<int>(i) + 1;
+}
+
+bool IntVec::lex_positive() const {
+  size_t i = first_nonzero();
+  return i < v_.size() && v_[i] > 0;
+}
+
+bool IntVec::lex_less(const IntVec& o) const {
+  require(size() == o.size(), "IntVec size mismatch in lex_less");
+  for (size_t i = 0; i < size(); ++i) {
+    if (v_[i] != o.v_[i]) return v_[i] < o.v_[i];
+  }
+  return false;
+}
+
+Int IntVec::content() const {
+  Int g = 0;
+  for (Int x : v_) g = gcd(g, x);
+  return g;
+}
+
+IntVec IntVec::primitive() const {
+  Int g = content();
+  if (g <= 1) return *this;
+  IntVec r(size());
+  for (size_t i = 0; i < size(); ++i) r.v_[i] = v_[i] / g;
+  return r;
+}
+
+std::string IntVec::str() const {
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < v_.size(); ++i) {
+    if (i) os << ", ";
+    os << v_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntVec& v) { return os << v.str(); }
+
+}  // namespace lmre

@@ -1,0 +1,86 @@
+#include "polyhedra/affine.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace lmre {
+
+AffineExpr AffineExpr::constant_expr(size_t dims, Int c) {
+  AffineExpr e(dims);
+  e.constant_ = c;
+  return e;
+}
+
+AffineExpr AffineExpr::variable(size_t dims, size_t i) {
+  require(i < dims, "AffineExpr::variable out of range");
+  AffineExpr e(dims);
+  e.coeffs_[i] = 1;
+  return e;
+}
+
+void AffineExpr::set_coeff(size_t i, Int v) {
+  require(i < coeffs_.size(), "AffineExpr::set_coeff out of range");
+  coeffs_[i] = v;
+}
+
+Int AffineExpr::eval(const IntVec& x) const {
+  return checked_add(coeffs_.dot(x), constant_);
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  return AffineExpr(coeffs_ + o.coeffs_, checked_add(constant_, o.constant_));
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return AffineExpr(coeffs_ - o.coeffs_, checked_sub(constant_, o.constant_));
+}
+
+AffineExpr AffineExpr::operator-() const {
+  return AffineExpr(-coeffs_, checked_neg(constant_));
+}
+
+AffineExpr AffineExpr::operator*(Int s) const {
+  return AffineExpr(coeffs_ * s, checked_mul(constant_, s));
+}
+
+AffineExpr AffineExpr::operator+(Int c) const {
+  return AffineExpr(coeffs_, checked_add(constant_, c));
+}
+
+AffineExpr AffineExpr::operator-(Int c) const {
+  return AffineExpr(coeffs_, checked_sub(constant_, c));
+}
+
+std::string AffineExpr::str(const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  bool wrote = false;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    Int a = coeffs_[i];
+    if (a == 0) continue;
+    std::string var = i < names.size() ? names[i] : "i" + std::to_string(i);
+    if (wrote) {
+      os << (a > 0 ? " + " : " - ");
+      a = checked_abs(a);
+    } else if (a < 0) {
+      os << '-';
+      a = checked_abs(a);
+    }
+    if (a != 1) os << a << '*';
+    os << var;
+    wrote = true;
+  }
+  if (constant_ != 0 || !wrote) {
+    if (wrote) {
+      os << (constant_ >= 0 ? " + " : " - ") << checked_abs(constant_);
+    } else {
+      os << constant_;
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AffineExpr& e) { return os << e.str(); }
+
+}  // namespace lmre

@@ -1,0 +1,67 @@
+#pragma once
+
+// Affine expressions over loop index variables.
+//
+// An AffineExpr is  coeffs . x + constant  for an iteration vector x.  It is
+// the common currency between subscripts, loop bounds and constraints.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace lmre {
+
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  /// Expression over `dims` variables, initially the zero expression.
+  explicit AffineExpr(size_t dims) : coeffs_(dims), constant_(0) {}
+
+  AffineExpr(IntVec coeffs, Int constant)
+      : coeffs_(std::move(coeffs)), constant_(constant) {}
+
+  /// The constant expression `c` over `dims` variables.
+  static AffineExpr constant_expr(size_t dims, Int c);
+
+  /// The expression `x_i` over `dims` variables.
+  static AffineExpr variable(size_t dims, size_t i);
+
+  size_t dims() const { return coeffs_.size(); }
+  const IntVec& coeffs() const { return coeffs_; }
+  Int coeff(size_t i) const { return coeffs_.at(i); }
+  Int constant() const { return constant_; }
+
+  void set_coeff(size_t i, Int v);
+  void set_constant(Int v) { constant_ = v; }
+
+  /// Evaluates at the integer point x (overflow-checked).
+  Int eval(const IntVec& x) const;
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr operator-() const;
+  AffineExpr operator*(Int s) const;
+  AffineExpr operator+(Int c) const;
+  AffineExpr operator-(Int c) const;
+
+  bool operator==(const AffineExpr& o) const {
+    return coeffs_ == o.coeffs_ && constant_ == o.constant_;
+  }
+
+  bool is_constant() const { return coeffs_.is_zero(); }
+
+  /// Renders like "2*i0 - 3*i1 + 5" with the given variable names (defaults
+  /// to i0, i1, ...).
+  std::string str(const std::vector<std::string>& names = {}) const;
+
+ private:
+  IntVec coeffs_;
+  Int constant_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const AffineExpr& e);
+
+}  // namespace lmre

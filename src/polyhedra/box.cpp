@@ -1,0 +1,55 @@
+#include "polyhedra/box.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace lmre {
+
+IntBox IntBox::from_upper_bounds(const std::vector<Int>& n) {
+  std::vector<Range> ranges;
+  ranges.reserve(n.size());
+  for (Int hi : n) ranges.push_back(Range{1, hi});
+  return IntBox(std::move(ranges));
+}
+
+const Range& IntBox::range(size_t i) const {
+  require(i < ranges_.size(), "IntBox::range out of range");
+  return ranges_[i];
+}
+
+Int IntBox::volume() const {
+  Int v = 1;
+  for (const auto& r : ranges_) v = checked_mul(v, r.trip_count());
+  return v;
+}
+
+bool IntBox::contains(const IntVec& p) const {
+  if (p.size() != ranges_.size()) return false;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (p[i] < ranges_[i].lo || p[i] > ranges_[i].hi) return false;
+  }
+  return true;
+}
+
+ConstraintSystem IntBox::to_constraints() const {
+  ConstraintSystem sys(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    sys.add_range(AffineExpr::variable(dims(), i), ranges_[i].lo, ranges_[i].hi);
+  }
+  return sys;
+}
+
+std::string IntBox::str() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i) os << " x ";
+    os << '[' << ranges_[i].lo << ',' << ranges_[i].hi << ']';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntBox& b) { return os << b.str(); }
+
+}  // namespace lmre

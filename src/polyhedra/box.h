@@ -1,0 +1,51 @@
+#pragma once
+
+// Rectangular integer boxes (the iteration spaces of untransformed,
+// constant-bound loop nests).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "polyhedra/constraint.h"
+
+namespace lmre {
+
+/// Per-dimension closed integer range [lo, hi].
+struct Range {
+  Int lo = 1;
+  Int hi = 1;
+
+  Int trip_count() const { return hi >= lo ? hi - lo + 1 : 0; }
+  bool operator==(const Range& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+class IntBox {
+ public:
+  IntBox() = default;
+  explicit IntBox(std::vector<Range> ranges) : ranges_(std::move(ranges)) {}
+
+  /// Box [1,N1] x [1,N2] x ... (the paper's canonical loop bounds).
+  static IntBox from_upper_bounds(const std::vector<Int>& n);
+
+  size_t dims() const { return ranges_.size(); }
+  const Range& range(size_t i) const;
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+  /// Total number of integer points (product of trip counts).
+  Int volume() const;
+
+  bool contains(const IntVec& p) const;
+
+  /// The box as a constraint system (lo <= x_i <= hi for each i).
+  ConstraintSystem to_constraints() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntBox& b);
+
+}  // namespace lmre

@@ -1,0 +1,127 @@
+#include "polyhedra/counting.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace lmre {
+
+namespace {
+
+struct ActiveDim {
+  Int coef;
+  Range range;
+};
+
+std::vector<ActiveDim> active_dims(const AffineForm1D& form, const IntBox& box) {
+  require(form.coeffs.size() == box.dims(), "counting: dimension mismatch");
+  std::vector<ActiveDim> dims;
+  for (size_t k = 0; k < box.dims(); ++k) {
+    if (form.coeffs[k] != 0) dims.push_back(ActiveDim{form.coeffs[k], box.range(k)});
+  }
+  return dims;
+}
+
+// t-interval for  lo <= base + step * t <= hi  (step != 0).
+bool t_interval(Int base, Int step, Int lo, Int hi, Int& tmin, Int& tmax) {
+  // lo - base <= step*t <= hi - base
+  Int a = checked_sub(lo, base), b = checked_sub(hi, base);
+  if (step > 0) {
+    tmin = ceil_div(a, step);
+    tmax = floor_div(b, step);
+  } else {
+    tmin = ceil_div(b, step);
+    tmax = floor_div(a, step);
+  }
+  return tmin <= tmax;
+}
+
+bool contains_rec(const std::vector<ActiveDim>& dims, size_t from, Int target) {
+  const size_t left = dims.size() - from;
+  if (left == 0) return target == 0;
+  if (left == 1) {
+    const auto& d = dims[from];
+    if (target % d.coef != 0) return false;
+    Int x = target / d.coef;
+    return x >= d.range.lo && x <= d.range.hi;
+  }
+  if (left == 2) {
+    // a*x + b*y == target with x, y boxed: one extended gcd + interval
+    // intersection over the kernel parameter.
+    const auto& dx = dims[from];
+    const auto& dy = dims[from + 1];
+    Int u, v;
+    Int g = extended_gcd(dx.coef, dy.coef, u, v);
+    if (target % g != 0) return false;
+    Int scale = target / g;
+    Int x0 = checked_mul(u, scale), y0 = checked_mul(v, scale);
+    Int step_x = dy.coef / g, step_y = checked_neg(dx.coef / g);
+    Int t1min, t1max, t2min, t2max;
+    if (!t_interval(x0, step_x, dx.range.lo, dx.range.hi, t1min, t1max)) return false;
+    if (!t_interval(y0, step_y, dy.range.lo, dy.range.hi, t2min, t2max)) return false;
+    return std::max(t1min, t2min) <= std::min(t1max, t2max);
+  }
+  // Deeper: enumerate the first active dimension.
+  const auto& d = dims[from];
+  for (Int x = d.range.lo; x <= d.range.hi; ++x) {
+    if (contains_rec(dims, from + 1, checked_sub(target, checked_mul(d.coef, x)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::pair<Int, Int> form_range(const AffineForm1D& form, const IntBox& box) {
+  Int lo = form.c, hi = form.c;
+  for (size_t k = 0; k < box.dims(); ++k) {
+    Int a = form.coeffs[k];
+    if (a >= 0) {
+      lo = checked_add(lo, checked_mul(a, box.range(k).lo));
+      hi = checked_add(hi, checked_mul(a, box.range(k).hi));
+    } else {
+      lo = checked_add(lo, checked_mul(a, box.range(k).hi));
+      hi = checked_add(hi, checked_mul(a, box.range(k).lo));
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool image_contains(const AffineForm1D& form, const IntBox& box, Int value) {
+  return contains_rec(active_dims(form, box), 0, checked_sub(value, form.c));
+}
+
+Int count_image_union(const std::vector<AffineForm1D>& forms, const IntBox& box) {
+  require(!forms.empty(), "count_image_union: no forms");
+  bool first = true;
+  Int lo = 0, hi = 0;
+  for (const auto& f : forms) {
+    auto [flo, fhi] = form_range(f, box);
+    lo = first ? flo : std::min(lo, flo);
+    hi = first ? fhi : std::max(hi, fhi);
+    first = false;
+  }
+  std::vector<std::vector<ActiveDim>> dims;
+  std::vector<Int> consts;
+  for (const auto& f : forms) {
+    dims.push_back(active_dims(f, box));
+    consts.push_back(f.c);
+  }
+  Int count = 0;
+  for (Int v = lo; v <= hi; ++v) {
+    for (size_t f = 0; f < forms.size(); ++f) {
+      if (contains_rec(dims[f], 0, checked_sub(v, consts[f]))) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+Int count_image(const AffineForm1D& form, const IntBox& box) {
+  return count_image_union({form}, box);
+}
+
+}  // namespace lmre

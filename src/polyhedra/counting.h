@@ -1,0 +1,40 @@
+#pragma once
+
+// Exact counting of 1-d affine images without full enumeration.
+//
+// The paper cites Clauss (Ehrhart polynomials) and Pugh (Presburger
+// counting) as "more expensive but exact" alternatives to its closed forms.
+// This module supplies the exact middle ground for linearized (1-d)
+// subscripts: membership of a value in the image of  a1*i1 + ... + an*in + c
+// over a box is decidable with one extended-gcd and an interval
+// intersection, so the number of distinct elements touched by any set of
+// 1-d references is countable in O(value-range x references) time --
+// linear in the data size rather than in the iteration count.
+
+#include <vector>
+
+#include "linalg/vec.h"
+#include "polyhedra/box.h"
+
+namespace lmre {
+
+/// One linearized subscript function coeffs . I + c.
+struct AffineForm1D {
+  IntVec coeffs;
+  Int c = 0;
+};
+
+/// True when some iteration I in `box` has form(I) == value.  Exact.
+/// Depth 1 and 2 are solved arithmetically; deeper nests enumerate the
+/// outer dimensions and solve the innermost two arithmetically.
+bool image_contains(const AffineForm1D& form, const IntBox& box, Int value);
+
+/// Exact number of distinct values the forms take over the box (the size of
+/// the union of their images) -- the quantity Section 3.2 brackets with its
+/// upper/lower bounds for non-uniformly generated references.
+Int count_image_union(const std::vector<AffineForm1D>& forms, const IntBox& box);
+
+/// Exact image size of a single form (convenience wrapper).
+Int count_image(const AffineForm1D& form, const IntBox& box);
+
+}  // namespace lmre

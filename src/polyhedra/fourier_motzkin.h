@@ -1,0 +1,65 @@
+#pragma once
+
+// Fourier-Motzkin elimination and loop-bound extraction.
+//
+// Given a constraint system over the iteration variables, this produces, for
+// each nesting level k, the set of affine lower/upper bounds on variable k
+// in terms of variables 0..k-1 -- exactly what a compiler emits as the
+// transformed loop's bounds after a unimodular transformation.
+
+#include <vector>
+
+#include "linalg/rational.h"
+#include "polyhedra/constraint.h"
+
+namespace lmre {
+
+/// One bound on a variable:  var >= ceil(expr / divisor)  (lower) or
+/// var <= floor(expr / divisor)  (upper); divisor > 0 and expr only uses
+/// variables of outer levels.
+struct Bound {
+  AffineExpr expr;
+  Int divisor = 1;
+
+  /// Evaluates the bound at outer values, rounding per `lower`.
+  Int eval(const IntVec& outer, bool lower) const;
+};
+
+/// Per-level bounds for lexicographic scanning of a polyhedron.
+struct LoopBounds {
+  /// lowers[k] / uppers[k]: bounds on variable k using variables 0..k-1.
+  std::vector<std::vector<Bound>> lowers;
+  std::vector<std::vector<Bound>> uppers;
+
+  /// Set when elimination proved the polyhedron empty; scanners must visit
+  /// no points (outer-level bound lists may be incomplete in that case).
+  bool known_empty = false;
+
+  size_t depth() const { return lowers.size(); }
+
+  /// Tightest lower bound on variable k given the outer iteration prefix.
+  /// Returns false when some lower bound set is empty (unbounded) -- this
+  /// never happens for systems derived from bounded iteration spaces.
+  bool range(size_t k, const IntVec& outer, Int& lo, Int& hi) const;
+};
+
+/// Eliminates variable `var` (index into 0..dims-1) from the system,
+/// returning the projection onto the remaining variables (same dimension
+/// indexing; the eliminated variable no longer appears).
+ConstraintSystem eliminate_variable(const ConstraintSystem& system, size_t var);
+
+/// Extracts per-level scanning bounds by eliminating variables innermost
+/// first.  Throws UnsupportedError when some variable has no lower or no
+/// upper bound (unbounded polyhedron).
+LoopBounds extract_loop_bounds(const ConstraintSystem& system);
+
+/// True when the system has a RATIONAL solution (Fourier-Motzkin is exact
+/// over the rationals).  A "false" answer also proves integer emptiness.
+bool rationally_feasible(const ConstraintSystem& system);
+
+/// Removes constraints that are implied by the others (rational redundancy:
+/// c is redundant iff (system \ c) && !c is infeasible).  The result
+/// describes the same rational polyhedron with a minimal-ish subset.
+ConstraintSystem remove_redundant(const ConstraintSystem& system);
+
+}  // namespace lmre

@@ -1,0 +1,75 @@
+#include "polyhedra/geometry.h"
+
+#include "support/error.h"
+
+namespace lmre {
+
+Int LatticePolygon::twice_signed_area() const {
+  require(vertices.size() >= 3, "LatticePolygon: need at least 3 vertices");
+  Int acc = 0;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const IntVec& p = vertices[i];
+    const IntVec& q = vertices[(i + 1) % vertices.size()];
+    require(p.size() == 2 && q.size() == 2, "LatticePolygon: vertices must be 2-d");
+    acc = checked_add(acc, checked_sub(checked_mul(p[0], q[1]), checked_mul(p[1], q[0])));
+  }
+  return acc;
+}
+
+Rational LatticePolygon::area() const {
+  return Rational(checked_abs(twice_signed_area()), 2);
+}
+
+Int LatticePolygon::boundary_points() const {
+  require(vertices.size() >= 3, "LatticePolygon: need at least 3 vertices");
+  Int total = 0;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const IntVec& p = vertices[i];
+    const IntVec& q = vertices[(i + 1) % vertices.size()];
+    Int dx = checked_sub(q[0], p[0]);
+    Int dy = checked_sub(q[1], p[1]);
+    Int g = gcd(dx, dy);
+    // Each edge contributes gcd(|dx|,|dy|) points, counting its endpoint
+    // once (degenerate zero-length edges contribute nothing).
+    total = checked_add(total, g);
+  }
+  return total;
+}
+
+Int LatticePolygon::lattice_points() const {
+  // Pick: points = A + B/2 + 1; 2A and B are both integers and 2A + B is
+  // even for lattice polygons, so the division below is exact.
+  Int twice_area = checked_abs(twice_signed_area());
+  Int b = boundary_points();
+  Int twice_points = checked_add(checked_add(twice_area, b), 2);
+  ensure(twice_points % 2 == 0, "Pick's theorem parity violated");
+  return twice_points / 2;
+}
+
+Int LatticePolygon::interior_points() const {
+  return checked_sub(lattice_points(), boundary_points());
+}
+
+LatticePolygon transform_box(const IntBox& box, const IntMat& t) {
+  require(box.dims() == 2, "transform_box: box must be 2-d");
+  require(t.rows() == 2 && t.cols() == 2, "transform_box: T must be 2x2");
+  const Range& r0 = box.range(0);
+  const Range& r1 = box.range(1);
+  std::vector<IntVec> corners = {IntVec{r0.lo, r1.lo}, IntVec{r0.lo, r1.hi},
+                                 IntVec{r0.hi, r1.hi}, IntVec{r0.hi, r1.lo}};
+  LatticePolygon poly;
+  for (const auto& c : corners) poly.vertices.push_back(t * c);
+  return poly;
+}
+
+Int transformed_point_count(const IntBox& box, const IntMat& t) {
+  require(t.determinant() != 0, "transformed_point_count: singular transform");
+  LatticePolygon poly = transform_box(box, t);
+  // For unimodular T the map is a lattice bijection: count points in the
+  // image polygon directly.  For |det| > 1 the image points are sparser
+  // than the polygon's lattice; only the unimodular case is exposed.
+  require(t.is_unimodular(), "transformed_point_count: T must be unimodular");
+  return poly.lattice_points();
+}
+
+}  // namespace lmre

@@ -1,0 +1,53 @@
+#pragma once
+
+// Exact 2-d lattice geometry: Pick's theorem and polygon utilities.
+//
+// The image of a 2-deep iteration box under a unimodular T is a lattice
+// parallelogram; questions like "how many iterations does the transformed
+// loop execute" or "how wide can the inner loop get" have closed-form
+// answers through Pick's theorem
+//     points = Area + Boundary/2 + 1
+// instead of enumeration.  This is the 2-d slice of the Ehrhart-style
+// counting the paper cites (Clauss).
+
+#include <vector>
+
+#include "linalg/mat.h"
+#include "linalg/rational.h"
+#include "polyhedra/box.h"
+
+namespace lmre {
+
+/// A lattice polygon given by its vertices in order (either orientation);
+/// must be simple (non-self-intersecting).
+struct LatticePolygon {
+  std::vector<IntVec> vertices;  ///< 2-d integer points
+
+  /// Twice the signed area (shoelace); sign encodes orientation.
+  Int twice_signed_area() const;
+
+  /// |area| as a rational (can be half-integral for lattice polygons).
+  Rational area() const;
+
+  /// Number of lattice points on the boundary (gcd sum over edges).
+  Int boundary_points() const;
+
+  /// Total lattice points inside or on the polygon, via Pick's theorem.
+  /// Exact for simple lattice polygons.
+  Int lattice_points() const;
+
+  /// Interior lattice points (Pick's I = A - B/2 + 1).
+  Int interior_points() const;
+};
+
+/// Image of a 2-d box's corner rectangle under a (not necessarily
+/// unimodular) integer matrix: the parallelogram T * box, vertices in
+/// traversal order.
+LatticePolygon transform_box(const IntBox& box, const IntMat& t);
+
+/// Closed-form iteration count of the transformed 2-deep nest: for
+/// unimodular T this equals the box volume (checked cheaply via Pick
+/// instead of scanning).
+Int transformed_point_count(const IntBox& box, const IntMat& t);
+
+}  // namespace lmre

@@ -1,0 +1,50 @@
+#include "polyhedra/scanner.h"
+
+namespace lmre {
+
+namespace {
+
+void scan_level(const LoopBounds& bounds, size_t level, IntVec& point,
+                const PointVisitor& visit) {
+  if (level == bounds.depth()) {
+    visit(point);
+    return;
+  }
+  Int lo, hi;
+  if (!bounds.range(level, point, lo, hi)) return;
+  for (Int v = lo; v <= hi; ++v) {
+    point[level] = v;
+    scan_level(bounds, level + 1, point, visit);
+  }
+  point[level] = 0;
+}
+
+}  // namespace
+
+void scan(const LoopBounds& bounds, const PointVisitor& visit) {
+  if (bounds.known_empty || bounds.depth() == 0) return;
+  IntVec point(bounds.depth());
+  scan_level(bounds, 0, point, visit);
+}
+
+void scan(const ConstraintSystem& system, const PointVisitor& visit) {
+  scan(extract_loop_bounds(system), visit);
+}
+
+Int count_points(const ConstraintSystem& system) {
+  Int n = 0;
+  scan(system, [&n](const IntVec&) { ++n; });
+  return n;
+}
+
+std::optional<IntVec> lexicographic_min(const ConstraintSystem& system) {
+  // The first visited point is the lexicographic minimum; we stop the scan
+  // by unwinding with a sentinel exception-free approach: track and compare.
+  std::optional<IntVec> best;
+  scan(system, [&best](const IntVec& p) {
+    if (!best) best = p;
+  });
+  return best;
+}
+
+}  // namespace lmre

@@ -1,0 +1,32 @@
+#pragma once
+
+// Lexicographic enumeration of the integer points of a polyhedron.
+//
+// This is what "executing the loop nest" means to the exact oracle: visit
+// every integer point of the (possibly transformed) iteration space in
+// lexicographic order.
+
+#include <functional>
+#include <optional>
+
+#include "polyhedra/constraint.h"
+#include "polyhedra/fourier_motzkin.h"
+
+namespace lmre {
+
+/// Visitor invoked once per integer point, in lexicographic order.
+using PointVisitor = std::function<void(const IntVec&)>;
+
+/// Scans all integer points described by per-level bounds.
+void scan(const LoopBounds& bounds, const PointVisitor& visit);
+
+/// Convenience: extracts bounds from the system and scans.
+void scan(const ConstraintSystem& system, const PointVisitor& visit);
+
+/// Number of integer points in the polyhedron (exact, by enumeration).
+Int count_points(const ConstraintSystem& system);
+
+/// Lexicographically smallest integer point, if any.
+std::optional<IntVec> lexicographic_min(const ConstraintSystem& system);
+
+}  // namespace lmre

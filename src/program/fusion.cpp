@@ -1,0 +1,115 @@
+#include "program/fusion.h"
+
+#include <map>
+
+#include "dependence/directions.h"
+#include "support/error.h"
+
+namespace lmre {
+
+std::string to_string(FusionBlocker b) {
+  switch (b) {
+    case FusionBlocker::kNone: return "none";
+    case FusionBlocker::kShapeMismatch: return "shape mismatch";
+    case FusionBlocker::kDependence: return "dependence reversed";
+  }
+  return "?";
+}
+
+namespace {
+
+// Does some pair (producer I in `a`, consumer J in `b`) touch a common
+// element with J strictly lexicographically BEFORE I?  That is the pattern
+// fusion would reverse.
+bool has_backward_pair(const ArrayRef& a, const ArrayRef& b, const IntBox& box) {
+  const size_t n = box.dims();
+  // J < I  <=>  exists level k with I_1..k-1 == J_1..k-1 and I_k > J_k.
+  for (size_t k = 0; k < n; ++k) {
+    std::vector<Dir> dirs(n, Dir::kAny);
+    for (size_t j = 0; j < k; ++j) dirs[j] = Dir::kEq;
+    dirs[k] = Dir::kGt;
+    if (depends_with_directions(a, b, box, dirs)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FusionResult fuse_nests(const LoopNest& first, const LoopNest& second) {
+  FusionResult result;
+  if (first.depth() != second.depth() ||
+      !(first.bounds().ranges() == second.bounds().ranges())) {
+    result.blocker = FusionBlocker::kShapeMismatch;
+    return result;
+  }
+
+  // Unified array table by name.
+  std::vector<Array> arrays = first.arrays();
+  std::map<std::string, ArrayId> by_name;
+  for (ArrayId id = 0; id < arrays.size(); ++id) by_name[arrays[id].name] = id;
+  std::map<ArrayId, ArrayId> remap;  // second's id -> fused id
+  for (ArrayId id = 0; id < second.arrays().size(); ++id) {
+    const Array& a = second.arrays()[id];
+    auto it = by_name.find(a.name);
+    if (it == by_name.end()) {
+      arrays.push_back(a);
+      by_name[a.name] = arrays.size() - 1;
+      remap[id] = arrays.size() - 1;
+    } else {
+      if (!(arrays[it->second].extents == a.extents)) {
+        result.blocker = FusionBlocker::kShapeMismatch;
+        return result;
+      }
+      remap[id] = it->second;
+    }
+  }
+
+  // Legality: no cross-phase memory dependence may point backwards.
+  for (const auto& s1 : first.statements()) {
+    for (const auto& r1 : s1.refs) {
+      for (const auto& s2 : second.statements()) {
+        for (const auto& r2 : s2.refs) {
+          if (first.array(r1.array).name != second.array(r2.array).name) continue;
+          if (!r1.is_write() && !r2.is_write()) continue;  // input deps are free
+          ArrayRef b = r2;
+          b.array = r1.array;  // align ids for the pair machinery
+          if (has_backward_pair(r1, b, first.bounds())) {
+            result.blocker = FusionBlocker::kDependence;
+            return result;
+          }
+        }
+      }
+    }
+  }
+
+  // Build the fused nest: first's statements then second's (remapped).
+  std::vector<Statement> statements = first.statements();
+  for (const auto& s2 : second.statements()) {
+    Statement remapped = s2;
+    for (auto& ref : remapped.refs) ref.array = remap.at(ref.array);
+    statements.push_back(std::move(remapped));
+  }
+  result.fused = LoopNest(first.loop_vars(), first.bounds(), arrays, statements);
+  return result;
+}
+
+std::optional<Program> fuse_phases(const Program& program, size_t k) {
+  require(k + 1 < program.phase_count(), "fuse_phases: phase index out of range");
+  FusionResult res = fuse_nests(program.phase_nest(k), program.phase_nest(k + 1));
+  if (!res.fused) return std::nullopt;
+
+  Program out;
+  for (size_t i = 0; i < program.phase_count(); ++i) {
+    if (i == k) {
+      out.add_phase(program.phase_name(k) + "+" + program.phase_name(k + 1),
+                    *res.fused);
+    } else if (i == k + 1) {
+      continue;
+    } else {
+      out.add_phase(program.phase_name(i), program.phase_nest(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace lmre

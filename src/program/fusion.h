@@ -1,0 +1,49 @@
+#pragma once
+
+// Phase fusion: merging two adjacent producer/consumer nests.
+//
+// A handoff buffer between phases (Program::simulate's `handoff`) exists
+// because the producer finishes before the consumer starts.  When the two
+// nests share the same loop structure, fusing them interleaves production
+// and consumption and the buffer shrinks to the dependence distance -- the
+// program-level analogue of the paper's window minimization.
+//
+// Legality: every cross-phase flow (and anti/output) dependence must not be
+// reversed by the interleaving.  In the fused nest the producer statement
+// runs in the same iteration as the consumer statement; a dependence from
+// producer iteration I to consumer iteration J survives iff J >= I
+// lexicographically (J == I is fine: within an iteration the producer
+// statement precedes the consumer statement).
+
+#include <optional>
+#include <string>
+
+#include "ir/nest.h"
+#include "program/program.h"
+
+namespace lmre {
+
+/// Why a fusion attempt failed (for diagnostics).
+enum class FusionBlocker {
+  kNone,
+  kShapeMismatch,   ///< different depth or loop bounds
+  kDependence,      ///< some cross-phase dependence would be reversed
+};
+
+std::string to_string(FusionBlocker b);
+
+struct FusionResult {
+  std::optional<LoopNest> fused;  ///< set when fusion is legal
+  FusionBlocker blocker = FusionBlocker::kNone;
+};
+
+/// Attempts to fuse two nests (first executes before second).  Arrays are
+/// unified by name; statements of `first` precede statements of `second`
+/// within each fused iteration.
+FusionResult fuse_nests(const LoopNest& first, const LoopNest& second);
+
+/// Fuses adjacent phases k and k+1 of a program when legal, returning the
+/// shortened program; nullopt when the fusion is blocked.
+std::optional<Program> fuse_phases(const Program& program, size_t k);
+
+}  // namespace lmre

@@ -1,0 +1,28 @@
+#pragma once
+
+// Ferrante/Sarkar/Thrash-style dependence-FREE distinct estimation, for
+// comparison (Section 6: "Ferrante et al. present a formula that estimates
+// the number of distinct references to array elements; their technique does
+// not use dependence information").
+//
+// Without dependences the only handles are the subscript functions
+// themselves: per dimension, the range of values divided by the stride
+// (gcd of the coefficients), multiplied across dimensions and unioned over
+// references by simple range merging.  Exact for a lone reference with
+// independent subscript rows; systematically imprecise for multiple
+// references and coupled subscripts -- which is where the paper's
+// dependence-based formulas win.
+
+#include "ir/nest.h"
+
+namespace lmre {
+
+struct FerranteEstimate {
+  Int distinct = 0;   ///< dependence-free estimate of distinct elements
+  bool coupled = false;  ///< some subscript row mixes several loop indices
+};
+
+/// Dependence-free distinct estimate for one array.
+FerranteEstimate ferrante_estimate(const LoopNest& nest, ArrayId array);
+
+}  // namespace lmre

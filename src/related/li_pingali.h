@@ -1,0 +1,34 @@
+#pragma once
+
+// Li & Pingali's completion of partial transformations derived from the
+// data access matrix, for comparison (Section 4, Example 8: "Li and
+// Pingali's technique will not find any partial transformation that can be
+// completed to a legal transformation" there, while it does recover the
+// Example 7 optimum).
+//
+// Their method seeds the transformation with rows of the data access matrix
+// (subscript functions without offsets) and completes to a unimodular
+// matrix.  It exploits reuse from input/output dependences but "does not
+// work well with flow or anti-dependences": the seeded row may already
+// violate one, and then NO completion is legal.
+
+#include <optional>
+#include <string>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct LiPingaliResult {
+  IntMat transform;    ///< completed unimodular transformation
+  IntVec seeded_row;   ///< the access-matrix row used (possibly negated)
+};
+
+/// Attempts the Li-Pingali derivation for `array` (1-d, uniformly generated
+/// references).  Tries the access row and its negation as the seeded first
+/// row; returns nullopt when neither admits a legal completion with respect
+/// to the nest's memory (flow/anti/output) dependences.
+std::optional<LiPingaliResult> li_pingali_transform(const LoopNest& nest, ArrayId array);
+
+}  // namespace lmre

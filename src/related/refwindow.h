@@ -1,0 +1,38 @@
+#pragma once
+
+// The PER-DEPENDENCE reference window of Gannon/Jalby/Gallivan and
+// Eisenbeis et al., reimplemented for comparison (Section 6 of the paper:
+// "the use of a reference window [per dependence] and the resultant need to
+// approximate the combination of these windows results in a loss of
+// precision").
+//
+// For one dependence with constant distance d, the window is the set of
+// elements produced by the source that are still awaiting their use by the
+// sink: in lexicographic execution its size is essentially the ordinal
+// distance of d.  Managing each dependence's window separately means the
+// memory requirement is the SUM over dependences -- elements shared by
+// several dependences are counted once per dependence, which is exactly the
+// imprecision the paper's per-array window avoids.
+
+#include <vector>
+
+#include "dependence/dependence.h"
+#include "ir/nest.h"
+
+namespace lmre {
+
+struct DependenceWindow {
+  Dependence dep;
+  Int estimate = 0;  ///< analytic per-dependence window (ordinal distance)
+  Int exact = 0;     ///< exact peak count of in-flight elements for this dep
+};
+
+/// Per-dependence windows of the nest in original execution order.
+std::vector<DependenceWindow> dependence_windows(const LoopNest& nest);
+
+/// The Eisenbeis-style total memory estimate: sum of per-dependence window
+/// estimates (deduplicated per (array, distance) so symmetric input/output
+/// pairs are not double-billed).
+Int per_dependence_cost(const LoopNest& nest);
+
+}  // namespace lmre

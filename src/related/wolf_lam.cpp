@@ -1,0 +1,48 @@
+#include "related/wolf_lam.h"
+
+#include <algorithm>
+
+#include "dependence/dependence.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+
+Int wolf_lam_score(const LoopNest& nest, const IntMat& perm) {
+  DependenceInfo info = analyze_dependences(nest);
+  std::vector<IntVec> reuse = info.distance_vectors(/*include_input=*/true);
+  Int score = 0;
+  for (const auto& v : reuse) {
+    IntVec tv = perm * v;
+    if (!tv.lex_positive()) tv = -tv;
+    // Level n (innermost) is worth n points, level 1 only one; a zero
+    // vector cannot occur (distances are nonzero).
+    score += tv.level();
+  }
+  return score;
+}
+
+std::optional<IntMat> wolf_lam_best_permutation(const LoopNest& nest) {
+  DependenceInfo info = analyze_dependences(nest);
+  if (info.deps.empty()) return std::nullopt;
+  std::vector<IntVec> memory = info.distance_vectors(/*include_input=*/false);
+
+  const size_t n = nest.depth();
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  std::optional<IntMat> best;
+  Int best_score = 0;
+  do {
+    IntMat t(n, n);
+    for (size_t r = 0; r < n; ++r) t(r, perm[r]) = 1;
+    if (!is_legal(t, memory)) continue;
+    Int score = wolf_lam_score(nest, t);
+    if (!best || score > best_score) {
+      best = t;
+      best_score = score;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace lmre

@@ -1,0 +1,29 @@
+#pragma once
+
+// A bounds-free permutation ranker in the spirit of Wolf & Lam's locality
+// algorithm, for comparison (Section 6: "their method does not use loop
+// bounds and the estimates used are less precise than the ones presented
+// here ... performs an exhaustive search of loop permutations").
+//
+// Score of a permutation = for every reuse vector, the (1-based) level the
+// reuse is carried at after permuting -- deeper is better -- summed over
+// deduplicated reuse vectors.  No loop bounds enter the score, which is
+// precisely the imprecision the paper points at.
+
+#include <optional>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// Best-scoring legal permutation (memory dependences stay lexicographically
+/// positive).  Ties resolve toward the identity.  nullopt when the nest has
+/// no reuse at all (nothing to rank).
+std::optional<IntMat> wolf_lam_best_permutation(const LoopNest& nest);
+
+/// The ranker's bounds-free score for a given permutation matrix (higher is
+/// better); exposed for tests and the comparison bench.
+Int wolf_lam_score(const LoopNest& nest, const IntMat& perm);
+
+}  // namespace lmre

@@ -1,0 +1,94 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/text.h"
+
+namespace lmre {
+
+void Cli::flag_int(const std::string& name, Int default_value, const std::string& help) {
+  require(!flags_.count(name), "duplicate flag --" + name);
+  flags_[name] = Flag{Kind::kInt, std::to_string(default_value), help};
+  order_.push_back(name);
+}
+
+void Cli::flag_bool(const std::string& name, const std::string& help) {
+  require(!flags_.count(name), "duplicate flag --" + name);
+  flags_[name] = Flag{Kind::kBool, "0", help};
+  order_.push_back(name);
+}
+
+void Cli::flag_string(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  require(!flags_.count(name), "duplicate flag --" + name);
+  flags_[name] = Flag{Kind::kString, default_value, help};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(argv[0]);
+      return false;
+    }
+    require(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    require(it != flags_.end(), "unknown flag --" + arg);
+    if (it->second.kind == Kind::kBool) {
+      it->second.value = has_value ? value : "1";
+    } else {
+      if (!has_value) {
+        require(i + 1 < argc, "flag --" + arg + " needs a value");
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  require(it != flags_.end(), "undeclared flag --" + name);
+  require(it->second.kind == kind, "flag --" + name + " accessed with wrong type");
+  return it->second;
+}
+
+Int Cli::get_int(const std::string& name) const {
+  const Flag& f = find(name, Kind::kInt);
+  return static_cast<Int>(std::strtoll(f.value.c_str(), nullptr, 10));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "1";
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  " << pad_right("--" + name, 20) << f.help;
+    if (f.kind != Kind::kBool) os << " (default: " << f.value << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lmre

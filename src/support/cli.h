@@ -1,0 +1,51 @@
+#pragma once
+
+// Minimal command-line flag parser for the example binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms.
+// Unknown flags raise InvalidArgument so examples fail loudly on typos.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/checked.h"
+
+namespace lmre {
+
+class Cli {
+ public:
+  /// Declares an integer flag with a default value and help text.
+  void flag_int(const std::string& name, Int default_value, const std::string& help);
+
+  /// Declares a boolean flag (false unless passed) with help text.
+  void flag_bool(const std::string& name, const std::string& help);
+
+  /// Declares a string flag with a default value and help text.
+  void flag_string(const std::string& name, const std::string& default_value,
+                   const std::string& help);
+
+  /// Parses argv; returns false (after printing usage) when --help is given.
+  bool parse(int argc, char** argv);
+
+  Int get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Renders the usage/help text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string value;  // textual form; parsed on access
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+
+  const Flag& find(const std::string& name, Kind kind) const;
+};
+
+}  // namespace lmre

@@ -1,0 +1,13 @@
+#include "support/error.h"
+
+namespace lmre {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+void ensure(bool cond, const std::string& what) {
+  if (!cond) throw InternalError(what);
+}
+
+}  // namespace lmre

@@ -1,0 +1,52 @@
+#pragma once
+
+// Error hierarchy for the lmre library.
+//
+// All lmre components report failure by throwing one of these exception
+// types.  The hierarchy distinguishes caller mistakes (InvalidArgument),
+// arithmetic that would silently wrap (OverflowError), inputs outside the
+// analyzable fragment (UnsupportedError), and internal invariant violations
+// (InternalError).
+
+#include <stdexcept>
+#include <string>
+
+namespace lmre {
+
+/// Root of the lmre exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The caller passed an argument violating a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An exact integer computation would overflow the working type.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// The input program is outside the affine fragment the analysis handles.
+class UnsupportedError : public Error {
+ public:
+  explicit UnsupportedError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (a bug in lmre itself).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `what` when `cond` is false.
+void require(bool cond, const std::string& what);
+
+/// Throws InternalError with `what` when `cond` is false.
+void ensure(bool cond, const std::string& what);
+
+}  // namespace lmre

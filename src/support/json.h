@@ -1,0 +1,68 @@
+#pragma once
+
+// A minimal JSON value tree + serializer for machine-readable tool output.
+//
+// Build values with the static constructors and chained setters, then
+// dump().  Strings are escaped per RFC 8259; numbers are emitted as 64-bit
+// integers or shortest-round-trip doubles.  No parser -- lmre only ever
+// EMITS JSON.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/checked.h"
+
+namespace lmre {
+
+class Json {
+ public:
+  /// null
+  Json() : value_(nullptr) {}
+
+  static Json object();
+  static Json array();
+  static Json string(std::string s);
+  static Json number(Int v);
+  static Json number(double v);
+  static Json boolean(bool v);
+
+  bool is_object() const;
+  bool is_array() const;
+
+  /// Object setter (creates/overwrites); returns *this for chaining.
+  Json& set(const std::string& key, Json v);
+  Json& set(const std::string& key, const std::string& v);
+  Json& set(const std::string& key, const char* v);
+  Json& set(const std::string& key, Int v);
+  Json& set(const std::string& key, int v) { return set(key, static_cast<Int>(v)); }
+  Json& set(const std::string& key, double v);
+  Json& set(const std::string& key, bool v);
+
+  /// Array appenders.
+  Json& push(Json v);
+  Json& push(const std::string& v);
+  Json& push(Int v);
+
+  /// Number of object keys / array elements.
+  size_t size() const;
+
+  /// Serialization; indent == 0 emits compact single-line JSON.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string per JSON rules (exposed for tests).
+  static std::string escape(const std::string& s);
+
+ private:
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+  std::variant<std::nullptr_t, bool, Int, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace lmre

@@ -1,0 +1,85 @@
+#include "support/text.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace lmre {
+
+std::string repeat(const std::string& s, int n) {
+  std::string out;
+  out.reserve(s.size() * static_cast<size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+std::string pad_left(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) return s;
+  return std::string(static_cast<size_t>(width) - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) return s;
+  return s + std::string(static_cast<size_t>(width) - s.size(), ' ');
+}
+
+std::string with_commas(long long value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+void TextTable::header(std::vector<std::string> cells) {
+  require(rows_.empty(), "TextTable::header must be called first");
+  rows_.push_back(std::move(cells));
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (!rows_.empty()) {
+    require(cells.size() == rows_.front().size(),
+            "TextTable::row column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return "";
+  std::vector<size_t> widths(rows_.front().size(), 0);
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t c = 0; c < rows_[i].size(); ++c) {
+      os << pad_right(rows_[i][c], static_cast<int>(widths[c]));
+      if (c + 1 != rows_[i].size()) os << "  ";
+    }
+    os << '\n';
+    if (i == 0 && has_header_) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        os << std::string(widths[c], '-');
+        if (c + 1 != widths.size()) os << "  ";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lmre

@@ -1,0 +1,56 @@
+#pragma once
+
+// Small text-formatting helpers used by printers, benches and examples.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lmre {
+
+/// Joins the string forms of `items` with `sep` between elements.
+template <typename Range>
+std::string join(const Range& items, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Repeats `s` `n` times.
+std::string repeat(const std::string& s, int n);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, int width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, int width);
+
+/// Formats `value` with thousands separators, e.g. 5152 -> "5,152".
+std::string with_commas(long long value);
+
+/// Formats a ratio as a percentage with one decimal, e.g. 0.819 -> "81.9%".
+std::string percent(double ratio);
+
+/// A minimal fixed-column text table for bench/report output.
+class TextTable {
+ public:
+  /// Sets the header row; column count is fixed from here on.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header's column count.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  bool has_header_ = false;
+};
+
+}  // namespace lmre

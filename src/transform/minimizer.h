@@ -1,0 +1,89 @@
+#pragma once
+
+// Search for legal, tileable unimodular transformations minimizing the
+// maximum window size (Section 4.2 / 4.3).
+//
+// Depth-2 nests: enumerate candidate first rows (a, b) subject to the tiling
+// legality constraints  a*d1 + b*d2 >= 0  for every dependence distance,
+// score them with the eq. (2) window estimate, and complete the winner to a
+// unimodular matrix whose second row also satisfies the constraints (via the
+// extended Euclidean algorithm plus shifting by multiples of the first row).
+//
+// Deeper nests: the access-matrix embedding of Section 4.3 -- complete the
+// data reference matrix to a unimodular T whose first rows are the access
+// rows, so the reuse vector is carried by the innermost loop and the window
+// collapses to O(1).
+
+#include <optional>
+#include <string>
+
+#include "ir/nest.h"
+#include "linalg/rational.h"
+
+namespace lmre {
+
+struct MinimizerOptions {
+  /// Search bound on |a| and |b| for first-row enumeration.
+  Int coeff_bound = 8;
+
+  /// Use input (read-read) reuse vectors as constraints too, like the
+  /// paper's examples do.
+  bool include_input_reuse = true;
+
+  /// kExhaustive scores every feasible row with eq. (2); kGreedyW follows
+  /// the paper's cheaper alternative ("minimize |a2 a - a1 b|") and picks
+  /// the feasible row with the smallest w, breaking ties by eq. (2);
+  /// kBranchAndBound (the paper's named technique) enumerates rows in
+  /// increasing w = |a2 a - a1 b| along the kernel direction and prunes as
+  /// soon as w alone exceeds the best full objective found -- same optimum
+  /// as kExhaustive, usually far fewer candidates.  Falls back to
+  /// kExhaustive when the nest has several 1-d target arrays.
+  enum class Strategy {
+    kExhaustive,
+    kGreedyW,
+    kBranchAndBound
+  } strategy = Strategy::kExhaustive;
+
+  /// optimize_locality: rescore this many best-estimated candidates with the
+  /// exact oracle before choosing (0 disables).  Only applies when the
+  /// iteration count is at most verify_iteration_limit.
+  Int verify_top_k = 8;
+  Int verify_iteration_limit = 2'000'000;
+};
+
+struct MinimizerResult {
+  IntMat transform;        ///< full unimodular T (first row = chosen (a,b))
+  Rational predicted_mws;  ///< eq. (2) objective value of the chosen row
+  Int candidates = 0;      ///< number of feasible rows examined
+};
+
+/// Minimizes the summed eq.-(2) window estimate of every 1-d uniformly
+/// generated array in a 2-deep nest.  Returns nullopt when the nest is not
+/// depth 2, no 1-d uniform array exists, or no feasible row completes.
+std::optional<MinimizerResult> minimize_mws_2d(const LoopNest& nest,
+                                               const MinimizerOptions& opts = {});
+
+/// Section 4.3: unimodular T whose first rows equal the access matrix of
+/// `array` (reuse carried innermost).  The last row's sign is fixed so the
+/// transformed reuse vector is forward; returns nullopt when the access
+/// rows are not extendable or the result is illegal for the nest's memory
+/// dependences.
+std::optional<IntMat> embedding_transform(const LoopNest& nest, ArrayId array);
+
+/// Analytic prediction of the total MWS after applying `t` (sum over
+/// arrays).  Permutation-like transforms use the permuted box; general
+/// transforms fall back on bounding-box extents (an over-approximation).
+Int predicted_mws_after(const LoopNest& nest, const IntMat& t);
+
+struct OptimizeResult {
+  IntMat transform;
+  std::string method;  ///< "identity", "row-minimizer", "embedding(X)", "permutation"
+  Int predicted_mws = 0;
+};
+
+/// End-to-end driver: picks the best legal transformation among the
+/// identity, legal loop permutations, the depth-2 row minimizer, and
+/// per-array embeddings, scored by predicted_mws_after.
+OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& opts = {});
+
+}  // namespace lmre

@@ -1,0 +1,51 @@
+#include "transform/parallel.h"
+
+#include "dependence/dependence.h"
+#include "support/error.h"
+
+namespace lmre {
+
+namespace {
+
+std::vector<bool> carried_levels(const LoopNest& nest, const IntMat* t) {
+  DependenceInfo info = analyze_dependences(nest);
+  std::vector<bool> parallel(nest.depth(), true);
+  for (const auto& dep : info.deps) {
+    if (dep.kind == DepKind::kInput) continue;  // reads do not serialize
+    IntVec d = dep.distance;
+    if (t != nullptr) {
+      d = (*t) * d;
+      if (!d.lex_positive()) {
+        // An illegal transformation reverses this dependence; the caller is
+        // expected to ask only about legal transforms.
+        throw InvalidArgument("parallel_loops_after: transformation is illegal");
+      }
+    }
+    int level = d.level();  // 1-based; 0 impossible (distances are nonzero)
+    ensure(level >= 1, "dependence distance must be nonzero");
+    parallel[static_cast<size_t>(level - 1)] = false;
+  }
+  return parallel;
+}
+
+}  // namespace
+
+std::vector<bool> parallel_loops(const LoopNest& nest) {
+  return carried_levels(nest, nullptr);
+}
+
+std::vector<bool> parallel_loops_after(const LoopNest& nest, const IntMat& t) {
+  require(t.is_unimodular(), "parallel_loops_after: T must be unimodular");
+  return carried_levels(nest, &t);
+}
+
+int outer_parallel_depth(const std::vector<bool>& parallel) {
+  int depth = 0;
+  for (bool p : parallel) {
+    if (!p) break;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace lmre

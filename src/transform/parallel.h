@@ -1,0 +1,30 @@
+#pragma once
+
+// Loop-level parallelism from the dependence set.
+//
+// A loop level can run its iterations in parallel when no memory dependence
+// is CARRIED at that level (no flow/anti/output distance vector has its
+// first nonzero there).  The same machinery the paper uses for windows
+// answers this for free, and transformations trade the two off: making the
+// innermost loop carry all reuse (small window) typically serializes it
+// while freeing the outer levels.
+
+#include <vector>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// parallel[k] == true when no memory dependence is carried at level k
+/// (0-based) of the ORIGINAL loop order.
+std::vector<bool> parallel_loops(const LoopNest& nest);
+
+/// Same question after applying the unimodular transformation `t`.
+std::vector<bool> parallel_loops_after(const LoopNest& nest, const IntMat& t);
+
+/// Number of outermost consecutive parallel levels (a common granularity
+/// measure: outer parallelism is cheap to exploit).
+int outer_parallel_depth(const std::vector<bool>& parallel);
+
+}  // namespace lmre

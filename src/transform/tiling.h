@@ -1,0 +1,40 @@
+#pragma once
+
+// Tiling of (transformed) iteration spaces.
+//
+// The paper's optimization requires transformations to be *tileable*
+// (Section 4.1, after Irigoin & Triolet): every transformed dependence
+// component non-negative, "which permits us to use block transfers".  This
+// module realizes that payoff: it executes a tileable nest tile-by-tile and
+// measures the per-tile footprint (the block a DMA engine would stage into
+// local memory) and the cross-tile window (state carried between blocks).
+
+#include <vector>
+
+#include "exact/oracle.h"
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct TilingReport {
+  Int tiles = 0;                ///< number of non-empty tiles
+  Int max_tile_iterations = 0;  ///< largest tile population
+  Int max_tile_footprint = 0;   ///< max distinct elements touched by one tile
+  Int mws_tiled = 0;            ///< exact MWS under tiled execution order
+  TraceStats stats;             ///< full trace statistics of the tiled run
+};
+
+/// Visits the transformed space { u = t * i } tile-by-tile (tiles of edge
+/// sizes `tile_sizes` on the transformed axes, lexicographic tile order,
+/// lexicographic order within a tile), mapping each point back through t^-1.
+/// `t` must be unimodular; `tile_sizes` must be positive and match depth.
+TilingReport analyze_tiling(const LoopNest& nest, const IntMat& t,
+                            const std::vector<Int>& tile_sizes);
+
+/// The tiled iteration order itself (original-space iterations), exposed for
+/// tests and custom measurements.
+std::vector<IntVec> tiled_order(const LoopNest& nest, const IntMat& t,
+                                const std::vector<Int>& tile_sizes);
+
+}  // namespace lmre

@@ -1,0 +1,52 @@
+#pragma once
+
+// A loop nest viewed through a unimodular transformation.
+//
+// The transformed iteration space is { u = T i : i in bounds }; the body's
+// references become  A T^-1 u + b.  Bounds of the transformed loops are
+// recovered with Fourier-Motzkin (exactly what a restructuring compiler
+// emits), and the exact oracle can execute the nest in transformed order.
+
+#include <string>
+
+#include "exact/oracle.h"
+#include "ir/nest.h"
+#include "polyhedra/fourier_motzkin.h"
+
+namespace lmre {
+
+class TransformedNest {
+ public:
+  /// `t` must be unimodular and match the nest depth.
+  TransformedNest(LoopNest nest, IntMat t);
+
+  const LoopNest& original() const { return nest_; }
+  const IntMat& transform() const { return t_; }
+  const IntMat& inverse() const { return t_inv_; }
+
+  /// The transformed reference: access matrix A T^-1, offset unchanged.
+  ArrayRef transformed_ref(const ArrayRef& ref) const;
+
+  /// Constraints over the new iteration vector u.
+  ConstraintSystem space() const;
+
+  /// Per-level bounds of the transformed loops (via Fourier-Motzkin).
+  LoopBounds bounds() const;
+
+  /// Exact maximum trip count of the innermost transformed loop over all
+  /// outer iterations (the paper's "maxspan", Section 4.1), by enumeration.
+  Int maxspan_inner() const;
+
+  /// Executes in transformed order and returns exact statistics.
+  TraceStats simulate() const;
+
+  /// Pseudo-code of the transformed nest with FM-derived bounds.
+  std::string print() const;
+
+ private:
+  LoopNest nest_;
+  IntMat t_;
+  IntMat t_inv_;
+};
+
+}  // namespace lmre

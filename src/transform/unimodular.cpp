@@ -1,0 +1,55 @@
+#include "transform/unimodular.h"
+
+#include "support/error.h"
+
+namespace lmre {
+
+IntMat interchange(size_t n, size_t i, size_t j) {
+  require(i < n && j < n, "interchange: index out of range");
+  IntMat t = IntMat::identity(n);
+  t(i, i) = 0;
+  t(j, j) = 0;
+  t(i, j) = 1;
+  t(j, i) = 1;
+  return t;
+}
+
+IntMat reversal(size_t n, size_t i) {
+  require(i < n, "reversal: index out of range");
+  IntMat t = IntMat::identity(n);
+  t(i, i) = -1;
+  return t;
+}
+
+IntMat skew(size_t n, size_t src, size_t dst, Int f) {
+  require(src < n && dst < n && src != dst, "skew: bad indices");
+  IntMat t = IntMat::identity(n);
+  t(dst, src) = f;
+  return t;
+}
+
+bool is_legal(const IntMat& t, const std::vector<IntVec>& deps) {
+  for (const auto& d : deps) {
+    if (!(t * d).lex_positive()) return false;
+  }
+  return true;
+}
+
+bool is_tileable(const IntMat& t, const std::vector<IntVec>& deps) {
+  for (const auto& d : deps) {
+    IntVec td = t * d;
+    for (size_t k = 0; k < td.size(); ++k) {
+      if (td[k] < 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<IntVec> transform_dependences(const IntMat& t, const std::vector<IntVec>& deps) {
+  std::vector<IntVec> out;
+  out.reserve(deps.size());
+  for (const auto& d : deps) out.push_back(t * d);
+  return out;
+}
+
+}  // namespace lmre

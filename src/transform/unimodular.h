@@ -1,0 +1,33 @@
+#pragma once
+
+// Unimodular loop transformations: elementary generators and legality.
+//
+// A transformation T is *legal* when every dependence distance vector stays
+// lexicographically positive under it, and *tileable* (Section 4.1) when
+// every transformed distance is component-wise non-negative -- the
+// Irigoin/Triolet condition that permits blocking the transformed nest.
+
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace lmre {
+
+/// Identity-based generators (Wolf/Lam: any unimodular transformation is a
+/// product of these).
+IntMat interchange(size_t n, size_t i, size_t j);  ///< swaps loops i and j
+IntMat reversal(size_t n, size_t i);               ///< negates loop i
+/// Skew loop `dst` by factor f of loop `src`: row dst += f * row src.
+IntMat skew(size_t n, size_t src, size_t dst, Int f);
+
+/// True when T d is lexicographically positive for every d.
+bool is_legal(const IntMat& t, const std::vector<IntVec>& deps);
+
+/// True when every component of T d is >= 0 for every d (tiling legality;
+/// implies is_legal for nonzero d because T is invertible).
+bool is_tileable(const IntMat& t, const std::vector<IntVec>& deps);
+
+/// Transformed dependence set { T d }.
+std::vector<IntVec> transform_dependences(const IntMat& t, const std::vector<IntVec>& deps);
+
+}  // namespace lmre

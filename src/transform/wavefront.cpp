@@ -1,0 +1,65 @@
+#include "transform/wavefront.h"
+
+#include <functional>
+
+#include "dependence/dependence.h"
+#include "linalg/completion.h"
+#include "support/error.h"
+#include "transform/parallel.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+
+std::optional<WavefrontResult> wavefront_transform(const LoopNest& nest, Int bound) {
+  require(bound >= 1, "wavefront_transform: bound must be >= 1");
+  DependenceInfo info = analyze_dependences(nest);
+  std::vector<IntVec> memory = info.distance_vectors(/*include_input=*/false);
+  if (memory.empty()) return std::nullopt;  // already fully parallel
+
+  const size_t n = nest.depth();
+  // Enumerate candidate hyperplanes in order of increasing |h|_1 (smallest
+  // coefficients first -- they skew the space least).
+  std::optional<IntVec> best;
+  std::function<void(IntVec&, size_t, Int)> enumerate = [&](IntVec& h, size_t k,
+                                                            Int budget) {
+    if (best) return;  // first hit in this weight class wins
+    if (k == n) {
+      if (h.is_zero() || h.content() != 1) return;
+      for (const auto& d : memory) {
+        if (h.dot(d) < 1) return;
+      }
+      best = h;
+      return;
+    }
+    for (Int v = 0; v <= budget && !best; ++v) {
+      for (Int sv : {v, -v}) {
+        if (v == 0 && sv != 0) continue;
+        h[k] = sv;
+        enumerate(h, k + 1, budget - v);
+        if (best) return;
+      }
+    }
+    h[k] = 0;
+  };
+  for (Int weight = 1; weight <= bound * static_cast<Int>(n) && !best; ++weight) {
+    IntVec h(n);
+    enumerate(h, 0, weight);
+  }
+  if (!best) return std::nullopt;
+
+  IntMat t = complete_row_to_unimodular(*best);
+  // The completion may send some dependence lex-negative in rows > 0; since
+  // row 0 gives h . d >= 1 > 0, every transformed dependence is already
+  // lexicographically positive regardless of the other rows.
+  ensure(is_legal(t, memory), "wavefront hyperplane must be legal");
+
+  WavefrontResult result{t, *best, 0};
+  auto par = parallel_loops_after(nest, t);
+  result.parallel_levels = 0;
+  for (size_t k = 1; k < par.size(); ++k) {
+    if (par[k]) ++result.parallel_levels;
+  }
+  return result;
+}
+
+}  // namespace lmre

@@ -1,0 +1,34 @@
+#pragma once
+
+// Lamport's hyperplane (wavefront) transformation.
+//
+// The dual of the paper's window minimization: instead of carrying reuse in
+// the INNERMOST loop (small window, serial inner loop), find a hyperplane
+// h with h . d >= 1 for every memory dependence d and make it the OUTERMOST
+// loop -- then every inner loop is parallel, at the price of a larger
+// window.  Exposing both lets the design-space explorer price the
+// parallelism/memory trade-off explicitly.
+
+#include <optional>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+
+namespace lmre {
+
+struct WavefrontResult {
+  IntMat transform;      ///< unimodular T with the hyperplane as row 0
+  IntVec hyperplane;     ///< the chosen h (primitive)
+  int parallel_levels;   ///< inner parallel loops after T (depth - 1)
+};
+
+/// Finds a minimal-coefficient hyperplane h (|h_k| <= bound, primitive,
+/// searched in order of increasing coefficient sum) with h . d >= 1 for all
+/// memory dependences, completes it to a unimodular transformation, and
+/// reports the resulting parallelism.  Returns nullopt when no such
+/// hyperplane exists within the bound, or when the nest has no memory
+/// dependences (everything is already parallel -- nothing to do).
+std::optional<WavefrontResult> wavefront_transform(const LoopNest& nest,
+                                                   Int bound = 4);
+
+}  // namespace lmre

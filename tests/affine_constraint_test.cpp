@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "polyhedra/affine.h"
+#include "polyhedra/constraint.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(AffineExpr, EvalAndArithmetic) {
+  AffineExpr e(IntVec{2, -3}, 4);  // 2x - 3y + 4
+  EXPECT_EQ(e.eval(IntVec{1, 1}), 3);
+  EXPECT_EQ(e.eval(IntVec{5, 2}), 8);
+  AffineExpr f = AffineExpr::variable(2, 0) + AffineExpr::variable(2, 1);
+  EXPECT_EQ((e + f).eval(IntVec{1, 1}), 5);
+  EXPECT_EQ((e - f).eval(IntVec{1, 1}), 1);
+  EXPECT_EQ((-e).eval(IntVec{1, 1}), -3);
+  EXPECT_EQ((e * 2).eval(IntVec{1, 1}), 6);
+  EXPECT_EQ((e + 10).constant(), 14);
+  EXPECT_EQ((e - 10).constant(), -6);
+}
+
+TEST(AffineExpr, Builders) {
+  AffineExpr c = AffineExpr::constant_expr(3, 7);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.eval(IntVec{9, 9, 9}), 7);
+  AffineExpr v = AffineExpr::variable(3, 2);
+  EXPECT_EQ(v.eval(IntVec{4, 5, 6}), 6);
+  EXPECT_THROW(AffineExpr::variable(2, 2), InvalidArgument);
+}
+
+TEST(AffineExpr, StrRendering) {
+  EXPECT_EQ(AffineExpr(IntVec{2, -3}, 4).str({"i", "j"}), "2*i - 3*j + 4");
+  EXPECT_EQ(AffineExpr(IntVec{1, 0}, 0).str({"i", "j"}), "i");
+  EXPECT_EQ(AffineExpr(IntVec{-1, 1}, 0).str({"i", "j"}), "-i + j");
+  EXPECT_EQ(AffineExpr(IntVec{0, 0}, -5).str(), "-5");
+  EXPECT_EQ(AffineExpr(IntVec{0, 0}, 0).str(), "0");
+}
+
+TEST(Constraint, NormalizationDividesByContent) {
+  Constraint c{AffineExpr(IntVec{2, 4}, 7)};
+  Constraint n = c.normalized();
+  EXPECT_EQ(n.expr.coeffs(), (IntVec{1, 2}));
+  // floor(7/2) = 3: sound (and tightening) for integer points.
+  EXPECT_EQ(n.expr.constant(), 3);
+}
+
+TEST(Constraint, SatisfiedBy) {
+  Constraint c{AffineExpr(IntVec{1, -1}, 0)};  // x >= y
+  EXPECT_TRUE(c.satisfied_by(IntVec{3, 2}));
+  EXPECT_TRUE(c.satisfied_by(IntVec{2, 2}));
+  EXPECT_FALSE(c.satisfied_by(IntVec{1, 2}));
+}
+
+TEST(ConstraintSystem, AddDedupesAndTightens) {
+  ConstraintSystem sys(2);
+  sys.add(AffineExpr(IntVec{1, 0}, 5));
+  sys.add(AffineExpr(IntVec{1, 0}, 3));  // tighter
+  sys.add(AffineExpr(IntVec{1, 0}, 9));  // weaker: dropped
+  ASSERT_EQ(sys.size(), 1u);
+  EXPECT_EQ(sys.constraints()[0].expr.constant(), 3);
+}
+
+TEST(ConstraintSystem, RangeAndEquality) {
+  ConstraintSystem sys(1);
+  sys.add_range(AffineExpr::variable(1, 0), 2, 5);
+  EXPECT_TRUE(sys.contains(IntVec{2}));
+  EXPECT_TRUE(sys.contains(IntVec{5}));
+  EXPECT_FALSE(sys.contains(IntVec{1}));
+  EXPECT_FALSE(sys.contains(IntVec{6}));
+
+  ConstraintSystem eq(1);
+  eq.add_equality(AffineExpr::variable(1, 0), 3);
+  EXPECT_TRUE(eq.contains(IntVec{3}));
+  EXPECT_FALSE(eq.contains(IntVec{4}));
+}
+
+TEST(ConstraintSystem, TriviallyEmpty) {
+  ConstraintSystem sys(1);
+  sys.add(AffineExpr::constant_expr(1, -1));
+  EXPECT_TRUE(sys.trivially_empty());
+  ConstraintSystem ok(1);
+  ok.add(AffineExpr::constant_expr(1, 0));
+  EXPECT_FALSE(ok.trivially_empty());
+}
+
+TEST(ConstraintSystem, DimsMismatchThrows) {
+  ConstraintSystem sys(2);
+  EXPECT_THROW(sys.add(AffineExpr::variable(3, 0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "layout/spatial.h"
+#include "support/error.h"
+#include "transform/minimizer.h"
+
+namespace lmre {
+namespace {
+
+TEST(Cache, BasicHitAndMiss) {
+  Cache c(CacheConfig{4, 1, 0});
+  EXPECT_FALSE(c.access(10));  // cold
+  EXPECT_TRUE(c.access(10));   // hit
+  EXPECT_FALSE(c.access(11));
+  EXPECT_TRUE(c.access(11));
+  EXPECT_EQ(c.stats().accesses, 4);
+  EXPECT_EQ(c.stats().hits, 2);
+  EXPECT_EQ(c.stats().cold_misses, 2);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(CacheConfig{2, 1, 0});  // fully associative, 2 lines
+  c.access(1);
+  c.access(2);
+  c.access(3);                 // evicts 1
+  EXPECT_FALSE(c.access(1));   // capacity miss
+  EXPECT_TRUE(c.access(3));    // still resident
+}
+
+TEST(Cache, LineGranularity) {
+  Cache c(CacheConfig{8, 4, 0});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(3));   // same line
+  EXPECT_FALSE(c.access(4));  // next line
+  EXPECT_TRUE(c.access(7));
+}
+
+TEST(Cache, SetMapping) {
+  // 4 lines, 2-way: 2 sets; lines 0 and 2 share set 0.
+  Cache c(CacheConfig{4, 1, 2});
+  EXPECT_EQ(c.sets(), 2);
+  EXPECT_EQ(c.ways(), 2);
+  c.access(0);
+  c.access(1);                // set 1
+  c.access(2);
+  c.access(4);                // set 0 again: evicts line 0
+  EXPECT_FALSE(c.access(0));  // conflict miss in set 0
+  EXPECT_TRUE(c.access(1));   // set 1 undisturbed
+}
+
+TEST(Cache, NegativeAddressesWork) {
+  Cache c(CacheConfig{4, 2, 2});
+  EXPECT_FALSE(c.access(-3));
+  EXPECT_TRUE(c.access(-4));  // same line floor(-3/2) == floor(-4/2) == -2
+}
+
+TEST(Cache, RejectsBadConfig) {
+  EXPECT_THROW(Cache(CacheConfig{0, 1, 0}), InvalidArgument);
+  EXPECT_THROW(Cache(CacheConfig{4, 0, 0}), InvalidArgument);
+}
+
+TEST(CacheSim, WindowSizedCacheCapturesAllReuse) {
+  // Cache >= MWS (+ slack for the element/iteration granularity): every
+  // non-cold access hits.
+  LoopNest nest = codes::example_8();
+  TraceStats t = simulate(nest);
+  CacheConfig cfg{t.mws_total + 8, 1, 0};
+  CacheStats s = simulate_cache(nest, default_layouts(nest), cfg);
+  EXPECT_EQ(s.misses, s.cold_misses);
+  EXPECT_EQ(s.cold_misses, t.distinct_total);
+}
+
+TEST(CacheSim, TinyCacheThrashes) {
+  LoopNest nest = codes::example_8();
+  CacheStats s = simulate_cache(nest, default_layouts(nest), CacheConfig{2, 1, 0});
+  EXPECT_GT(s.misses, s.cold_misses);  // capacity misses appear
+}
+
+TEST(CacheSim, TransformRecoversHitsUnderSmallCache) {
+  // With a cache smaller than the original window but larger than the
+  // transformed one, the transformation turns capacity misses into hits.
+  LoopNest nest = codes::example_8();
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  CacheConfig cfg{30, 1, 0};  // between 21 (after) and 44 (before)
+  auto layouts = default_layouts(nest);
+  CacheStats before = simulate_cache(nest, layouts, cfg);
+  CacheStats after = simulate_cache(nest, layouts, cfg, &res->transform);
+  EXPECT_LT(after.misses, before.misses);
+  EXPECT_EQ(after.misses, after.cold_misses);  // all reuse captured
+}
+
+TEST(CacheSim, ColdMissesEqualDistinctLines) {
+  LoopNest nest = codes::kernel_two_point(12);
+  auto layouts = default_layouts(nest);
+  CacheConfig cfg{4096, 4, 0};
+  CacheStats s = simulate_cache(nest, layouts, cfg);
+  SpatialStats lines = simulate_lines(nest, layouts, 4);
+  EXPECT_EQ(s.cold_misses, lines.distinct_lines);
+}
+
+TEST(CacheSim, ArraysDoNotShareLines) {
+  // Two arrays whose touched regions would collide if packed naively; the
+  // aligned bases keep their lines disjoint, so cold misses add up exactly.
+  LoopNest nest = codes::kernel_matmult(4);
+  auto layouts = default_layouts(nest);
+  CacheStats s = simulate_cache(nest, layouts, CacheConfig{1024, 4, 0});
+  SpatialStats lines = simulate_lines(nest, layouts, 4);
+  EXPECT_EQ(s.cold_misses, lines.distinct_lines);
+}
+
+}  // namespace
+}  // namespace lmre

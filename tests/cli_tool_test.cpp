@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "tools/commands.h"
+
+namespace lmre::tools {
+namespace {
+
+const char* kExample8 = R"(
+  for i = 1 to 25
+    for j = 1 to 10
+      X[2*i + 5*j + 1] = X[2*i + 5*j + 5];
+)";
+
+TEST(CliAnalyze, SingleNest) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_analyze(kExample8, out), 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("flow (3, -2)"), std::string::npos);
+  EXPECT_NE(s.find("anti (2, 0)"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+TEST(CliAnalyze, MultiPhase) {
+  std::ostringstream out;
+  int rc = cmd_analyze(R"(
+    array A[8];
+    phase p { for i = 1 to 8  A[i] = 0; }
+    phase c { for i = 1 to 8  B[i] = A[i]; }
+  )",
+                       out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("whole-program window: 8"), std::string::npos);
+}
+
+TEST(CliAnalyze, ParseErrorReturnsNonzero) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_analyze("for i = 1 to\n", out), 1);
+  EXPECT_NE(out.str().find("parse error"), std::string::npos);
+}
+
+TEST(CliOptimize, FindsPaperTransform) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_optimize(kExample8, out), 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("[2 3; 1 1]"), std::string::npos);
+  EXPECT_NE(s.find("44 -> 21"), std::string::npos);
+}
+
+TEST(CliDistances, Table) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_distances(kExample8, out), 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("(<, >)"), std::string::npos);  // (3,-2) and (5,-2)
+  EXPECT_NE(s.find("(<, =)"), std::string::npos);  // (2,0)
+}
+
+TEST(CliMisscurve, ExplicitCapacities) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_misscurve(kExample8, {64}, out), 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("cold misses (distinct elements): 94"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+}
+
+TEST(CliMisscurve, AutoSweepIncludesKnee) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_misscurve(kExample8, {}, out), 0);
+  EXPECT_NE(out.str().find("knee (max finite stack distance): 48"),
+            std::string::npos);
+}
+
+TEST(CliSeries, EmitsCsv) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_series("for i = 1 to 4\n  A[i] = A[i-1];\n", out), 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("iteration,window"), std::string::npos);
+  // 4 iterations -> 4 data lines + header.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+}
+
+TEST(CliFigure2, Runs) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_figure2(out), 0);
+  std::string s = out.str();
+  EXPECT_NE(s.find("matmult"), std::string::npos);
+  EXPECT_NE(s.find("273"), std::string::npos);
+}
+
+TEST(CliDispatcher, UnknownCommand) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"bogus"}, out, err), 2);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(CliDispatcher, NoArgs) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({}, out, err), 2);
+}
+
+TEST(CliDispatcher, MissingFileArgument) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"analyze"}, out, err), 2);
+}
+
+TEST(CliDispatcher, UnreadableFile) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"analyze", "/nonexistent/nest.loop"}, out, err), 1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmre::tools

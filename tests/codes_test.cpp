@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "dependence/dependence.h"
+#include "exact/oracle.h"
+
+namespace lmre {
+namespace {
+
+TEST(Codes, AllExamplesValidate) {
+  // Construction runs LoopNest::validate(); these must not throw.
+  EXPECT_NO_THROW(codes::example_1a());
+  EXPECT_NO_THROW(codes::example_1b());
+  EXPECT_NO_THROW(codes::example_2());
+  EXPECT_NO_THROW(codes::example_3());
+  EXPECT_NO_THROW(codes::example_4());
+  EXPECT_NO_THROW(codes::example_5());
+  EXPECT_NO_THROW(codes::example_6());
+  EXPECT_NO_THROW(codes::example_7());
+  EXPECT_NO_THROW(codes::example_8());
+  EXPECT_NO_THROW(codes::example_sec23());
+}
+
+TEST(Codes, AllKernelsValidate) {
+  EXPECT_NO_THROW(codes::kernel_two_point());
+  EXPECT_NO_THROW(codes::kernel_three_point());
+  EXPECT_NO_THROW(codes::kernel_sor());
+  EXPECT_NO_THROW(codes::kernel_matmult());
+  EXPECT_NO_THROW(codes::kernel_three_step_log());
+  EXPECT_NO_THROW(codes::kernel_full_search());
+  EXPECT_NO_THROW(codes::kernel_rasta_flt());
+  EXPECT_NO_THROW(codes::kernel_rasta_flt_tap_major());
+}
+
+TEST(Codes, Figure2SuiteHasSevenKernelsInPaperOrder) {
+  auto suite = codes::figure2_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite[0].name, "2point");
+  EXPECT_EQ(suite[1].name, "3point");
+  EXPECT_EQ(suite[2].name, "sor");
+  EXPECT_EQ(suite[3].name, "matmult");
+  EXPECT_EQ(suite[4].name, "3step_log");
+  EXPECT_EQ(suite[5].name, "full_search");
+  EXPECT_EQ(suite[6].name, "rasta_flt");
+}
+
+TEST(Codes, Figure2PaperRowsRecorded) {
+  auto suite = codes::figure2_suite();
+  // rasta_flt's row survived the OCR fully: 5,152 / 2,040 / 127.
+  EXPECT_EQ(suite[6].paper_default, 5152);
+  EXPECT_EQ(suite[6].paper_mws_unopt, 2040);
+  EXPECT_EQ(suite[6].paper_mws_opt, 127);
+  // matmult: 273 both columns, 64.4% both.
+  EXPECT_EQ(suite[3].paper_mws_unopt, 273);
+  EXPECT_EQ(suite[3].paper_mws_opt, 273);
+  EXPECT_DOUBLE_EQ(suite[3].paper_reduction_unopt, suite[3].paper_reduction_opt);
+}
+
+TEST(Codes, MatmultWindowIsNSquaredPlusNPlusOne) {
+  for (Int n : {4, 8, 16}) {
+    LoopNest nest = codes::kernel_matmult(n);
+    EXPECT_EQ(simulate(nest).mws_total, n * n + n + 1) << "n=" << n;
+  }
+}
+
+TEST(Codes, MatmultDefaultIsThreeArrays) {
+  EXPECT_EQ(codes::kernel_matmult(16).default_memory(), 3 * 256);
+}
+
+TEST(Codes, TwoPointWindowIsOneColumn) {
+  LoopNest nest = codes::kernel_two_point(64);
+  EXPECT_EQ(nest.default_memory(), 4096);
+  EXPECT_EQ(simulate(nest).mws_total, 64);
+}
+
+TEST(Codes, ThreePointKeepsTwoRowsLive) {
+  LoopNest nest = codes::kernel_three_point(32);
+  Int mws = simulate(nest).mws_total;
+  EXPECT_GE(mws, 2 * 32 - 2);
+  EXPECT_LE(mws, 2 * 32 + 4);
+}
+
+TEST(Codes, SorKeepsTwoRowsLive) {
+  LoopNest nest = codes::kernel_sor(32);
+  Int mws = simulate(nest).mws_total;
+  EXPECT_GE(mws, 2 * 32 - 2);
+  EXPECT_LE(mws, 2 * 32 + 4);
+}
+
+TEST(Codes, MotionKernelsKeepCurrentBlockLive) {
+  LoopNest nest = codes::kernel_three_step_log(8, 4);
+  TraceStats s = simulate(nest);
+  // cur (array 0) is re-read for every shift: its window is the block.
+  EXPECT_EQ(s.mws.at(0), 64);
+}
+
+TEST(Codes, RastaTapMajorBlowsUpWindow) {
+  LoopNest fm = codes::kernel_rasta_flt(40, 12, 5);
+  LoopNest tm = codes::kernel_rasta_flt_tap_major(40, 12, 5);
+  Int w_fm = simulate(fm).mws_total;
+  Int w_tm = simulate(tm).mws_total;
+  EXPECT_GT(w_tm, 5 * w_fm);  // tap-major keeps out and in live throughout
+}
+
+TEST(Codes, KernelsHaveUniformReferences) {
+  for (auto& entry : codes::figure2_suite()) {
+    DependenceInfo info = analyze_dependences(entry.nest);
+    EXPECT_FALSE(info.has_nonuniform()) << entry.name;
+  }
+}
+
+TEST(Codes, ParameterizedBounds) {
+  LoopNest nest = codes::example_2(5, 6);
+  EXPECT_EQ(nest.iteration_count(), 30);
+  EXPECT_EQ(nest.bounds().range(0).hi, 5);
+  EXPECT_EQ(nest.bounds().range(1).hi, 6);
+}
+
+}  // namespace
+}  // namespace lmre

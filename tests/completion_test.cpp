@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/completion.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(Completion, SingleRowBasic) {
+  IntMat m = complete_row_to_unimodular(IntVec{2, 5});
+  ASSERT_TRUE(m.is_unimodular());
+  EXPECT_EQ(m.row(0), (IntVec{2, 5}));
+}
+
+TEST(Completion, SingleRowNegativeEntries) {
+  IntMat m = complete_row_to_unimodular(IntVec{2, -3});
+  ASSERT_TRUE(m.is_unimodular());
+  EXPECT_EQ(m.row(0), (IntVec{2, -3}));
+}
+
+TEST(Completion, SingleRowLonger) {
+  IntMat m = complete_row_to_unimodular(IntVec{3, 5, 7});
+  ASSERT_TRUE(m.is_unimodular());
+  EXPECT_EQ(m.row(0), (IntVec{3, 5, 7}));
+}
+
+TEST(Completion, RejectsNonPrimitiveRow) {
+  EXPECT_THROW(complete_row_to_unimodular(IntVec{2, 4}), InvalidArgument);
+  EXPECT_THROW(complete_row_to_unimodular(IntVec{0, 0}), InvalidArgument);
+}
+
+TEST(Completion, Example10AccessMatrix) {
+  // Section 4.3: T's first two rows must equal the data reference matrix.
+  IntMat access{{3, 0, 1}, {0, 1, 1}};
+  auto m = complete_rows_to_unimodular(access);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(m->is_unimodular());
+  EXPECT_EQ(m->row(0), (IntVec{3, 0, 1}));
+  EXPECT_EQ(m->row(1), (IntVec{0, 1, 1}));
+}
+
+TEST(Completion, NonPrimitiveLatticeReturnsNullopt) {
+  // Rows generate an index-2 sublattice: no unimodular extension exists.
+  EXPECT_FALSE(complete_rows_to_unimodular(IntMat{{2, 0}, {0, 2}}).has_value());
+  EXPECT_FALSE(complete_rows_to_unimodular(IntMat{{2, 0, 0}}).has_value());
+}
+
+TEST(Completion, FullRankSquareIsItself) {
+  IntMat t{{2, 3}, {1, 1}};
+  auto m = complete_rows_to_unimodular(t);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, t);
+}
+
+TEST(Completion, RandomizedPrimitiveRows) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<Int> dist(-7, 7);
+  int done = 0;
+  for (int iter = 0; iter < 200 && done < 60; ++iter) {
+    size_t n = 2 + iter % 3;
+    IntVec row(n);
+    for (size_t i = 0; i < n; ++i) row[i] = dist(rng);
+    if (row.is_zero() || row.content() != 1) continue;
+    ++done;
+    IntMat m = complete_row_to_unimodular(row);
+    ASSERT_TRUE(m.is_unimodular());
+    EXPECT_EQ(m.row(0), row);
+  }
+  EXPECT_GE(done, 40);
+}
+
+TEST(Completion, RandomizedTwoRowBlocks) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<Int> dist(-5, 5);
+  int completed = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    IntMat rows(2, 3);
+    for (size_t r = 0; r < 2; ++r)
+      for (size_t c = 0; c < 3; ++c) rows(r, c) = dist(rng);
+    auto m = complete_rows_to_unimodular(rows);
+    if (!m) continue;  // not extendable; fine
+    ++completed;
+    ASSERT_TRUE(m->is_unimodular());
+    for (size_t r = 0; r < 2; ++r) EXPECT_EQ(m->row(r), rows.row(r));
+  }
+  EXPECT_GT(completed, 50);  // most random primitive pairs extend
+}
+
+}  // namespace
+}  // namespace lmre

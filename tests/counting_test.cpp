@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "codes/examples.h"
+#include "exact/oracle.h"
+#include "polyhedra/counting.h"
+#include "polyhedra/scanner.h"
+
+namespace lmre {
+namespace {
+
+Int brute_count(const std::vector<AffineForm1D>& forms, const IntBox& box) {
+  std::set<Int> values;
+  scan(box.to_constraints(), [&](const IntVec& p) {
+    for (const auto& f : forms) values.insert(f.coeffs.dot(p) + f.c);
+  });
+  return static_cast<Int>(values.size());
+}
+
+TEST(Counting, MembershipBasics) {
+  IntBox box = IntBox::from_upper_bounds({20, 20});
+  AffineForm1D f{IntVec{3, 7}, -10};
+  EXPECT_TRUE(image_contains(f, box, 0));     // i=j=1
+  EXPECT_TRUE(image_contains(f, box, 190));   // i=j=20
+  EXPECT_FALSE(image_contains(f, box, -1));   // below range
+  EXPECT_FALSE(image_contains(f, box, 191));  // above range
+  // 1 = 3i+7j-10 -> 3i+7j = 11: no solution with i,j >= 1 (min is 10).
+  EXPECT_FALSE(image_contains(f, box, 1));
+  // 3i+7j = 13 -> (i,j) = (2,1): value 3.
+  EXPECT_TRUE(image_contains(f, box, 3));
+}
+
+TEST(Counting, MembershipSingleVariable) {
+  IntBox box = IntBox::from_upper_bounds({10});
+  AffineForm1D f{IntVec{3}, 0};
+  EXPECT_TRUE(image_contains(f, box, 3));
+  EXPECT_TRUE(image_contains(f, box, 30));
+  EXPECT_FALSE(image_contains(f, box, 4));
+  EXPECT_FALSE(image_contains(f, box, 33));
+}
+
+TEST(Counting, MembershipConstantForm) {
+  IntBox box = IntBox::from_upper_bounds({5, 5});
+  AffineForm1D f{IntVec{0, 0}, 7};
+  EXPECT_TRUE(image_contains(f, box, 7));
+  EXPECT_FALSE(image_contains(f, box, 8));
+}
+
+TEST(Counting, Example6Exact) {
+  // The union of 3i+7j-10 and 4i-3j+60 over [1,20]^2 has exactly 182
+  // members (the value our oracle measures; the paper quotes 181).
+  IntBox box = IntBox::from_upper_bounds({20, 20});
+  std::vector<AffineForm1D> forms{{IntVec{3, 7}, -10}, {IntVec{4, -3}, 60}};
+  EXPECT_EQ(count_image_union(forms, box), 182);
+  EXPECT_EQ(count_image_union(forms, box),
+            simulate(codes::example_6()).distinct_total);
+}
+
+TEST(Counting, Example4Exact) {
+  IntBox box = IntBox::from_upper_bounds({20, 10});
+  EXPECT_EQ(count_image(AffineForm1D{IntVec{2, 5}, 1}, box), 80);
+}
+
+TEST(Counting, Example1bExact) {
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  EXPECT_EQ(count_image(AffineForm1D{IntVec{2, 3}, 0}, box), 44);
+}
+
+TEST(Counting, Example8UnionExact) {
+  IntBox box = IntBox::from_upper_bounds({25, 10});
+  std::vector<AffineForm1D> forms{{IntVec{2, 5}, 1}, {IntVec{2, 5}, 5}};
+  EXPECT_EQ(count_image_union(forms, box), 94);
+}
+
+TEST(Counting, DepthThree) {
+  IntBox box = IntBox::from_upper_bounds({4, 5, 6});
+  AffineForm1D f{IntVec{7, 3, 1}, 0};
+  EXPECT_EQ(count_image(f, box), brute_count({f}, box));
+}
+
+TEST(Counting, RandomizedAgainstBruteForce) {
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<Int> coefd(-6, 6), cd(-10, 10), bnd(2, 9);
+  for (int iter = 0; iter < 60; ++iter) {
+    IntBox box = IntBox::from_upper_bounds({bnd(rng), bnd(rng)});
+    std::vector<AffineForm1D> forms;
+    size_t nforms = 1 + iter % 3;
+    for (size_t f = 0; f < nforms; ++f) {
+      IntVec coeffs{coefd(rng), coefd(rng)};
+      if (coeffs.is_zero()) coeffs[0] = 1;
+      forms.push_back(AffineForm1D{coeffs, cd(rng)});
+    }
+    EXPECT_EQ(count_image_union(forms, box), brute_count(forms, box))
+        << "iter " << iter;
+  }
+}
+
+TEST(Counting, RandomizedMembership) {
+  std::mt19937 rng(29);
+  std::uniform_int_distribution<Int> coefd(-5, 5), cd(-8, 8);
+  for (int iter = 0; iter < 40; ++iter) {
+    IntBox box = IntBox::from_upper_bounds({6, 7});
+    IntVec coeffs{coefd(rng), coefd(rng)};
+    AffineForm1D f{coeffs, cd(rng)};
+    std::set<Int> values;
+    scan(box.to_constraints(),
+         [&](const IntVec& p) { values.insert(f.coeffs.dot(p) + f.c); });
+    for (Int v = -60; v <= 60; ++v) {
+      EXPECT_EQ(image_contains(f, box, v), values.count(v) > 0)
+          << "form " << coeffs.str() << "+" << f.c << " value " << v;
+    }
+  }
+}
+
+TEST(Counting, NegativeLoopBounds) {
+  IntBox box({Range{-4, 4}, Range{-3, 3}});
+  AffineForm1D f{IntVec{2, 5}, 0};
+  EXPECT_EQ(count_image(f, box), brute_count({f}, box));
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "codes/examples.h"
+#include "dependence/tests.h"
+#include "ir/builder.h"
+#include "polyhedra/scanner.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+// Brute-force reference: does any (I, J) in box x box touch the same
+// element?
+ExactDependence brute(const ArrayRef& a, const ArrayRef& b, const IntBox& box) {
+  ExactDependence result;
+  scan(box.to_constraints(), [&](const IntVec& i) {
+    scan(box.to_constraints(), [&](const IntVec& j) {
+      if (a.index_at(i) == b.index_at(j)) {
+        result.any = true;
+        if (!(i == j)) result.cross_iteration = true;
+      }
+    });
+  });
+  return result;
+}
+
+ArrayRef make_ref(IntMat access, IntVec offset, AccessKind kind = AccessKind::kRead) {
+  return ArrayRef{0, kind, std::move(access), std::move(offset)};
+}
+
+TEST(GcdTest, DisprovesParityMismatch) {
+  // 2i vs 2j+1: even vs odd, never equal.
+  ArrayRef a = make_ref(IntMat{{2, 0}}, IntVec{0});
+  ArrayRef b = make_ref(IntMat{{0, 2}}, IntVec{1});
+  EXPECT_FALSE(gcd_test_may_depend(a, b));
+}
+
+TEST(GcdTest, PassesWhenDivisible) {
+  ArrayRef a = make_ref(IntMat{{2, 0}}, IntVec{0});
+  ArrayRef b = make_ref(IntMat{{0, 4}}, IntVec{2});
+  EXPECT_TRUE(gcd_test_may_depend(a, b));
+}
+
+TEST(GcdTest, ZeroRowNeedsZeroOffset) {
+  ArrayRef a = make_ref(IntMat{{0, 0}}, IntVec{3});
+  ArrayRef b = make_ref(IntMat{{0, 0}}, IntVec{5});
+  EXPECT_FALSE(gcd_test_may_depend(a, b));  // 3 != 5, constant subscripts
+  ArrayRef c = make_ref(IntMat{{0, 0}}, IntVec{3});
+  EXPECT_TRUE(gcd_test_may_depend(a, c));
+}
+
+TEST(Banerjee, DisprovesDisjointRanges) {
+  // i in [1,10] vs j+50: ranges [1,10] and [51,60] never meet.
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  ArrayRef a = make_ref(IntMat{{1, 0}}, IntVec{0});
+  ArrayRef b = make_ref(IntMat{{0, 1}}, IntVec{50});
+  EXPECT_FALSE(banerjee_may_depend(a, b, box));
+  EXPECT_TRUE(gcd_test_may_depend(a, b));  // gcd alone cannot see it
+}
+
+TEST(Banerjee, PassesOverlappingRanges) {
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  ArrayRef a = make_ref(IntMat{{1, 0}}, IntVec{0});
+  ArrayRef b = make_ref(IntMat{{0, 1}}, IntVec{5});
+  EXPECT_TRUE(banerjee_may_depend(a, b, box));
+}
+
+TEST(Exact, Example6PairDepends) {
+  // 3i+7j-10 and 4i-3j+60 do share elements (Example 6).
+  IntBox box = IntBox::from_upper_bounds({20, 20});
+  ArrayRef a = make_ref(IntMat{{3, 7}}, IntVec{-10});
+  ArrayRef b = make_ref(IntMat{{4, -3}}, IntVec{60});
+  ExactDependence e = depends_exact(a, b, box);
+  EXPECT_TRUE(e.any);
+  EXPECT_TRUE(e.cross_iteration);
+}
+
+TEST(Exact, SameIterationOnly) {
+  // A[i][j] vs A[i][j]: only I == J solutions.
+  IntBox box = IntBox::from_upper_bounds({4, 4});
+  ArrayRef a = make_ref(IntMat{{1, 0}, {0, 1}}, IntVec{0, 0});
+  ExactDependence e = depends_exact(a, a, box);
+  EXPECT_TRUE(e.any);
+  EXPECT_FALSE(e.cross_iteration);
+}
+
+TEST(Exact, UnreachableOffset) {
+  IntBox box = IntBox::from_upper_bounds({5, 5});
+  ArrayRef a = make_ref(IntMat{{1, 0}, {0, 1}}, IntVec{0, 0});
+  ArrayRef b = make_ref(IntMat{{1, 0}, {0, 1}}, IntVec{-20, 0});
+  ExactDependence e = depends_exact(a, b, box);
+  EXPECT_FALSE(e.any);
+}
+
+TEST(Exact, MatchesBruteForceRandomized) {
+  std::mt19937 rng(41);
+  std::uniform_int_distribution<Int> coefd(-3, 3), off(-6, 6);
+  for (int iter = 0; iter < 50; ++iter) {
+    IntBox box = IntBox::from_upper_bounds({4, 5});
+    ArrayRef a = make_ref(IntMat{{coefd(rng), coefd(rng)}}, IntVec{off(rng)});
+    ArrayRef b = make_ref(IntMat{{coefd(rng), coefd(rng)}}, IntVec{off(rng)});
+    ExactDependence fast = depends_exact(a, b, box);
+    ExactDependence slow = brute(a, b, box);
+    EXPECT_EQ(fast.any, slow.any) << "iter " << iter;
+    EXPECT_EQ(fast.cross_iteration, slow.cross_iteration) << "iter " << iter;
+  }
+}
+
+TEST(Exact, MatchesBruteForce2D) {
+  std::mt19937 rng(43);
+  std::uniform_int_distribution<Int> coefd(-2, 2), off(-3, 3);
+  for (int iter = 0; iter < 30; ++iter) {
+    IntBox box = IntBox::from_upper_bounds({4, 4});
+    ArrayRef a = make_ref(IntMat{{coefd(rng), coefd(rng)}, {coefd(rng), coefd(rng)}},
+                          IntVec{off(rng), off(rng)});
+    ArrayRef b = make_ref(IntMat{{coefd(rng), coefd(rng)}, {coefd(rng), coefd(rng)}},
+                          IntVec{off(rng), off(rng)});
+    ExactDependence fast = depends_exact(a, b, box);
+    ExactDependence slow = brute(a, b, box);
+    EXPECT_EQ(fast.any, slow.any) << "iter " << iter;
+    EXPECT_EQ(fast.cross_iteration, slow.cross_iteration) << "iter " << iter;
+  }
+}
+
+TEST(Screens, NeverContradictExact) {
+  // A screen saying "independent" must imply no exact dependence.
+  std::mt19937 rng(47);
+  std::uniform_int_distribution<Int> coefd(-3, 3), off(-10, 10);
+  for (int iter = 0; iter < 60; ++iter) {
+    IntBox box = IntBox::from_upper_bounds({5, 4});
+    ArrayRef a = make_ref(IntMat{{coefd(rng), coefd(rng)}}, IntVec{off(rng)});
+    ArrayRef b = make_ref(IntMat{{coefd(rng), coefd(rng)}}, IntVec{off(rng)});
+    ExactDependence e = depends_exact(a, b, box);
+    if (!gcd_test_may_depend(a, b)) {
+      EXPECT_FALSE(e.any) << "gcd screen unsound at iter " << iter;
+    }
+    if (!banerjee_may_depend(a, b, box)) {
+      EXPECT_FALSE(e.any) << "banerjee screen unsound at iter " << iter;
+    }
+  }
+}
+
+TEST(MayDepend, ThreeValuedAnswers) {
+  IntBox small = IntBox::from_upper_bounds({5, 5});
+  ArrayRef a = make_ref(IntMat{{2, 0}}, IntVec{0});
+  ArrayRef odd = make_ref(IntMat{{0, 2}}, IntVec{1});
+  EXPECT_EQ(may_depend(a, odd, small), DepAnswer::kIndependent);
+  ArrayRef b = make_ref(IntMat{{0, 2}}, IntVec{2});
+  EXPECT_EQ(may_depend(a, b, small), DepAnswer::kDependent);
+  // A huge space with a tiny exact budget falls back to kMaybe.
+  IntBox huge = IntBox::from_upper_bounds({100000, 100000});
+  EXPECT_EQ(may_depend(a, b, huge, /*exact_limit=*/10), DepAnswer::kMaybe);
+}
+
+TEST(Checks, MismatchedPairsRejected) {
+  ArrayRef a = make_ref(IntMat{{1, 0}}, IntVec{0});
+  ArrayRef b = make_ref(IntMat{{1, 0}, {0, 1}}, IntVec{0, 0});
+  EXPECT_THROW(gcd_test_may_depend(a, b), InvalidArgument);
+  ArrayRef c = make_ref(IntMat{{1, 0}}, IntVec{0});
+  c.array = 1;
+  EXPECT_THROW(gcd_test_may_depend(a, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lmre

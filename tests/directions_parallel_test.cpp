@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "dependence/directions.h"
+#include <algorithm>
+
+#include "ir/builder.h"
+#include "transform/minimizer.h"
+#include "transform/parallel.h"
+#include "transform/unimodular.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+ArrayRef ref1d(IntMat access, IntVec offset, AccessKind k = AccessKind::kRead) {
+  return ArrayRef{0, k, std::move(access), std::move(offset)};
+}
+
+TEST(Directions, Strings) {
+  EXPECT_EQ(direction_vector_string({Dir::kLt, Dir::kAny}), "(<, *)");
+  EXPECT_EQ(direction_vector_string({Dir::kEq, Dir::kGt}), "(=, >)");
+}
+
+TEST(Directions, ConstantDistancePair) {
+  // A[i][j] vs A[i-1][j+2]: the only dependence direction is (<, >).
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  ArrayRef w = ref1d(IntMat{{1, 0}, {0, 1}}, IntVec{0, 0}, AccessKind::kWrite);
+  ArrayRef r = ref1d(IntMat{{1, 0}, {0, 1}}, IntVec{-1, 2});
+  auto dirs = feasible_direction_vectors(w, r, box);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(direction_vector_string(dirs[0]), "(<, >)");
+}
+
+TEST(Directions, SelfPairIsAllEquals) {
+  IntBox box = IntBox::from_upper_bounds({5, 5});
+  ArrayRef a = ref1d(IntMat{{1, 0}, {0, 1}}, IntVec{0, 0});
+  auto dirs = feasible_direction_vectors(a, a, box);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(direction_vector_string(dirs[0]), "(=, =)");
+}
+
+TEST(Directions, KernelReusePairHasSymmetricDirections) {
+  // A[2i+5j] vs itself: solutions along (5,-2) in both orientations plus
+  // the trivial (=,=).
+  IntBox box = IntBox::from_upper_bounds({20, 10});
+  ArrayRef a = ref1d(IntMat{{2, 5}}, IntVec{0});
+  auto dirs = feasible_direction_vectors(a, a, box);
+  std::vector<std::string> strs;
+  for (const auto& d : dirs) strs.push_back(direction_vector_string(d));
+  EXPECT_NE(std::find(strs.begin(), strs.end(), "(=, =)"), strs.end());
+  EXPECT_NE(std::find(strs.begin(), strs.end(), "(<, >)"), strs.end());
+  EXPECT_NE(std::find(strs.begin(), strs.end(), "(>, <)"), strs.end());
+  EXPECT_EQ(dirs.size(), 3u);
+}
+
+TEST(Directions, NonUniformPairRefinement) {
+  // Example 6's pair: dependences exist in several directions; every
+  // reported vector must individually satisfy the constrained test.
+  IntBox box = IntBox::from_upper_bounds({20, 20});
+  ArrayRef f1 = ref1d(IntMat{{3, 7}}, IntVec{-10});
+  ArrayRef f2 = ref1d(IntMat{{4, -3}}, IntVec{60});
+  auto dirs = feasible_direction_vectors(f1, f2, box);
+  EXPECT_FALSE(dirs.empty());
+  for (const auto& d : dirs) {
+    EXPECT_TRUE(depends_with_directions(f1, f2, box, d))
+        << direction_vector_string(d);
+  }
+}
+
+TEST(Directions, InfeasibleConstraintRejected) {
+  // The (1,-2)-distance pair admits no (=, *) dependence.
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  ArrayRef w = ref1d(IntMat{{1, 0}, {0, 1}}, IntVec{0, 0}, AccessKind::kWrite);
+  ArrayRef r = ref1d(IntMat{{1, 0}, {0, 1}}, IntVec{-1, 2});
+  EXPECT_FALSE(depends_with_directions(w, r, box, {Dir::kEq, Dir::kAny}));
+  EXPECT_TRUE(depends_with_directions(w, r, box, {Dir::kLt, Dir::kAny}));
+}
+
+TEST(Parallel, StencilLevels) {
+  // A[i][j] = A[i-1][j]: the dependence (1,0) is carried by i; j is
+  // parallel.
+  LoopNest nest = codes::kernel_two_point(8);
+  auto par = parallel_loops(nest);
+  ASSERT_EQ(par.size(), 2u);
+  EXPECT_FALSE(par[0]);
+  EXPECT_TRUE(par[1]);
+  EXPECT_EQ(outer_parallel_depth(par), 0);
+}
+
+TEST(Parallel, InterchangeMovesParallelismOutward) {
+  LoopNest nest = codes::kernel_two_point(8);
+  auto par = parallel_loops_after(nest, interchange(2, 0, 1));
+  EXPECT_TRUE(par[0]);   // j now outer, carries nothing
+  EXPECT_FALSE(par[1]);  // i inner, carries (0,1)-transformed dependence
+  EXPECT_EQ(outer_parallel_depth(par), 1);
+}
+
+TEST(Parallel, ReadOnlyNestFullyParallel) {
+  LoopNest nest = codes::example_7();  // only an input dependence
+  auto par = parallel_loops(nest);
+  EXPECT_TRUE(par[0]);
+  EXPECT_TRUE(par[1]);
+  EXPECT_EQ(outer_parallel_depth(par), 2);
+}
+
+TEST(Parallel, WindowVsParallelismTradeoff) {
+  // Example 8's window-optimal transform carries all reuse innermost: the
+  // outer transformed loop becomes parallel while the inner serializes.
+  LoopNest nest = codes::example_8();
+  auto before = parallel_loops(nest);
+  EXPECT_FALSE(before[0]);  // (3,-2),(2,0),(5,-2) all carried by i
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  auto after = parallel_loops_after(nest, res->transform);
+  EXPECT_FALSE(after[1]);  // reuse now carried innermost
+}
+
+TEST(Parallel, IllegalTransformRejected) {
+  LoopNest nest = codes::example_2();  // dependence (1,-2)
+  EXPECT_THROW(parallel_loops_after(nest, interchange(2, 0, 1)), InvalidArgument);
+}
+
+TEST(Parallel, MatmultKLevelSerial) {
+  LoopNest nest = codes::kernel_matmult(6);
+  auto par = parallel_loops(nest);
+  EXPECT_TRUE(par[0]);   // i
+  EXPECT_TRUE(par[1]);   // j
+  EXPECT_FALSE(par[2]);  // k carries the accumulation
+  EXPECT_EQ(outer_parallel_depth(par), 2);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "energy/model.h"
+#include "exact/oracle.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(MemoryModel, MonotoneInSize) {
+  MemoryModel m;
+  double prev_e = 0, prev_t = 0, prev_a = 0;
+  for (Int s : {1, 4, 16, 64, 256, 1024, 4096}) {
+    double e = m.energy_per_access(s);
+    double t = m.latency(s);
+    double a = m.area(s);
+    EXPECT_GT(e, prev_e);
+    EXPECT_GT(t, prev_t);
+    EXPECT_GT(a, prev_a);
+    prev_e = e;
+    prev_t = t;
+    prev_a = a;
+  }
+}
+
+TEST(MemoryModel, SqrtScaling) {
+  MemoryModel m;
+  m.alpha = 1.0;
+  // E(4s) - 1 == 2 * (E(s) - 1) under sqrt scaling.
+  double e1 = m.energy_per_access(100) - 1.0;
+  double e4 = m.energy_per_access(400) - 1.0;
+  EXPECT_NEAR(e4, 2.0 * e1, 1e-9);
+}
+
+TEST(MemoryModel, RejectsNonPositiveSize) {
+  MemoryModel m;
+  EXPECT_THROW(m.energy_per_access(0), InvalidArgument);
+  EXPECT_THROW(m.latency(-1), InvalidArgument);
+  EXPECT_THROW(m.area(0), InvalidArgument);
+}
+
+TEST(Sizing, WindowSizingSavesEnergy) {
+  LoopNest nest = codes::kernel_two_point(64);
+  Int window = simulate(nest).mws_total;  // 64 vs declared 4096
+  SizingComparison cmp = compare_sizing(nest, window);
+  EXPECT_GT(cmp.energy_saving(), 0.5);  // sqrt(4096)=64 vs sqrt(64)=8
+  EXPECT_LT(cmp.area_ratio, 0.02);
+  EXPECT_LT(cmp.latency_ratio, 1.0);
+}
+
+TEST(Sizing, AccountsAllAccesses) {
+  LoopNest nest = codes::example_8();
+  SizingComparison cmp = compare_sizing(nest, 44);
+  EXPECT_EQ(cmp.accesses, 250 * 2);
+  EXPECT_EQ(cmp.declared_cells, 106);
+  EXPECT_EQ(cmp.window_cells, 44);
+}
+
+TEST(Sizing, DegenerateWindowClampedToOne) {
+  LoopNest nest = codes::example_8();
+  SizingComparison cmp = compare_sizing(nest, 0);
+  EXPECT_EQ(cmp.window_cells, 1);
+  EXPECT_GT(cmp.energy_saving(), 0.0);
+}
+
+TEST(Sizing, SavingGrowsWithWindowReduction) {
+  LoopNest nest = codes::kernel_matmult(16);
+  SizingComparison big = compare_sizing(nest, 600);
+  SizingComparison small = compare_sizing(nest, 273);
+  EXPECT_GT(small.energy_saving(), big.energy_saving());
+}
+
+TEST(MemoryModel, LeakagePenalizesLargeMemories) {
+  MemoryModel leaky;
+  leaky.leakage = 0.001;
+  MemoryModel pure;
+  // Without leakage, total energy scales only with dynamic cost.
+  EXPECT_DOUBLE_EQ(pure.total_energy(64, 1000),
+                   1000.0 * pure.energy_per_access(64));
+  // With leakage, a big idle-prone memory costs strictly more.
+  double small = leaky.total_energy(64, 1000);
+  double big = leaky.total_energy(4096, 1000);
+  EXPECT_GT(big / small,
+            pure.total_energy(4096, 1000) / pure.total_energy(64, 1000));
+}
+
+TEST(MemoryModel, TotalEnergyRejectsNegativeAccesses) {
+  MemoryModel m;
+  EXPECT_THROW(m.total_energy(4, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lmre

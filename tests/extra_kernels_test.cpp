@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "alloc/scratchpad.h"
+#include "analysis/distinct.h"
+#include "codes/extra_kernels.h"
+#include "dependence/dependence.h"
+#include "exact/oracle.h"
+#include "transform/minimizer.h"
+
+namespace lmre {
+namespace {
+
+TEST(Extra, SuiteValidatesAndSimulates) {
+  for (auto& [name, nest] : codes::extra_suite()) {
+    TraceStats s = simulate(nest);
+    EXPECT_GT(s.iterations, 0) << name;
+    EXPECT_GT(s.distinct_total, 0) << name;
+  }
+}
+
+TEST(Extra, FirWindowIsTapNeighborhood) {
+  // x is re-read across taps and across neighboring outputs: the window is
+  // a few taps wide, far below the declared sample buffers.
+  LoopNest nest = codes::kernel_fir(64, 8);
+  TraceStats s = simulate(nest);
+  EXPECT_LE(s.mws_total, 3 * 8 + 4);
+  EXPECT_GE(s.mws_total, 8);
+  EXPECT_LT(s.mws_total, nest.default_memory() / 4);
+}
+
+TEST(Extra, IirCarriesTwoFeedbackValues) {
+  LoopNest nest = codes::kernel_iir(64);
+  TraceStats s = simulate(nest);
+  // y[i-1] and y[i-2] are the only cross-iteration state.
+  EXPECT_EQ(s.mws_total, 2);
+}
+
+TEST(Extra, IirDependencesIncludeRecurrence) {
+  auto info = analyze_dependences(codes::kernel_iir(32));
+  bool has_flow_1 = false, has_flow_2 = false;
+  for (const auto& d : info.deps) {
+    if (d.kind == DepKind::kFlow && d.distance == (IntVec{1})) has_flow_1 = true;
+    if (d.kind == DepKind::kFlow && d.distance == (IntVec{2})) has_flow_2 = true;
+  }
+  EXPECT_TRUE(has_flow_1);
+  EXPECT_TRUE(has_flow_2);
+}
+
+TEST(Extra, Conv2dWindowIsKernelBand) {
+  LoopNest nest = codes::kernel_conv2d(8, 3);
+  TraceStats s = simulate(nest);
+  // The image band live at once is ~kernel_rows * image_width plus the
+  // small kernel and one accumulator.
+  EXPECT_LE(s.mws_total, 3 * (8 + 3) + 9 + 4);
+  EXPECT_GE(s.mws_total, 2 * 8);
+}
+
+TEST(Extra, TransposeMmStillOperandBound) {
+  LoopNest nest = codes::kernel_transpose_mm(8);
+  TraceStats s = simulate(nest);
+  // One full operand stays live, as with plain matmult.
+  EXPECT_GE(s.mws_total, 8 * 8);
+  OptimizeResult res = optimize_locality(nest);
+  EXPECT_EQ(simulate_transformed(nest, res.transform).mws_total, s.mws_total);
+}
+
+TEST(Extra, JacobiTwoArraysKeepTwoRows) {
+  LoopNest nest = codes::kernel_jacobi(16);
+  TraceStats s = simulate(nest);
+  EXPECT_GE(s.mws_total, 2 * 16 - 2);
+  EXPECT_LE(s.mws_total, 2 * 16 + 4);
+}
+
+TEST(Extra, RowSumKeepsOneAccumulator) {
+  LoopNest nest = codes::kernel_row_sum(16);
+  TraceStats s = simulate(nest);
+  // M elements are touched once (window 0); s[i] is live across its row.
+  EXPECT_LE(s.mws_total, 2);
+}
+
+TEST(Extra, DistinctEstimatesTrackOracle) {
+  for (auto& [name, nest] : codes::extra_suite()) {
+    Int est = estimate_distinct_total(nest);
+    Int exact = simulate(nest).distinct_total;
+    EXPECT_GE(est, exact) << name;           // estimates never undercount here
+    EXPECT_LE(est, exact + exact / 4 + 8) << name;  // and stay within ~25%
+  }
+}
+
+TEST(Extra, AllocationAchievesBoundEverywhere) {
+  for (auto& [name, nest] : codes::extra_suite()) {
+    Allocation a = allocate_scratchpad(nest);
+    EXPECT_TRUE(a.verified) << name;
+    EXPECT_EQ(a.slots, simulate(nest).mws_total) << name;
+  }
+}
+
+TEST(Extra, OptimizerNeverHurts) {
+  for (auto& [name, nest] : codes::extra_suite()) {
+    OptimizeResult res = optimize_locality(nest);
+    EXPECT_LE(simulate_transformed(nest, res.transform).mws_total,
+              simulate(nest).mws_total)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace lmre

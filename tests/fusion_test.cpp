@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "program/fusion.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+LoopNest producer(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n);
+  ArrayId a = b.array("A", {n});
+  b.statement().write(a, {{1}}, {0});
+  return b.build();
+}
+
+LoopNest consumer_same(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n);
+  ArrayId a = b.array("A", {n});
+  ArrayId out = b.array("B", {n});
+  b.statement().write(out, {{1}}, {0}).read(a, {{1}}, {0});
+  return b.build();
+}
+
+LoopNest consumer_forward(Int n) {
+  // Reads A[i-1]: the producer of A[x] ran at iteration x <= x+1: still
+  // forward after fusion.
+  NestBuilder b;
+  b.loop("i", 2, n);
+  ArrayId a = b.array("A", {n});
+  ArrayId out = b.array("B", {n});
+  b.statement().write(out, {{1}}, {0}).read(a, {{1}}, {-1});
+  return b.build();
+}
+
+LoopNest consumer_backward(Int n) {
+  // Reads A[i+1]: A[x] is consumed at iteration x-1, BEFORE its producer
+  // iteration x -- fusion would read an unwritten value.
+  NestBuilder b;
+  b.loop("i", 1, n - 1);
+  ArrayId a = b.array("A", {n + 1});
+  ArrayId out = b.array("B", {n});
+  b.statement().write(out, {{1}}, {0}).read(a, {{1}}, {1});
+  return b.build();
+}
+
+TEST(Fusion, SameIndexIsLegal) {
+  FusionResult res = fuse_nests(producer(10), consumer_same(10));
+  ASSERT_TRUE(res.fused.has_value());
+  EXPECT_EQ(res.blocker, FusionBlocker::kNone);
+  // Fused: two statements, arrays A and B unified.
+  EXPECT_EQ(res.fused->statements().size(), 2u);
+  EXPECT_EQ(res.fused->arrays().size(), 2u);
+  // The fused window is O(1): production feeds consumption immediately.
+  EXPECT_LE(simulate(*res.fused).mws_total, 1);
+}
+
+TEST(Fusion, BackwardDependenceBlocked) {
+  // Bounds must match for the test to reach the dependence check.
+  LoopNest prod = [&] {
+    NestBuilder b;
+    b.loop("i", 1, 9);
+    ArrayId a = b.array("A", {11});
+    b.statement().write(a, {{1}}, {0});
+    return b.build();
+  }();
+  FusionResult res = fuse_nests(prod, consumer_backward(10));
+  EXPECT_FALSE(res.fused.has_value());
+  EXPECT_EQ(res.blocker, FusionBlocker::kDependence);
+}
+
+TEST(Fusion, ShapeMismatchBlocked) {
+  FusionResult res = fuse_nests(producer(10), consumer_same(12));
+  EXPECT_FALSE(res.fused.has_value());
+  EXPECT_EQ(res.blocker, FusionBlocker::kShapeMismatch);
+}
+
+TEST(Fusion, ExtentMismatchBlocked) {
+  NestBuilder b;
+  b.loop("i", 1, 10);
+  ArrayId a = b.array("A", {20});  // different declared extent for A
+  b.statement().read(a, {{1}}, {0});
+  FusionResult res = fuse_nests(producer(10), b.build());
+  EXPECT_FALSE(res.fused.has_value());
+  EXPECT_EQ(res.blocker, FusionBlocker::kShapeMismatch);
+}
+
+TEST(Fusion, ForwardOffsetLegal) {
+  LoopNest prod = [&] {
+    NestBuilder b;
+    b.loop("i", 2, 10);
+    ArrayId a = b.array("A", {10});
+    b.statement().write(a, {{1}}, {0});
+    return b.build();
+  }();
+  FusionResult res = fuse_nests(prod, consumer_forward(10));
+  ASSERT_TRUE(res.fused.has_value());
+  EXPECT_LE(simulate(*res.fused).mws_total, 3);
+}
+
+TEST(Fusion, ProgramLevelShrinksHandoff) {
+  Program p;
+  p.add_phase("produce", producer(16));
+  p.add_phase("consume", consumer_same(16));
+  ProgramStats before = p.simulate();
+  EXPECT_EQ(before.handoff[1], 16);  // whole buffer parked at the boundary
+
+  auto fused = fuse_phases(p, 0);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ(fused->phase_count(), 1u);
+  EXPECT_EQ(fused->phase_name(0), "produce+consume");
+  ProgramStats after = fused->simulate();
+  EXPECT_LE(after.mws_total, 1);            // buffer gone
+  EXPECT_EQ(after.distinct_total, before.distinct_total);
+}
+
+TEST(Fusion, ProgramFusionBlockedPassesThrough) {
+  Program p;
+  NestBuilder b1;
+  b1.loop("i", 1, 9);
+  ArrayId a1 = b1.array("A", {11});
+  b1.statement().write(a1, {{1}}, {0});
+  p.add_phase("produce", b1.build());
+  p.add_phase("consume", consumer_backward(10));
+  EXPECT_FALSE(fuse_phases(p, 0).has_value());
+}
+
+TEST(Fusion, OutOfRangeIndexRejected) {
+  Program p;
+  p.add_phase("only", producer(4));
+  EXPECT_THROW(fuse_phases(p, 0), InvalidArgument);
+}
+
+TEST(Fusion, ThreePhaseMiddleFusion) {
+  Program p;
+  p.add_phase("p0", producer(8));
+  p.add_phase("p1", consumer_same(8));
+  NestBuilder b;
+  b.loop("i", 1, 8);
+  ArrayId bb = b.array("B", {8});
+  ArrayId cc = b.array("C", {8});
+  b.statement().write(cc, {{1}}, {0}).read(bb, {{1}}, {0});
+  p.add_phase("p2", b.build());
+
+  auto fused = fuse_phases(p, 1);
+  ASSERT_TRUE(fused.has_value());
+  ASSERT_EQ(fused->phase_count(), 2u);
+  EXPECT_EQ(fused->phase_name(0), "p0");
+  EXPECT_EQ(fused->phase_name(1), "p1+p2");
+  // B's handoff buffer disappears; A's remains (p0 still separate).
+  ProgramStats s = fused->simulate();
+  EXPECT_EQ(s.handoff[1], 8);  // A crosses into the fused phase
+}
+
+}  // namespace
+}  // namespace lmre

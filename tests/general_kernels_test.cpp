@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "codes/general_kernels.h"
+#include "exact/oracle.h"
+
+namespace lmre {
+namespace {
+
+TEST(GeneralKernels, SuiteSimulates) {
+  for (auto& [name, nest] : codes::general_suite()) {
+    TraceStats s = simulate_general(nest);
+    EXPECT_GT(s.iterations, 0) << name;
+    EXPECT_GT(s.distinct_total, 0) << name;
+    EXPECT_LE(s.mws_total, s.distinct_total) << name;
+  }
+}
+
+TEST(GeneralKernels, ForwardSubstCounts) {
+  GeneralNest nest = codes::kernel_forward_subst(16);
+  TraceStats s = simulate_general(nest);
+  EXPECT_EQ(s.iterations, 15 * 16 / 2);  // sum_{i=2..16} (i-1)
+  // x[1..16] plus the strict lower triangle of L.
+  EXPECT_EQ(s.distinct_total, 16 + 120);
+  // x is the only array live across rows: window ~ n.
+  EXPECT_GE(s.mws_total, 14);
+  EXPECT_LE(s.mws_total, 17);
+}
+
+TEST(GeneralKernels, SyrLowerCounts) {
+  GeneralNest nest = codes::kernel_syr_lower(16);
+  TraceStats s = simulate_general(nest);
+  EXPECT_EQ(s.iterations, 16 * 17 / 2);
+  // Lower triangle of A (once each, no cross-iteration reuse) + v.
+  EXPECT_EQ(s.distinct_total, 136 + 16);
+  EXPECT_EQ(s.mws.at(0), 0);  // A elements touched in one iteration only
+  EXPECT_GE(s.mws.at(1), 14);  // v fully reused
+}
+
+TEST(GeneralKernels, BandWindowIsBandWidth) {
+  GeneralNest nest = codes::kernel_band_mv(24);
+  TraceStats s = simulate_general(nest);
+  // y[i] accumulates over <=3 js; x[j] reused across <=3 is.
+  EXPECT_LE(s.mws_total, 5);
+  EXPECT_EQ(s.iterations, 24 * 3 - 2);
+}
+
+TEST(GeneralKernels, WindowScalesWithN) {
+  Int w8 = simulate_general(codes::kernel_forward_subst(8)).mws_total;
+  Int w24 = simulate_general(codes::kernel_forward_subst(24)).mws_total;
+  EXPECT_GT(w24, 2 * w8);  // x's live span grows with n
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "polyhedra/geometry.h"
+#include "polyhedra/scanner.h"
+#include "support/error.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+namespace {
+
+LatticePolygon unit_square(Int n) {
+  return LatticePolygon{{IntVec{0, 0}, IntVec{n, 0}, IntVec{n, n}, IntVec{0, n}}};
+}
+
+TEST(Polygon, SquareAreaAndBoundary) {
+  LatticePolygon sq = unit_square(4);
+  EXPECT_EQ(sq.area(), Rational(16));
+  EXPECT_EQ(sq.boundary_points(), 16);
+  EXPECT_EQ(sq.lattice_points(), 25);
+  EXPECT_EQ(sq.interior_points(), 9);
+}
+
+TEST(Polygon, OrientationIrrelevant) {
+  LatticePolygon cw{{IntVec{0, 0}, IntVec{0, 3}, IntVec{3, 3}, IntVec{3, 0}}};
+  LatticePolygon ccw{{IntVec{0, 0}, IntVec{3, 0}, IntVec{3, 3}, IntVec{0, 3}}};
+  EXPECT_EQ(cw.lattice_points(), ccw.lattice_points());
+  EXPECT_EQ(cw.twice_signed_area(), -ccw.twice_signed_area());
+}
+
+TEST(Polygon, TriangleWithHalfIntegralArea) {
+  LatticePolygon tri{{IntVec{0, 0}, IntVec{2, 0}, IntVec{0, 1}}};
+  EXPECT_EQ(tri.area(), Rational(1));
+  EXPECT_EQ(tri.boundary_points(), 4);  // (0,0),(1,0),(2,0),(0,1)
+  EXPECT_EQ(tri.lattice_points(), 4);
+  EXPECT_EQ(tri.interior_points(), 0);
+}
+
+TEST(Polygon, SheeredParallelogram) {
+  // Fundamental parallelogram of a unimodular lattice basis: area 1,
+  // exactly its 4 corners as lattice points.
+  LatticePolygon par{{IntVec{0, 0}, IntVec{2, 1}, IntVec{5, 3}, IntVec{3, 2}}};
+  EXPECT_EQ(par.area(), Rational(1));
+  EXPECT_EQ(par.lattice_points(), 4);
+}
+
+TEST(Polygon, NeedsThreeVertices) {
+  LatticePolygon bad{{IntVec{0, 0}, IntVec{1, 1}}};
+  EXPECT_THROW(bad.lattice_points(), InvalidArgument);
+}
+
+TEST(TransformBox, IdentityKeepsBox) {
+  IntBox box = IntBox::from_upper_bounds({4, 6});
+  EXPECT_EQ(transformed_point_count(box, IntMat::identity(2)), 24);
+}
+
+TEST(TransformBox, UnimodularPreservesCount) {
+  IntBox box = IntBox::from_upper_bounds({5, 7});
+  for (IntMat t : {IntMat{{1, 1}, {0, 1}}, IntMat{{2, 3}, {1, 1}},
+                   IntMat{{0, 1}, {1, 0}}, IntMat{{2, -3}, {-1, 2}}}) {
+    EXPECT_EQ(transformed_point_count(box, t), box.volume()) << t.str();
+  }
+}
+
+TEST(TransformBox, MatchesScannerOnRandomTransforms) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<Int> bnd(2, 7);
+  for (int iter = 0; iter < 30; ++iter) {
+    IntBox box = IntBox::from_upper_bounds({bnd(rng), bnd(rng)});
+    // Random unimodular via elementary composition.
+    IntMat t = IntMat::identity(2);
+    std::uniform_int_distribution<Int> f(-2, 2);
+    for (int k = 0; k < 4; ++k) {
+      t = skew(2, k % 2, (k + 1) % 2, f(rng)) * t;
+      if (k == 1) t = interchange(2, 0, 1) * t;
+    }
+    ASSERT_TRUE(t.is_unimodular());
+    // Scanner count of the image == Pick count.
+    ConstraintSystem sys(2);
+    IntMat tinv = t.inverse_unimodular();
+    for (size_t k = 0; k < 2; ++k) {
+      sys.add_range(AffineExpr(tinv.row(k), 0), box.range(k).lo, box.range(k).hi);
+    }
+    EXPECT_EQ(transformed_point_count(box, t), count_points(sys)) << t.str();
+  }
+}
+
+TEST(TransformBox, RejectsBadInputs) {
+  IntBox box = IntBox::from_upper_bounds({3, 3});
+  EXPECT_THROW(transformed_point_count(box, IntMat{{1, 2}, {2, 4}}), InvalidArgument);
+  EXPECT_THROW(transformed_point_count(box, IntMat{{2, 0}, {0, 1}}), InvalidArgument);
+  EXPECT_THROW(transform_box(IntBox::from_upper_bounds({2, 2, 2}), IntMat::identity(2)),
+               InvalidArgument);
+}
+
+TEST(Polygon, PickAgainstBruteForceRandomTriangles) {
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<Int> c(-6, 6);
+  int checked = 0;
+  for (int iter = 0; iter < 60 && checked < 40; ++iter) {
+    IntVec a{c(rng), c(rng)}, b{c(rng), c(rng)}, d{c(rng), c(rng)};
+    LatticePolygon tri{{a, b, d}};
+    if (tri.twice_signed_area() == 0) continue;  // degenerate
+    ++checked;
+    // Brute force: test every lattice point in the bounding box.
+    Int count = 0;
+    Int lox = std::min({a[0], b[0], d[0]}), hix = std::max({a[0], b[0], d[0]});
+    Int loy = std::min({a[1], b[1], d[1]}), hiy = std::max({a[1], b[1], d[1]});
+    auto side = [](const IntVec& p, const IntVec& q, Int x, Int y) {
+      return (q[0] - p[0]) * (y - p[1]) - (q[1] - p[1]) * (x - p[0]);
+    };
+    Int orient = tri.twice_signed_area() > 0 ? 1 : -1;
+    for (Int x = lox; x <= hix; ++x) {
+      for (Int y = loy; y <= hiy; ++y) {
+        Int s1 = orient * side(a, b, x, y);
+        Int s2 = orient * side(b, d, x, y);
+        Int s3 = orient * side(d, a, x, y);
+        if (s1 >= 0 && s2 >= 0 && s3 >= 0) ++count;
+      }
+    }
+    EXPECT_EQ(tri.lattice_points(), count)
+        << a.str() << b.str() << d.str();
+  }
+  EXPECT_GE(checked, 30);
+}
+
+}  // namespace
+}  // namespace lmre

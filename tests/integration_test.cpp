@@ -1,0 +1,142 @@
+// End-to-end integration: the full pipeline from DSL text to a sized,
+// verified memory system, crossing every major module boundary.
+
+#include <gtest/gtest.h>
+
+#include "alloc/scratchpad.h"
+#include "analysis/report.h"
+#include "cachesim/cache.h"
+#include "dependence/dependence.h"
+#include "energy/model.h"
+#include "exact/oracle.h"
+#include "exact/stack_distance.h"
+#include "ir/parser.h"
+#include "layout/spatial.h"
+#include "program/fusion.h"
+#include "transform/minimizer.h"
+#include "transform/parallel.h"
+#include "transform/tiling.h"
+#include "transform/transformed.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+namespace {
+
+TEST(Integration, DslToSizedScratchpad) {
+  // Parse -> analyze -> optimize -> allocate -> verify with a cache.
+  LoopNest nest = parse_nest(R"(
+    for i = 1 to 30
+      for j = 1 to 12
+        X[3*i + 4*j] = X[3*i + 4*j + 5];
+  )");
+
+  MemoryReport before = analyze_memory(nest);
+  ASSERT_TRUE(before.mws_exact_total.has_value());
+
+  OptimizeResult opt = optimize_locality(nest);
+  TransformedNest tn(nest, opt.transform);
+  Int after = tn.simulate().mws_total;
+  EXPECT_LE(after, *before.mws_exact_total);
+
+  // Allocation in the transformed order achieves exactly the new window.
+  Allocation alloc = allocate_scratchpad(nest, &opt.transform);
+  EXPECT_TRUE(alloc.verified);
+  EXPECT_EQ(alloc.slots, after);
+
+  // A cache of that size (plus LRU headroom) eliminates capacity misses in
+  // the transformed order.
+  StackDistanceProfile profile = stack_distances(nest, &opt.transform);
+  EXPECT_EQ(profile.lru_misses(profile.max_distance()), profile.cold_accesses);
+
+  // And the energy model prices the win.
+  SizingComparison cmp = compare_sizing(nest, after);
+  EXPECT_GT(cmp.energy_saving(), 0.0);
+}
+
+TEST(Integration, ProgramFusionThenAnalysis) {
+  Program p = parse_program(R"(
+    array T[40];
+    phase build {
+      for i = 1 to 40
+        T[i] = 0;
+    }
+    phase consume {
+      for i = 1 to 40
+        out[i] = T[i];
+    }
+  )");
+  ProgramStats staged = p.simulate();
+  EXPECT_EQ(staged.handoff[1], 40);
+
+  auto fused = fuse_phases(p, 0);
+  ASSERT_TRUE(fused.has_value());
+  ProgramStats merged = fused->simulate();
+  EXPECT_LE(merged.mws_total, 1);
+  EXPECT_EQ(merged.distinct_total, staged.distinct_total);
+
+  // The fused nest flows through the standard single-nest analyses.
+  const LoopNest& nest = fused->phase_nest(0);
+  Allocation alloc = allocate_scratchpad(nest);
+  EXPECT_EQ(alloc.slots, simulate(nest).mws_total);
+}
+
+TEST(Integration, TilingAfterOptimization) {
+  LoopNest nest = parse_nest(R"(
+    for i = 1 to 25
+      for j = 1 to 10
+        X[2*i + 5*j + 1] = X[2*i + 5*j + 5];
+  )");
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  auto deps = analyze_dependences(nest).distance_vectors(true);
+  ASSERT_TRUE(is_tileable(res->transform, deps));
+  TilingReport rep = analyze_tiling(nest, res->transform, {4, 4});
+  EXPECT_EQ(rep.stats.distinct_total, simulate(nest).distinct_total);
+  EXPECT_GT(rep.tiles, 1);
+  // Block transfers: every tile's footprint fits a small buffer.
+  EXPECT_LE(rep.max_tile_footprint, 24);
+}
+
+TEST(Integration, LayoutAndLinesAfterTransform) {
+  LoopNest nest = parse_nest(R"(
+    for i = 1 to 16
+      for j = 1 to 16
+        A[i][j] = A[i-1][j];
+  )");
+  OptimizeResult opt = optimize_locality(nest);
+  LayoutChoice choice = choose_layouts(nest, 4, &opt.transform);
+  SpatialStats lines = simulate_lines(nest, choice.layouts, 4, &opt.transform);
+  // Element window is 1 after interchange; line window stays small with the
+  // matching layout.
+  EXPECT_LE(lines.mws_lines, 3);
+}
+
+TEST(Integration, ParallelismReportAfterOptimization) {
+  LoopNest nest = parse_nest(R"(
+    for i = 1 to 12
+      for j = 1 to 12
+        A[i][j] = A[i-1][j];
+  )");
+  OptimizeResult opt = optimize_locality(nest);
+  auto par = parallel_loops_after(nest, opt.transform);
+  // The chosen transform (interchange) exposes an outer parallel loop.
+  EXPECT_EQ(outer_parallel_depth(par), 1);
+}
+
+TEST(Integration, StridedDslThroughWholePipeline) {
+  LoopNest nest = parse_nest(R"(
+    for i = 2 to 40 step 2
+      for j = 1 to 6
+        B[i + j] = B[i + j - 2];
+  )");
+  MemoryReport rep = analyze_memory(nest);
+  ASSERT_TRUE(rep.mws_exact_total.has_value());
+  Allocation alloc = allocate_scratchpad(nest);
+  EXPECT_EQ(alloc.slots, *rep.mws_exact_total);
+  OptimizeResult opt = optimize_locality(nest);
+  EXPECT_LE(simulate_transformed(nest, opt.transform).mws_total,
+            *rep.mws_exact_total);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "codes/examples.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+LoopNest two_ref_nest() {
+  NestBuilder b;
+  b.loop("i", 1, 10).loop("j", 1, 20);
+  ArrayId a = b.array("A", {10, 20});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-1, 2});
+  return b.build();
+}
+
+TEST(Builder, BuildsValidNest) {
+  LoopNest nest = two_ref_nest();
+  EXPECT_EQ(nest.depth(), 2u);
+  EXPECT_EQ(nest.iteration_count(), 200);
+  EXPECT_EQ(nest.arrays().size(), 1u);
+  EXPECT_EQ(nest.statements().size(), 1u);
+  EXPECT_EQ(nest.all_refs().size(), 2u);
+  EXPECT_EQ(nest.refs_to(0).size(), 2u);
+}
+
+TEST(Builder, RejectsEmptyLoopRange) {
+  NestBuilder b;
+  EXPECT_THROW(b.loop("i", 5, 4), InvalidArgument);
+}
+
+TEST(Builder, RejectsBadExtent) {
+  NestBuilder b;
+  b.loop("i", 1, 4);
+  EXPECT_THROW(b.array("A", {0}), InvalidArgument);
+}
+
+TEST(Builder, RejectsNoLoops) {
+  NestBuilder b;
+  EXPECT_THROW(b.build(), InvalidArgument);
+}
+
+TEST(Validation, AccessMatrixShapeChecked) {
+  NestBuilder b;
+  b.loop("i", 1, 4).loop("j", 1, 4);
+  ArrayId a = b.array("A", {4});  // 1-d array
+  // 2-row access matrix for a 1-d array: invalid.
+  b.statement().read(a, {{1, 0}, {0, 1}}, {0, 0});
+  EXPECT_THROW(b.build(), InvalidArgument);
+}
+
+TEST(Validation, AccessMatrixColsChecked) {
+  NestBuilder b;
+  b.loop("i", 1, 4);
+  ArrayId a = b.array("A", {4});
+  b.statement().read(a, {{1, 0}}, {0});  // 2 cols for a 1-deep nest
+  EXPECT_THROW(b.build(), InvalidArgument);
+}
+
+TEST(Validation, OffsetLengthChecked) {
+  NestBuilder b;
+  b.loop("i", 1, 4).loop("j", 1, 4);
+  ArrayId a = b.array("A", {4, 4});
+  b.statement().read(a, {{1, 0}, {0, 1}}, {0});  // short offset
+  EXPECT_THROW(b.build(), InvalidArgument);
+}
+
+TEST(ArrayRef, IndexAt) {
+  LoopNest nest = two_ref_nest();
+  ArrayRef read = nest.all_refs()[1];  // all_refs() returns by value
+  EXPECT_EQ(read.index_at(IntVec{5, 7}), (IntVec{4, 9}));
+}
+
+TEST(ArrayRef, UniformlyGeneratedWith) {
+  LoopNest nest = two_ref_nest();
+  auto refs = nest.all_refs();
+  EXPECT_TRUE(refs[0].uniformly_generated_with(refs[1]));
+  LoopNest nu = codes::example_6();
+  auto nrefs = nu.all_refs();
+  EXPECT_FALSE(nrefs[0].uniformly_generated_with(nrefs[1]));
+}
+
+TEST(Array, DeclaredSize) {
+  Array a{"A", {10, 20}};
+  EXPECT_EQ(a.declared_size(), 200);
+  Array b{"B", {5}};
+  EXPECT_EQ(b.declared_size(), 5);
+}
+
+TEST(LoopNest, DefaultMemoryCountsReferencedArraysOnce) {
+  NestBuilder b;
+  b.loop("i", 1, 2);
+  ArrayId x = b.array("X", {100});
+  b.array("unused", {999});
+  b.statement().read(x, {{1}}, {0}).read(x, {{1}}, {1});
+  LoopNest nest = b.build();
+  EXPECT_EQ(nest.default_memory(), 100);  // unused array not counted
+}
+
+TEST(Printer, RendersNest) {
+  std::string s = print_nest(two_ref_nest());
+  EXPECT_NE(s.find("for (i = 1; i <= 10; ++i)"), std::string::npos);
+  EXPECT_NE(s.find("for (j = 1; j <= 20; ++j)"), std::string::npos);
+  EXPECT_NE(s.find("A[i][j] = "), std::string::npos);
+  EXPECT_NE(s.find("A[i - 1][j + 2]"), std::string::npos);
+}
+
+TEST(Printer, RendersLinearizedSubscripts) {
+  std::string s = print_nest(codes::example_8());
+  EXPECT_NE(s.find("X[2*i + 5*j + 1]"), std::string::npos);
+  EXPECT_NE(s.find("X[2*i + 5*j + 5]"), std::string::npos);
+}
+
+TEST(Printer, PrintRef) {
+  LoopNest nest = two_ref_nest();
+  EXPECT_EQ(print_ref(nest, nest.all_refs()[1]), "A[i - 1][j + 2]");
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "analysis/lifetime.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "transform/minimizer.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+namespace {
+
+TEST(OrdinalDistance, Basics) {
+  IntBox box = IntBox::from_upper_bounds({10, 20, 30});
+  EXPECT_EQ(ordinal_distance(IntVec{0, 0, 1}, box), 1);
+  EXPECT_EQ(ordinal_distance(IntVec{0, 1, 0}, box), 30);
+  EXPECT_EQ(ordinal_distance(IntVec{1, 0, 0}, box), 600);
+  EXPECT_EQ(ordinal_distance(IntVec{1, 3, -3}, box), 600 + 90 - 3);
+  // Lex-negative inputs are normalized.
+  EXPECT_EQ(ordinal_distance(IntVec{-1, -3, 3}, box), 687);
+}
+
+TEST(OrdinalDistance, MatchesTraceOnChain) {
+  // A[2i+5j+1] over 25x10: reuse step (5,-2), ordinal distance 5*10-2 = 48.
+  LoopNest nest = codes::example_4();  // 20x10, reuse (5,-2): 5*10-2 = 48
+  EXPECT_EQ(ordinal_distance(IntVec{5, -2}, nest.bounds()), 48);
+}
+
+TEST(Lifetime, ExactChainNest) {
+  // for i in 1..6: A[i] = A[i-1]: element A[i] (1<=i<=5) lives exactly one
+  // iteration.
+  NestBuilder b;
+  b.loop("i", 1, 6);
+  ArrayId a = b.array("A", {7});
+  b.statement().write(a, {{1}}, {0}).read(a, {{1}}, {-1});
+  LifetimeReport rep = lifetime_report(b.build());
+  EXPECT_EQ(rep.total.elements, 7);
+  EXPECT_EQ(rep.total.live_elements, 5);
+  EXPECT_EQ(rep.total.max_lifetime, 1);
+  EXPECT_EQ(rep.total.total_lifetime, 5);
+}
+
+TEST(Lifetime, FullyLiveArray) {
+  // B[j] read on every i-row: lifetime (rows-1) * row length.
+  NestBuilder b;
+  b.loop("i", 1, 4).loop("j", 1, 5);
+  ArrayId arr = b.array("B", {5});
+  b.statement().read(arr, {{0, 1}}, {0});
+  LifetimeReport rep = lifetime_report(b.build());
+  EXPECT_EQ(rep.total.elements, 5);
+  EXPECT_EQ(rep.total.max_lifetime, 3 * 5);  // first (1,j) .. last (4,j)
+}
+
+TEST(Lifetime, PerArraySplit) {
+  LoopNest nest = codes::kernel_matmult(4);
+  LifetimeReport rep = lifetime_report(nest);
+  ASSERT_EQ(rep.per_array.size(), 3u);
+  // B[k][j] spans nearly the whole execution; C's accumulation spans the k
+  // loop only; lifetimes must reflect that ordering.
+  EXPECT_GT(rep.per_array.at(2).max_lifetime, rep.per_array.at(0).max_lifetime);
+}
+
+TEST(Lifetime, TransformationShortensLifetimes) {
+  // Example 8's optimal transformation makes reuses consecutive: maximum
+  // lifetime collapses along with the window.
+  LoopNest nest = codes::example_8();
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  LifetimeReport before = lifetime_report(nest);
+  LifetimeReport after = lifetime_report_transformed(nest, res->transform);
+  EXPECT_LT(after.total.max_lifetime, before.total.max_lifetime);
+  EXPECT_LT(after.total.total_lifetime, before.total.total_lifetime);
+}
+
+TEST(Lifetime, EstimateMatchesExactOnSingleRefKernel) {
+  // Example 4: chain step (5,-2) with 2 hops possible? |5*2|=10 > 19? no:
+  // (10,-4): |10|<=19, |-4|<=9 -> realizable; (15,-6): |15|<=19 ok, so 3
+  // hops... verify against the measured max lifetime instead of hand
+  // counting.
+  LoopNest nest = codes::example_4();
+  auto est = estimate_max_lifetime(nest, 0);
+  ASSERT_TRUE(est.has_value());
+  LifetimeReport rep = lifetime_report(nest);
+  EXPECT_EQ(*est, rep.total.max_lifetime);
+}
+
+TEST(Lifetime, EstimateExample5) {
+  LoopNest nest = codes::example_5();
+  auto est = estimate_max_lifetime(nest, 0);
+  ASSERT_TRUE(est.has_value());
+  LifetimeReport rep = lifetime_report(nest);
+  EXPECT_EQ(*est, rep.total.max_lifetime);
+}
+
+TEST(Lifetime, WindowCapHoldsOnExamples) {
+  for (auto nest : {codes::example_1b(), codes::example_4(), codes::example_5(),
+                    codes::example_7()}) {
+    auto cap = lifetime_window_cap(nest, 0);
+    ASSERT_TRUE(cap.has_value());
+    EXPECT_LE(simulate(nest).mws_total, *cap);
+  }
+}
+
+TEST(Lifetime, WindowCapNulloptWhenNotSingleRef) {
+  EXPECT_FALSE(lifetime_window_cap(codes::example_8(), 0).has_value());
+  EXPECT_FALSE(lifetime_window_cap(codes::example_3(), 0).has_value());
+}
+
+TEST(Lifetime, NonUniformGivesNullopt) {
+  EXPECT_FALSE(estimate_max_lifetime(codes::example_6(), 0).has_value());
+}
+
+TEST(Lifetime, MeanLifetime) {
+  LifetimeStats s;
+  s.elements = 4;
+  s.total_lifetime = 10;
+  EXPECT_DOUBLE_EQ(s.mean_lifetime(), 2.5);
+  LifetimeStats zero;
+  EXPECT_DOUBLE_EQ(zero.mean_lifetime(), 0.0);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,82 @@
+// The shipped .loop files must stay in sync with the builder kernels:
+// parsing each file yields a nest with identical exact statistics.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "codes/extra_kernels.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "ir/parser.h"
+
+namespace lmre {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The test binary runs from <build>/tests; the loop files live in the
+// source tree.  Probe a couple of plausible roots.
+std::string loops_dir() {
+  for (const char* base : {"examples/loops/", "../examples/loops/",
+                           "../../examples/loops/", "../../../examples/loops/"}) {
+    if (!read_file(std::string(base) + "matmult.loop").empty()) return base;
+  }
+  return "";
+}
+
+TEST(LoopFiles, MatchBuilderKernels) {
+  std::string dir = loops_dir();
+  if (dir.empty()) GTEST_SKIP() << "loop files not found from test cwd";
+  for (auto& e : codes::figure2_suite()) {
+    std::string source = read_file(dir + e.name + ".loop");
+    ASSERT_FALSE(source.empty()) << e.name;
+    LoopNest parsed = parse_nest(source);
+    TraceStats a = simulate(parsed);
+    TraceStats b = simulate(e.nest);
+    EXPECT_EQ(a.distinct_total, b.distinct_total) << e.name;
+    EXPECT_EQ(a.mws_total, b.mws_total) << e.name;
+    EXPECT_EQ(a.total_accesses, b.total_accesses) << e.name;
+    EXPECT_EQ(parsed.default_memory(), e.nest.default_memory()) << e.name;
+  }
+}
+
+TEST(LoopFiles, MatchExtraSuite) {
+  std::string dir = loops_dir();
+  if (dir.empty()) GTEST_SKIP() << "loop files not found from test cwd";
+  for (auto& [name, nest] : codes::extra_suite()) {
+    std::string source = read_file(dir + name + ".loop");
+    ASSERT_FALSE(source.empty()) << name;
+    LoopNest parsed = parse_nest(source);
+    EXPECT_EQ(simulate(parsed).mws_total, simulate(nest).mws_total) << name;
+    EXPECT_EQ(simulate(parsed).distinct_total, simulate(nest).distinct_total)
+        << name;
+  }
+}
+
+TEST(LoopFiles, Example8File) {
+  std::string dir = loops_dir();
+  if (dir.empty()) GTEST_SKIP() << "loop files not found from test cwd";
+  std::string source = read_file(dir + "example8.loop");
+  ASSERT_FALSE(source.empty());
+  LoopNest nest = parse_nest(source);
+  EXPECT_EQ(simulate(nest).mws_total, 44);
+}
+
+TEST(LoopFiles, PipelineFileIsAProgram) {
+  std::string dir = loops_dir();
+  if (dir.empty()) GTEST_SKIP() << "loop files not found from test cwd";
+  Program p = parse_program(read_file(dir + "pipeline.loop"));
+  EXPECT_EQ(p.phase_count(), 2u);
+  EXPECT_EQ(p.simulate().handoff[1], 32);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/normal_form.h"
+
+namespace lmre {
+namespace {
+
+// Deterministic pseudo-random matrices for property sweeps.
+IntMat random_matrix(std::mt19937& rng, size_t rows, size_t cols, Int lo, Int hi) {
+  std::uniform_int_distribution<Int> dist(lo, hi);
+  IntMat m(rows, cols);
+  for (size_t r = 0; r < rows; ++r)
+    for (size_t c = 0; c < cols; ++c) m(r, c) = dist(rng);
+  return m;
+}
+
+TEST(Hermite, ReproducesProductIdentity) {
+  IntMat a{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}};
+  HnfResult h = column_hermite(a);
+  EXPECT_TRUE(h.u.is_unimodular());
+  EXPECT_EQ(a * h.u, h.h);
+}
+
+TEST(Hermite, EchelonShape) {
+  IntMat a{{2, 3}, {4, 9}};
+  HnfResult h = column_hermite(a);
+  // First row has a single nonzero pivot at column 0.
+  EXPECT_NE(h.h(0, 0), 0);
+  EXPECT_EQ(h.h(0, 1), 0);
+  EXPECT_GT(h.h(0, 0), 0);
+}
+
+TEST(Hermite, ZeroMatrix) {
+  IntMat a(2, 3);
+  HnfResult h = column_hermite(a);
+  EXPECT_EQ(h.h, a);
+  EXPECT_TRUE(h.u.is_unimodular());
+}
+
+TEST(Hermite, SingleRowGcd) {
+  // Row (2, 5): column HNF pivot must be gcd = 1.
+  IntMat a{{2, 5}};
+  HnfResult h = column_hermite(a);
+  EXPECT_EQ(h.h(0, 0), 1);
+  EXPECT_EQ(h.h(0, 1), 0);
+  EXPECT_EQ(a * h.u, h.h);
+}
+
+TEST(Hermite, RandomizedProductProperty) {
+  std::mt19937 rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    size_t rows = 1 + iter % 4, cols = 1 + (iter * 7) % 4;
+    IntMat a = random_matrix(rng, rows, cols, -9, 9);
+    HnfResult h = column_hermite(a);
+    EXPECT_TRUE(h.u.is_unimodular());
+    EXPECT_EQ(a * h.u, h.h);
+  }
+}
+
+TEST(Smith, DiagonalAndDivisibility) {
+  IntMat a{{2, 4, 4}, {-6, 6, 12}, {10, -4, -16}};
+  SnfResult s = smith_normal_form(a);
+  EXPECT_TRUE(s.u.is_unimodular());
+  EXPECT_TRUE(s.v.is_unimodular());
+  EXPECT_EQ(s.u * a * s.v, s.d);
+  // Diagonal, non-negative, divisibility chain.
+  for (size_t r = 0; r < s.d.rows(); ++r) {
+    for (size_t c = 0; c < s.d.cols(); ++c) {
+      if (r != c) {
+        EXPECT_EQ(s.d(r, c), 0);
+      }
+    }
+  }
+  size_t k = std::min(s.d.rows(), s.d.cols());
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (s.d(i + 1, i + 1) != 0) {
+      ASSERT_NE(s.d(i, i), 0);
+      EXPECT_EQ(s.d(i + 1, i + 1) % s.d(i, i), 0);
+    }
+    EXPECT_GE(s.d(i, i), 0);
+  }
+}
+
+TEST(Smith, RankMatchesBareiss) {
+  IntMat a{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  SnfResult s = smith_normal_form(a);
+  EXPECT_EQ(s.rank(), a.rank());
+  EXPECT_EQ(s.rank(), 2u);
+}
+
+TEST(Smith, InvariantFactorsKnownCase) {
+  // [[2,0],[0,4]] -> diag(2,4); [[2,1],[0,2]] -> diag(1,4).
+  SnfResult s1 = smith_normal_form(IntMat{{2, 0}, {0, 4}});
+  EXPECT_EQ(s1.d(0, 0), 2);
+  EXPECT_EQ(s1.d(1, 1), 4);
+  SnfResult s2 = smith_normal_form(IntMat{{2, 1}, {0, 2}});
+  EXPECT_EQ(s2.d(0, 0), 1);
+  EXPECT_EQ(s2.d(1, 1), 4);
+}
+
+TEST(Smith, AccessMatrixOfExample10IsPrimitive) {
+  // The embedding transform needs all invariant factors 1.
+  SnfResult s = smith_normal_form(IntMat{{3, 0, 1}, {0, 1, 1}});
+  EXPECT_EQ(s.d(0, 0), 1);
+  EXPECT_EQ(s.d(1, 1), 1);
+}
+
+TEST(Smith, RandomizedProductProperty) {
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 60; ++iter) {
+    size_t rows = 1 + iter % 3, cols = 1 + (iter * 5) % 4;
+    IntMat a = random_matrix(rng, rows, cols, -8, 8);
+    SnfResult s = smith_normal_form(a);
+    EXPECT_TRUE(s.u.is_unimodular());
+    EXPECT_TRUE(s.v.is_unimodular());
+    EXPECT_EQ(s.u * a * s.v, s.d) << "matrix " << a.str();
+    EXPECT_EQ(s.rank(), a.rank());
+    // Divisibility chain.
+    size_t k = std::min(rows, cols);
+    for (size_t i = 0; i + 1 < k; ++i) {
+      if (s.d(i, i) != 0 && s.d(i + 1, i + 1) != 0) {
+        EXPECT_EQ(s.d(i + 1, i + 1) % s.d(i, i), 0);
+      }
+      if (s.d(i, i) == 0) {
+        EXPECT_EQ(s.d(i + 1, i + 1), 0);
+      }
+    }
+  }
+}
+
+TEST(Smith, ZeroMatrix) {
+  SnfResult s = smith_normal_form(IntMat(3, 2));
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.u * IntMat(3, 2) * s.v, s.d);
+}
+
+}  // namespace
+}  // namespace lmre

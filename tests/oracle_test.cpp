@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "codes/examples.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "support/error.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+namespace {
+
+LoopNest tiny_chain() {
+  // for i in [1,4]: A[i] = A[i-1]   -- each element live exactly one
+  // iteration; window size constant 1 (after the first write).
+  NestBuilder b;
+  b.loop("i", 1, 4);
+  ArrayId a = b.array("A", {5});
+  b.statement().write(a, {{1}}, {0}).read(a, {{1}}, {-1});
+  return b.build();
+}
+
+TEST(Oracle, CountsIterationsAndAccesses) {
+  TraceStats s = simulate(tiny_chain());
+  EXPECT_EQ(s.iterations, 4);
+  EXPECT_EQ(s.total_accesses, 8);
+  EXPECT_EQ(s.distinct_total, 5);  // A[0..4]
+  EXPECT_EQ(s.reuse_total, 3);     // A[1..3] touched twice
+}
+
+TEST(Oracle, WindowOfChainIsOne) {
+  // At iteration i the only element with a future use is A[i].
+  TraceStats s = simulate(tiny_chain());
+  EXPECT_EQ(s.mws_total, 1);
+  EXPECT_EQ(s.mws.at(0), 1);
+}
+
+TEST(Oracle, ElementTouchedOnlyOnceNeverInWindow) {
+  NestBuilder b;
+  b.loop("i", 1, 6);
+  ArrayId a = b.array("A", {6});
+  b.statement().write(a, {{1}}, {0});
+  TraceStats s = simulate(b.build());
+  EXPECT_EQ(s.distinct_total, 6);
+  EXPECT_EQ(s.mws_total, 0);  // nothing is ever referenced again
+}
+
+TEST(Oracle, MultipleAccessesSameIterationDoNotOpenWindow) {
+  NestBuilder b;
+  b.loop("i", 1, 6);
+  ArrayId a = b.array("A", {6});
+  b.statement().write(a, {{1}}, {0}).read(a, {{1}}, {0});  // A[i] = f(A[i])
+  TraceStats s = simulate(b.build());
+  EXPECT_EQ(s.mws_total, 0);
+}
+
+TEST(Oracle, FullyLiveArray) {
+  // for i in [1,3], j in [1,4]: use B[j] -- whole B is live across i-rows.
+  NestBuilder b;
+  b.loop("i", 1, 3).loop("j", 1, 4);
+  ArrayId arr = b.array("B", {4});
+  b.statement().read(arr, {{0, 1}}, {0});
+  TraceStats s = simulate(b.build());
+  EXPECT_EQ(s.distinct_total, 4);
+  EXPECT_EQ(s.mws_total, 4);
+}
+
+TEST(Oracle, PerArrayWindows) {
+  // A is a chain (window 1); B is fully live (window 4).
+  NestBuilder b;
+  b.loop("i", 1, 3).loop("j", 1, 4);
+  ArrayId a = b.array("A", {4, 5});
+  ArrayId arr = b.array("B", {4});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {0, -1})
+      .read(arr, {{0, 1}}, {0});
+  TraceStats s = simulate(b.build());
+  EXPECT_EQ(s.mws.at(0), 1);
+  EXPECT_EQ(s.mws.at(1), 4);
+  // Combined window max is at most the sum, at least the max.
+  EXPECT_LE(s.mws_total, s.mws.at(0) + s.mws.at(1));
+  EXPECT_GE(s.mws_total, 4);
+}
+
+TEST(Oracle, IdentityTransformMatchesOriginal) {
+  LoopNest nest = codes::example_8();
+  TraceStats a = simulate(nest);
+  TraceStats b = simulate_transformed(nest, IntMat::identity(2));
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.distinct_total, b.distinct_total);
+  EXPECT_EQ(a.mws_total, b.mws_total);
+  EXPECT_EQ(a.total_accesses, b.total_accesses);
+}
+
+TEST(Oracle, TransformPreservesDistinctAndAccesses) {
+  LoopNest nest = codes::example_8();
+  IntMat t{{2, 3}, {1, 1}};
+  TraceStats a = simulate(nest);
+  TraceStats b = simulate_transformed(nest, t);
+  EXPECT_EQ(a.iterations, b.iterations);        // bijective reindexing
+  EXPECT_EQ(a.total_accesses, b.total_accesses);
+  EXPECT_EQ(a.distinct_total, b.distinct_total);  // same elements touched
+  // Window size may (and here does) change.
+  EXPECT_NE(a.mws_total, b.mws_total);
+}
+
+TEST(Oracle, NonUnimodularTransformRejected) {
+  LoopNest nest = tiny_chain();
+  EXPECT_THROW(simulate_transformed(nest, IntMat{{2}}), InvalidArgument);
+}
+
+TEST(Oracle, WrongShapeTransformRejected) {
+  LoopNest nest = tiny_chain();
+  EXPECT_THROW(simulate_transformed(nest, IntMat::identity(2)), InvalidArgument);
+}
+
+TEST(Oracle, InterchangeChangesWindowOfColumnStencil) {
+  // A[i][j] = A[i-1][j]: row-major window ~n, interchanged ~1.
+  NestBuilder b;
+  b.loop("i", 1, 8).loop("j", 1, 8);
+  ArrayId a = b.array("A", {8, 8});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-1, 0});
+  LoopNest nest = b.build();
+  EXPECT_EQ(simulate(nest).mws_total, 8);
+  EXPECT_EQ(simulate_transformed(nest, interchange(2, 0, 1)).mws_total, 1);
+}
+
+TEST(Oracle, WindowSeriesPeaksAtMws) {
+  LoopNest nest = codes::example_8();
+  auto series = window_series(nest, IntMat::identity(2));
+  ASSERT_EQ(series.size(), static_cast<size_t>(nest.iteration_count()));
+  Int peak = 0;
+  for (Int v : series) peak = std::max(peak, v);
+  EXPECT_EQ(peak, simulate(nest).mws_total);
+  // The series starts small and ends at zero live elements.
+  EXPECT_EQ(series.back(), 0);
+}
+
+TEST(Oracle, ReusePerArray) {
+  LoopNest nest = codes::example_3();
+  TraceStats s = simulate(nest);
+  EXPECT_EQ(s.total_accesses, 400);
+  EXPECT_EQ(s.distinct_total, 121);  // union of the four shifted squares
+  EXPECT_EQ(s.reuse_total, 279);
+  EXPECT_EQ(s.reuse.at(0), 279);
+}
+
+}  // namespace
+}  // namespace lmre

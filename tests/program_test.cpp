@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "program/program.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+LoopNest producer(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n);
+  ArrayId a = b.array("A", {n});
+  b.statement().write(a, {{1}}, {0});
+  return b.build();
+}
+
+LoopNest consumer(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n);
+  ArrayId a = b.array("A", {n});
+  ArrayId out = b.array("B", {n});
+  b.statement().write(out, {{1}}, {0}).read(a, {{1}}, {0});
+  return b.build();
+}
+
+TEST(Program, ProducerConsumerHandoff) {
+  Program p;
+  p.add_phase("produce", producer(8));
+  p.add_phase("consume", consumer(8));
+  ProgramStats s = p.simulate();
+  EXPECT_EQ(s.iterations, 16);
+  ASSERT_EQ(s.handoff.size(), 2u);
+  EXPECT_EQ(s.handoff[0], 0);
+  // All 8 produced values cross the boundary into the consumer.
+  EXPECT_EQ(s.handoff[1], 8);
+  EXPECT_EQ(s.mws_total, 8);
+  EXPECT_EQ(s.distinct.at("A"), 8);
+  EXPECT_EQ(s.distinct.at("B"), 8);
+}
+
+TEST(Program, PhaseWindowsTracked) {
+  Program p;
+  p.add_phase("produce", producer(8));
+  p.add_phase("consume", consumer(8));
+  ProgramStats s = p.simulate();
+  ASSERT_EQ(s.phase_mws.size(), 2u);
+  // The window builds up during production and drains during consumption;
+  // at the consumer's first iteration one value is already consumed, so its
+  // in-phase peak is 7 while the handoff into it is the full 8.
+  EXPECT_EQ(s.phase_mws[0], 8);
+  EXPECT_EQ(s.phase_mws[1], 7);
+  EXPECT_EQ(s.handoff[1], 8);
+}
+
+TEST(Program, SinglePhaseMatchesOracle) {
+  Program p;
+  LoopNest nest = codes::kernel_two_point(8);
+  p.add_phase("only", nest);
+  ProgramStats s = p.simulate();
+  TraceStats t = simulate(nest);
+  EXPECT_EQ(s.mws_total, t.mws_total);
+  EXPECT_EQ(s.distinct_total, t.distinct_total);
+  EXPECT_EQ(s.iterations, t.iterations);
+}
+
+TEST(Program, IndependentPhasesDoNotInteract) {
+  // Two phases on disjoint arrays: the global window never exceeds the max
+  // of the per-phase windows.
+  Program p;
+  p.add_phase("a", codes::kernel_two_point(8));
+  NestBuilder b;
+  b.loop("i", 1, 6);
+  ArrayId z = b.array("Z", {7});
+  b.statement().write(z, {{1}}, {0}).read(z, {{1}}, {-1});
+  p.add_phase("b", b.build());
+  ProgramStats s = p.simulate();
+  Int w1 = simulate(codes::kernel_two_point(8)).mws_total;
+  EXPECT_EQ(s.mws_total, w1);
+  EXPECT_EQ(s.handoff[1], 0);  // nothing crosses the boundary
+}
+
+TEST(Program, ArraysUnifiedByName) {
+  Program p;
+  p.add_phase("produce", producer(8));
+  p.add_phase("consume", consumer(8));
+  // A declared in both phases (same extents) counts once in default memory:
+  // A (8) + B (8).
+  EXPECT_EQ(p.simulate().default_memory, 16);
+}
+
+TEST(Program, ExtentMismatchRejected) {
+  Program p;
+  p.add_phase("produce", producer(8));
+  EXPECT_THROW(p.add_phase("bad", producer(9)), InvalidArgument);
+}
+
+TEST(Program, EmptyProgramRejected) {
+  Program p;
+  EXPECT_THROW(p.simulate(), InvalidArgument);
+}
+
+TEST(Program, ThreePhasePipelineReusesBuffer) {
+  // produce A -> A to B -> B to C: at any instant only one handoff buffer
+  // is live, so the whole-program window is ~n, not 2n.
+  Int n = 10;
+  Program p;
+  p.add_phase("p1", producer(n));
+  p.add_phase("p2", consumer(n));  // writes B from A
+  NestBuilder b;
+  b.loop("i", 1, n);
+  ArrayId bb = b.array("B", {n});
+  ArrayId cc = b.array("C", {n});
+  b.statement().write(cc, {{1}}, {0}).read(bb, {{1}}, {0});
+  p.add_phase("p3", b.build());
+  ProgramStats s = p.simulate();
+  EXPECT_EQ(s.handoff[1], n);  // A crosses into p2
+  EXPECT_EQ(s.handoff[2], n);  // B crosses into p3
+  EXPECT_LE(s.mws_total, n + 2);
+}
+
+TEST(Program, AccessorsAndBounds) {
+  Program p;
+  p.add_phase("one", producer(4));
+  EXPECT_EQ(p.phase_count(), 1u);
+  EXPECT_EQ(p.phase_name(0), "one");
+  EXPECT_EQ(p.phase_nest(0).depth(), 1u);
+  EXPECT_THROW(p.phase_name(1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lmre

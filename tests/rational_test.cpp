@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "linalg/rational.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational s(-6, 4);
+  EXPECT_EQ(s.num(), -3);
+  EXPECT_EQ(s.den(), 2);
+  Rational t(6, -4);
+  EXPECT_EQ(t.num(), -3);
+  EXPECT_EQ(t.den(), 2);
+  Rational z(0, -17);
+  EXPECT_EQ(z.num(), 0);
+  EXPECT_EQ(z.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), InvalidArgument);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), InvalidArgument);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7), Rational(13, 2));
+  EXPECT_GE(Rational(3), Rational(3));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, IsIntegerAndTrunc) {
+  EXPECT_TRUE(Rational(8, 4).is_integer());
+  EXPECT_FALSE(Rational(9, 4).is_integer());
+  EXPECT_EQ(Rational(9, 4).trunc(), 2);
+  EXPECT_EQ(Rational(-9, 4).trunc(), -2);
+}
+
+TEST(Rational, AbsAndStr) {
+  EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+}
+
+TEST(Rational, MinMaxHelpers) {
+  EXPECT_EQ(rat_min(Rational(1, 2), Rational(2, 3)), Rational(1, 2));
+  EXPECT_EQ(rat_max(Rational(1, 2), Rational(2, 3)), Rational(2, 3));
+}
+
+TEST(Rational, WorkedExampleFromPaper) {
+  // Section 4.2: (9/2 + 1) * 4 == 22, the paper's MWS estimate.
+  Rational span(9, 2);
+  Rational est = (span + Rational(1)) * Rational(4);
+  EXPECT_EQ(est, Rational(22));
+  EXPECT_TRUE(est.is_integer());
+}
+
+TEST(Rational, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow intermediates.
+  Int big = Int{1} << 40;
+  Rational a(big, 3), b(3, big);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, SumKeepsDenominatorsSmall) {
+  Rational acc(0);
+  for (int i = 1; i <= 50; ++i) acc += Rational(1, 2);
+  EXPECT_EQ(acc, Rational(25));
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "exact/oracle.h"
+#include "related/ferrante.h"
+#include "related/li_pingali.h"
+#include "related/refwindow.h"
+#include "related/wolf_lam.h"
+#include "transform/minimizer.h"
+#include "transform/unimodular.h"
+
+namespace lmre {
+namespace {
+
+TEST(RefWindow, Example7CostMatchesEisenbeis) {
+  // Eisenbeis et al. quote a window cost of 89 for Example 7; the
+  // per-dependence model estimates 3*30+2 = 92 with an exact in-flight peak
+  // close by.
+  LoopNest nest = codes::example_7();
+  auto windows = dependence_windows(nest);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].estimate, 92);
+  EXPECT_GE(windows[0].exact, 80);
+  EXPECT_LE(windows[0].exact, 92);
+}
+
+TEST(RefWindow, PerDependenceSumOvercountsSharedElements) {
+  // The paper's Section 6 claim: combining per-dependence windows loses
+  // precision.  Example 8's three distances each carry a window, but the
+  // elements overlap; the per-array exact MWS is far below the sum.
+  LoopNest nest = codes::example_8();
+  Int sum = per_dependence_cost(nest);
+  Int exact = simulate(nest).mws_total;
+  EXPECT_GT(sum, exact);
+  EXPECT_GE(sum, 2 * exact);  // the loss is large here, not marginal
+}
+
+TEST(RefWindow, ExactNeverExceedsEstimate) {
+  for (auto nest : {codes::example_2(), codes::example_4(), codes::example_7(),
+                    codes::example_8()}) {
+    for (const auto& w : dependence_windows(nest)) {
+      EXPECT_LE(w.exact, w.estimate + 1) << w.dep.distance.str();
+    }
+  }
+}
+
+TEST(RefWindow, SingleDependenceAgreesWithArrayWindow) {
+  // With exactly one dependence the two models coincide (no combination
+  // needed): per-dep exact == per-array exact.
+  LoopNest nest = codes::example_2();  // single flow dependence (1,-2)
+  auto windows = dependence_windows(nest);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].exact, simulate(nest).mws_total);
+}
+
+TEST(WolfLam, PrefersDeeperReuseLevels) {
+  // Column stencil: reuse (1,0); interchanging makes it (0,1) - level 2.
+  LoopNest nest = codes::kernel_two_point(8);
+  IntMat identity = IntMat::identity(2);
+  IntMat inter = interchange(2, 0, 1);
+  EXPECT_GT(wolf_lam_score(nest, inter), wolf_lam_score(nest, identity));
+  auto best = wolf_lam_best_permutation(nest);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, inter);
+}
+
+TEST(WolfLam, LegalOnly) {
+  // Example 2's dependence (1,-2) forbids interchange; the ranker must keep
+  // the identity.
+  auto best = wolf_lam_best_permutation(codes::example_2());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, IntMat::identity(2));
+}
+
+TEST(WolfLam, NoReuseNothingToRank) {
+  
+  LoopNest nest = [] {
+    NestBuilder b;
+    b.loop("i", 1, 4).loop("j", 1, 4);
+    ArrayId a = b.array("A", {4, 4});
+    b.statement().write(a, {{1, 0}, {0, 1}}, {0, 0});
+    return b.build();
+  }();
+  EXPECT_FALSE(wolf_lam_best_permutation(nest).has_value());
+}
+
+TEST(WolfLam, BoundsFreeScoreCanMisrank) {
+  // rasta_flt: permutations that carry the tap reuse innermost all score
+  // identically regardless of whether frames or bands sit outermost, though
+  // their exact windows differ -- the bounds-free imprecision the paper
+  // notes.  Our bound-aware optimizer must do at least as well.
+  LoopNest nest = codes::kernel_rasta_flt(20, 6, 3);
+  auto wl = wolf_lam_best_permutation(nest);
+  ASSERT_TRUE(wl.has_value());
+  Int wl_window = simulate_transformed(nest, *wl).mws_total;
+  OptimizeResult ours = optimize_locality(nest);
+  Int our_window = simulate_transformed(nest, ours.transform).mws_total;
+  EXPECT_LE(our_window, wl_window);
+}
+
+TEST(Ferrante, ExactForLoneIndependentReference) {
+  // A single A[i][j]: per-dim ranges x strides give the exact count.
+  LoopNest nest = [] {
+    NestBuilder b;
+    b.loop("i", 1, 7).loop("j", 1, 9);
+    ArrayId a = b.array("A", {7, 9});
+    b.statement().write(a, {{1, 0}, {0, 1}}, {0, 0});
+    return b.build();
+  }();
+  FerranteEstimate fe = ferrante_estimate(nest, 0);
+  EXPECT_EQ(fe.distinct, 63);
+  EXPECT_FALSE(fe.coupled);
+  EXPECT_EQ(fe.distinct, simulate(nest).distinct_total);
+}
+
+TEST(Ferrante, MultipleReferencesOverestimated) {
+  // Example 3 (four shifted reads): ranges merge to 11x11 = 121 -- here the
+  // range union HAPPENS to be exact; Example 8's linearized pair is not.
+  FerranteEstimate fe3 = ferrante_estimate(codes::example_3(), 0);
+  EXPECT_EQ(fe3.distinct, 121);
+  FerranteEstimate fe8 = ferrante_estimate(codes::example_8(), 0);
+  EXPECT_TRUE(fe8.coupled);
+  // Range [8,105], stride gcd(2,5)=1: 98 -- but only 94 are reachable.
+  EXPECT_EQ(fe8.distinct, 98);
+  EXPECT_GT(fe8.distinct, simulate(codes::example_8()).distinct_total);
+}
+
+TEST(Ferrante, CoupledSubscriptsFlagged) {
+  FerranteEstimate fe = ferrante_estimate(codes::example_5(), 0);
+  EXPECT_TRUE(fe.coupled);
+  // (3i+k) x (j+k) ranges: 57 * 49 = 2793 vs exact 1869.
+  EXPECT_EQ(fe.distinct, 2793);
+  EXPECT_GT(fe.distinct, 1869);
+}
+
+TEST(LiPingali, RecoversExample7Optimum) {
+  // "Even though the technique in [14] can be used to derive this
+  // transformation..." -- Example 7's compound transform comes straight from
+  // the access row (2,-3).
+  LoopNest nest = codes::example_7();
+  auto res = li_pingali_transform(nest, 0);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->transform.is_unimodular());
+  EXPECT_EQ(res->seeded_row.primitive(), res->seeded_row);
+  EXPECT_EQ(simulate_transformed(nest, res->transform).mws_total, 1);
+}
+
+TEST(LiPingali, FailsOnExample8) {
+  // The paper's central comparison: rows (2,5) and (-2,5) are both illegal,
+  // so no completion exists.
+  EXPECT_FALSE(li_pingali_transform(codes::example_8(), 0).has_value());
+}
+
+TEST(LiPingali, OurMinimizerStillSolvesExample8) {
+  LoopNest nest = codes::example_8();
+  ASSERT_FALSE(li_pingali_transform(nest, 0).has_value());
+  auto ours = minimize_mws_2d(nest);
+  ASSERT_TRUE(ours.has_value());
+  EXPECT_EQ(simulate_transformed(nest, ours->transform).mws_total, 21);
+}
+
+TEST(LiPingali, NotApplicableCases) {
+  EXPECT_FALSE(li_pingali_transform(codes::example_5(), 0).has_value());  // depth 3
+  EXPECT_FALSE(li_pingali_transform(codes::example_3(), 0).has_value());  // 2-d array
+  EXPECT_FALSE(li_pingali_transform(codes::example_6(), 0).has_value());  // non-uniform
+}
+
+}  // namespace
+}  // namespace lmre

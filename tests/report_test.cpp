@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+
+namespace lmre {
+namespace {
+
+TEST(Report, Example8EndToEnd) {
+  MemoryReport rep = analyze_memory(codes::example_8());
+  EXPECT_EQ(rep.default_memory, 106);
+  EXPECT_EQ(rep.distinct_estimate_total, 94);
+  ASSERT_TRUE(rep.distinct_exact_total.has_value());
+  EXPECT_EQ(*rep.distinct_exact_total, 94);
+  ASSERT_TRUE(rep.mws_estimate_total.has_value());
+  EXPECT_EQ(*rep.mws_estimate_total, 50);
+  ASSERT_TRUE(rep.mws_exact_total.has_value());
+  EXPECT_EQ(*rep.mws_exact_total, 44);
+  ASSERT_EQ(rep.arrays.size(), 1u);
+  EXPECT_EQ(rep.arrays[0].name, "X");
+}
+
+TEST(Report, WithoutOracleSkipsExactColumns) {
+  MemoryReport rep = analyze_memory(codes::example_8(), /*with_oracle=*/false);
+  EXPECT_FALSE(rep.distinct_exact_total.has_value());
+  EXPECT_FALSE(rep.mws_exact_total.has_value());
+  EXPECT_FALSE(rep.arrays[0].distinct_exact.has_value());
+  EXPECT_EQ(rep.distinct_estimate_total, 94);
+}
+
+TEST(Report, NonUniformArrayGetsBounds) {
+  MemoryReport rep = analyze_memory(codes::example_6());
+  ASSERT_EQ(rep.arrays.size(), 1u);
+  EXPECT_FALSE(rep.arrays[0].distinct_estimate.has_value());
+  ASSERT_TRUE(rep.arrays[0].distinct_upper.has_value());
+  EXPECT_EQ(*rep.arrays[0].distinct_upper, 191);
+  EXPECT_EQ(*rep.arrays[0].distinct_lower, 179);
+  EXPECT_EQ(rep.distinct_estimate_total, 191);
+}
+
+TEST(Report, MultipleArrays) {
+  MemoryReport rep = analyze_memory(codes::kernel_matmult(8));
+  EXPECT_EQ(rep.arrays.size(), 3u);
+  Int sum = 0;
+  for (const auto& a : rep.arrays) {
+    ASSERT_TRUE(a.distinct_exact.has_value());
+    sum += *a.distinct_exact;
+    EXPECT_EQ(a.declared, 64);
+    EXPECT_EQ(*a.distinct_exact, 64);
+  }
+  EXPECT_EQ(rep.distinct_exact_total, sum);
+}
+
+TEST(Report, RenderContainsHeaderAndTotal) {
+  std::string s = render(analyze_memory(codes::example_8()));
+  EXPECT_NE(s.find("array"), std::string::npos);
+  EXPECT_NE(s.find("MWS est"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+  EXPECT_NE(s.find("X"), std::string::npos);
+}
+
+TEST(Report, RenderShowsBoundsForNonUniform) {
+  std::string s = render(analyze_memory(codes::example_6()));
+  EXPECT_NE(s.find("[179, 191]"), std::string::npos);
+}
+
+TEST(Report, MwsTotalAtLeastMaxOfArrays) {
+  MemoryReport rep = analyze_memory(codes::kernel_matmult(8));
+  ASSERT_TRUE(rep.mws_exact_total.has_value());
+  for (const auto& a : rep.arrays) {
+    ASSERT_TRUE(a.mws_exact.has_value());
+    EXPECT_GE(*rep.mws_exact_total, *a.mws_exact);
+  }
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "analysis/distinct.h"
+#include "analysis/reuse.h"
+#include "codes/examples.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(Reuse, VolumeBasics) {
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  // Figure 1 / Example 1: dependence (3,-2) in a 10x10 space reuses 56.
+  EXPECT_EQ(reuse_volume(IntVec{3, -2}, box), 56);
+  EXPECT_EQ(reuse_volume(IntVec{-3, 2}, box), 56);  // signs irrelevant
+  EXPECT_EQ(reuse_volume(IntVec{0, 0}, box), 100);
+  EXPECT_EQ(reuse_volume(IntVec{10, 0}, box), 0);   // clamped
+  EXPECT_EQ(reuse_volume(IntVec{12, 1}, box), 0);
+}
+
+TEST(Reuse, VolumeSum) {
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  std::vector<IntVec> ds{{1, 0}, {0, 1}, {1, 1}};
+  // Example 3's reuse: 90 + 90 + 81 = 261.
+  EXPECT_EQ(reuse_volume_sum(ds, box), 261);
+}
+
+TEST(Reuse, DimensionMismatchThrows) {
+  EXPECT_THROW(reuse_volume(IntVec{1}, IntBox::from_upper_bounds({2, 2})),
+               InvalidArgument);
+}
+
+TEST(Distinct, Example2Exact) {
+  // reuse (n1-1)(n2-2), distinct 2*n1*n2 - reuse; exact per Section 3.1.
+  LoopNest nest = codes::example_2(10, 10);
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.method, DistinctMethod::kFullDim);
+  EXPECT_EQ(e.reuse, 9 * 8);
+  EXPECT_EQ(e.distinct, 200 - 72);
+  EXPECT_TRUE(e.exact_claimed);
+  EXPECT_EQ(simulate(nest).distinct_total, e.distinct);
+}
+
+TEST(Distinct, Example3PaperEstimate) {
+  // The paper's anchor formula gives 261 reuse / 139 distinct; the true
+  // union is 121 (the formula ignores triple overlaps) -- both recorded.
+  LoopNest nest = codes::example_3();
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.reuse, 261);
+  EXPECT_EQ(e.distinct, 139);
+  EXPECT_FALSE(e.exact_claimed);  // r > 2
+  EXPECT_EQ(simulate(nest).distinct_total, 121);
+}
+
+TEST(Distinct, Example4KernelExact) {
+  LoopNest nest = codes::example_4();
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.method, DistinctMethod::kKernelSingleRef);
+  EXPECT_EQ(e.reuse, 120);
+  EXPECT_EQ(e.distinct, 80);
+  EXPECT_TRUE(e.exact_claimed);
+  EXPECT_EQ(simulate(nest).distinct_total, 80);
+}
+
+TEST(Distinct, Example5KernelExact) {
+  LoopNest nest = codes::example_5();
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.reuse, 4131);
+  EXPECT_EQ(e.distinct, 1869);
+  EXPECT_TRUE(e.exact_claimed);
+  EXPECT_EQ(simulate(nest).distinct_total, 1869);
+}
+
+TEST(Distinct, Example1bKernelExact) {
+  LoopNest nest = codes::example_1b();
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.reuse, 56);
+  EXPECT_EQ(e.distinct, 44);
+  EXPECT_EQ(simulate(nest).distinct_total, 44);
+}
+
+TEST(Distinct, SingleInjectiveRefTouchesEverything) {
+  NestBuilder b;
+  b.loop("i", 1, 6).loop("j", 1, 7);
+  ArrayId a = b.array("A", {6, 7});
+  b.statement().write(a, {{1, 0}, {0, 1}}, {0, 0});
+  LoopNest nest = b.build();
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.distinct, 42);
+  EXPECT_EQ(e.reuse, 0);
+  EXPECT_TRUE(e.exact_claimed);
+}
+
+TEST(Distinct, MultiRefKernelUnionEstimate) {
+  // Example 8: one image of 90 elements plus a shift-by-4 boundary = 94.
+  LoopNest nest = codes::example_8();
+  DistinctEstimate e = estimate_distinct(nest, 0);
+  EXPECT_EQ(e.method, DistinctMethod::kKernelMultiRef);
+  EXPECT_EQ(e.distinct, 94);
+  EXPECT_FALSE(e.exact_claimed);
+  EXPECT_EQ(simulate(nest).distinct_total, 94);
+}
+
+TEST(DistinctExactIE, Example3TrueUnion) {
+  // The inclusion-exclusion closed form returns the TRUE union (121), where
+  // the paper's anchor formula prints 139.
+  EXPECT_EQ(distinct_exact_inclusion_exclusion(codes::example_3(), 0), 121);
+  EXPECT_EQ(simulate(codes::example_3()).distinct_total, 121);
+}
+
+TEST(DistinctExactIE, MatchesOracleOnExamples) {
+  for (auto nest : {codes::example_1a(), codes::example_2(10, 10),
+                    codes::example_2(7, 9)}) {
+    EXPECT_EQ(distinct_exact_inclusion_exclusion(nest, 0),
+              simulate(nest).distinct_total);
+  }
+}
+
+TEST(DistinctExactIE, NonOverlappingParityPair) {
+  // A[2i][j] and A[2i+1][j]: offsets differ by an odd amount, the images
+  // never meet (no integral shift): union = 2 * volume.
+  NestBuilder b;
+  b.loop("i", 1, 5).loop("j", 1, 5);
+  ArrayId a = b.array("A", {12, 5});
+  b.statement()
+      .read(a, {{2, 0}, {0, 1}}, {0, 0})
+      .read(a, {{2, 0}, {0, 1}}, {1, 0});
+  LoopNest nest = b.build();
+  EXPECT_EQ(distinct_exact_inclusion_exclusion(nest, 0), 50);
+  EXPECT_EQ(simulate(nest).distinct_total, 50);
+}
+
+TEST(DistinctExactIE, SubsetAnchoringHandlesMixedParity) {
+  // Three refs where ref0 never meets ref1/ref2, but ref1 and ref2 overlap
+  // each other: the per-subset anchoring must credit that overlap.
+  NestBuilder b;
+  b.loop("i", 1, 6).loop("j", 1, 6);
+  ArrayId a = b.array("A", {20, 6});
+  b.statement()
+      .read(a, {{2, 0}, {0, 1}}, {0, 0})    // even rows
+      .read(a, {{2, 0}, {0, 1}}, {1, 0})    // odd rows
+      .read(a, {{2, 0}, {0, 1}}, {3, 0});   // odd rows, shifted
+  LoopNest nest = b.build();
+  EXPECT_EQ(distinct_exact_inclusion_exclusion(nest, 0),
+            simulate(nest).distinct_total);
+}
+
+TEST(DistinctExactIE, RejectsOutsideScope) {
+  EXPECT_THROW(distinct_exact_inclusion_exclusion(codes::example_4(), 0),
+               UnsupportedError);  // kernel reuse
+  EXPECT_THROW(distinct_exact_inclusion_exclusion(codes::example_6(), 0),
+               UnsupportedError);  // non-uniform
+}
+
+TEST(Distinct, NonUniformRejected) {
+  EXPECT_THROW(estimate_distinct(codes::example_6(), 0), UnsupportedError);
+}
+
+TEST(Distinct, UnreferencedArrayRejected) {
+  NestBuilder b;
+  b.loop("i", 1, 4);
+  ArrayId a = b.array("A", {4});
+  b.array("B", {4});
+  b.statement().read(a, {{1}}, {0});
+  LoopNest nest = b.build();
+  EXPECT_THROW(estimate_distinct(nest, 1), InvalidArgument);
+}
+
+TEST(Distinct, TotalSumsArrays) {
+  LoopNest nest = codes::example_sec23();
+  Int total = estimate_distinct_total(nest);
+  DistinctEstimate x = estimate_distinct(nest, 0);
+  DistinctEstimate y = estimate_distinct(nest, 1);
+  EXPECT_EQ(total, x.distinct + y.distinct);
+}
+
+TEST(Distinct, TotalUsesUpperBoundForNonUniform) {
+  LoopNest nest = codes::example_6();
+  EXPECT_EQ(estimate_distinct_total(nest), 191);
+}
+
+TEST(Distinct, MethodNames) {
+  EXPECT_NE(to_string(DistinctMethod::kFullDim).find("3.1"), std::string::npos);
+  EXPECT_NE(to_string(DistinctMethod::kKernelSingleRef).find("3.2"), std::string::npos);
+  EXPECT_NE(to_string(DistinctMethod::kKernelMultiRef).find("extension"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmre

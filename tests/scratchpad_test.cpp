@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "alloc/scratchpad.h"
+#include "codes/examples.h"
+#include "ir/builder.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "layout/spatial.h"
+#include "transform/minimizer.h"
+
+namespace lmre {
+namespace {
+
+TEST(Scratchpad, SlotsEqualExactMwsOnExamples) {
+  // Interval graphs are perfect: the linear scan must hit the MWS bound
+  // exactly, and the assignment must verify conflict-free.
+  for (auto nest : {codes::example_2(), codes::example_4(), codes::example_7(),
+                    codes::example_8(), codes::example_5()}) {
+    Allocation a = allocate_scratchpad(nest);
+    EXPECT_TRUE(a.verified);
+    EXPECT_EQ(a.slots, simulate(nest).mws_total);
+  }
+}
+
+TEST(Scratchpad, SlotsEqualExactMwsOnKernels) {
+  for (auto& e : codes::figure2_suite()) {
+    Allocation a = allocate_scratchpad(e.nest);
+    EXPECT_TRUE(a.verified) << e.name;
+    EXPECT_EQ(a.slots, simulate(e.nest).mws_total) << e.name;
+  }
+}
+
+TEST(Scratchpad, TransformedOrderShrinksAllocation) {
+  LoopNest nest = codes::example_8();
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  Allocation before = allocate_scratchpad(nest);
+  Allocation after = allocate_scratchpad(nest, &res->transform);
+  EXPECT_EQ(before.slots, 44);
+  EXPECT_EQ(after.slots, 21);
+  EXPECT_TRUE(after.verified);
+}
+
+TEST(Scratchpad, NoLiveElementsNoSlots) {
+  
+  LoopNest nest = [] {
+    NestBuilder b;
+    b.loop("i", 1, 5);
+    ArrayId a = b.array("A", {5});
+    b.statement().write(a, {{1}}, {0});
+    return b.build();
+  }();
+  Allocation alloc = allocate_scratchpad(nest);
+  EXPECT_EQ(alloc.slots, 0);
+  EXPECT_EQ(alloc.live_elements, 0);
+  EXPECT_TRUE(alloc.verified);
+}
+
+TEST(Modulo, LowerBoundIsMws) {
+  LoopNest nest = codes::example_8();
+  ModuloBuffer mb = min_modulo_buffer(nest, default_layouts(nest));
+  EXPECT_EQ(mb.lower_bound, 44);
+  EXPECT_TRUE(mb.found);
+  EXPECT_GE(mb.modulus, mb.lower_bound);
+}
+
+TEST(Modulo, NeverBelowGreedySlots) {
+  for (auto nest : {codes::example_4(), codes::example_7(), codes::example_2()}) {
+    Allocation a = allocate_scratchpad(nest);
+    ModuloBuffer mb = min_modulo_buffer(nest, default_layouts(nest));
+    EXPECT_TRUE(mb.found);
+    EXPECT_GE(mb.modulus, a.slots);
+  }
+}
+
+TEST(Modulo, CloseToLowerBoundOnStreams) {
+  // For the 1-d stream loops the modulo buffer should land within a small
+  // factor of the exact window.
+  LoopNest nest = codes::example_4();
+  ModuloBuffer mb = min_modulo_buffer(nest, default_layouts(nest));
+  ASSERT_TRUE(mb.found);
+  EXPECT_LE(mb.modulus, 2 * mb.lower_bound + 2);
+}
+
+TEST(Modulo, TransformedOrderSupported) {
+  LoopNest nest = codes::example_8();
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  ModuloBuffer before = min_modulo_buffer(nest, default_layouts(nest));
+  ModuloBuffer after = min_modulo_buffer(nest, default_layouts(nest), &res->transform);
+  ASSERT_TRUE(before.found && after.found);
+  EXPECT_LT(after.modulus, before.modulus);
+  EXPECT_EQ(after.lower_bound, 21);
+}
+
+TEST(Modulo, PerArrayBuffers) {
+  LoopNest nest = codes::kernel_matmult(6);
+  ModuloBuffer mb = min_modulo_buffer(nest, default_layouts(nest));
+  ASSERT_TRUE(mb.found);
+  // Three arrays with windows ~1, ~n, ~n^2: the summed modulus must cover
+  // at least the summed per-array windows.
+  TraceStats s = simulate(nest);
+  Int sum = 0;
+  for (auto& [id, w] : s.mws) sum += w;
+  EXPECT_GE(mb.modulus, sum);
+}
+
+}  // namespace
+}  // namespace lmre

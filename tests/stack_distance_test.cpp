@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/stack_distance.h"
+#include "ir/builder.h"
+#include "layout/spatial.h"
+#include "transform/minimizer.h"
+
+namespace lmre {
+namespace {
+
+TEST(StackDistance, ChainDistances) {
+  // A[i] = A[i-1]: when A[i-1] is re-read, both A[i] (just written) and the
+  // stale boundary element A[i-2]'s chain head sit above it on the stack:
+  // every one of the five re-accesses lands at stack distance 3.
+  NestBuilder b;
+  b.loop("i", 1, 6);
+  ArrayId a = b.array("A", {7});
+  b.statement().write(a, {{1}}, {0}).read(a, {{1}}, {-1});
+  StackDistanceProfile p = stack_distances(b.build());
+  EXPECT_EQ(p.cold_accesses, 7);
+  EXPECT_EQ(p.total_accesses, 12);
+  EXPECT_EQ(p.histogram.at(3), 5);
+  EXPECT_EQ(p.max_distance(), 3);
+  // An LRU cache of 3 elements captures the whole chain; 2 does not.
+  EXPECT_EQ(p.lru_misses(3), p.cold_accesses);
+  EXPECT_GT(p.lru_misses(2), p.cold_accesses);
+}
+
+TEST(StackDistance, ColdPlusHitsEqualsTotal) {
+  LoopNest nest = codes::example_8();
+  StackDistanceProfile p = stack_distances(nest);
+  Int hits = 0;
+  for (auto& [d, c] : p.histogram) hits += c;
+  EXPECT_EQ(p.cold_accesses + hits, p.total_accesses);
+  EXPECT_EQ(p.cold_accesses, 94);  // distinct elements
+}
+
+TEST(StackDistance, LruMissesMonotoneInCapacity) {
+  LoopNest nest = codes::example_8();
+  StackDistanceProfile p = stack_distances(nest);
+  Int prev = p.lru_misses(0);
+  for (Int c = 1; c <= p.max_distance() + 1; ++c) {
+    Int cur = p.lru_misses(c);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_EQ(prev, p.cold_accesses);  // beyond max distance: cold only
+}
+
+TEST(StackDistance, PredictsCacheSimulatorExactly) {
+  // The histogram must reproduce the fully-associative LRU simulator at
+  // every capacity (unit lines, element addressing).
+  LoopNest nest = codes::example_8();
+  StackDistanceProfile p = stack_distances(nest);
+  auto layouts = default_layouts(nest);
+  for (Int cap : {2, 8, 21, 32, 44, 64, 128}) {
+    CacheStats sim = simulate_cache(nest, layouts, CacheConfig{cap, 1, 0});
+    EXPECT_EQ(p.lru_misses(cap), sim.misses) << "capacity " << cap;
+  }
+}
+
+TEST(StackDistance, TransformShiftsTheCurveLeft) {
+  LoopNest nest = codes::example_8();
+  auto res = minimize_mws_2d(nest);
+  ASSERT_TRUE(res.has_value());
+  StackDistanceProfile before = stack_distances(nest);
+  StackDistanceProfile after = stack_distances(nest, &res->transform);
+  // Same cold misses (same elements), but the transformed order needs a far
+  // smaller cache for the same hits.
+  EXPECT_EQ(before.cold_accesses, after.cold_accesses);
+  EXPECT_LT(after.max_distance(), before.max_distance());
+  // At the transformed window size, the transformed order is cold-only.
+  EXPECT_EQ(after.lru_misses(32), after.cold_accesses);
+  EXPECT_GT(before.lru_misses(32), before.cold_accesses);
+}
+
+TEST(StackDistance, MatmultCurveKneeAtOperandSize) {
+  LoopNest nest = codes::kernel_matmult(8);
+  StackDistanceProfile p = stack_distances(nest);
+  // B is fully reused across i: the largest distances are ~2*n^2; below
+  // that capacity B misses every sweep.
+  EXPECT_GT(p.lru_misses(32), p.cold_accesses);
+  EXPECT_EQ(p.lru_misses(p.max_distance()), p.cold_accesses);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/checked.h"
+#include "support/cli.h"
+#include "support/error.h"
+#include "support/text.h"
+
+namespace lmre {
+namespace {
+
+TEST(Checked, AddBasics) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(-2, 3), 1);
+  EXPECT_EQ(checked_add(0, 0), 0);
+}
+
+TEST(Checked, AddOverflowThrows) {
+  Int big = std::numeric_limits<Int>::max();
+  EXPECT_THROW(checked_add(big, 1), OverflowError);
+  EXPECT_THROW(checked_add(std::numeric_limits<Int>::min(), -1), OverflowError);
+  EXPECT_EQ(checked_add(big, 0), big);
+}
+
+TEST(Checked, SubOverflowThrows) {
+  EXPECT_EQ(checked_sub(5, 9), -4);
+  EXPECT_THROW(checked_sub(std::numeric_limits<Int>::min(), 1), OverflowError);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  EXPECT_EQ(checked_mul(-7, 6), -42);
+  Int big = std::numeric_limits<Int>::max();
+  EXPECT_THROW(checked_mul(big, 2), OverflowError);
+  EXPECT_EQ(checked_mul(big, 1), big);
+}
+
+TEST(Checked, NegAndAbs) {
+  EXPECT_EQ(checked_neg(5), -5);
+  EXPECT_EQ(checked_abs(-5), 5);
+  EXPECT_EQ(checked_abs(0), 0);
+  EXPECT_THROW(checked_neg(std::numeric_limits<Int>::min()), OverflowError);
+  EXPECT_THROW(checked_abs(std::numeric_limits<Int>::min()), OverflowError);
+}
+
+TEST(Checked, Gcd) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(0, 7), 7);
+  EXPECT_EQ(gcd(13, 7), 1);
+}
+
+TEST(Checked, Lcm) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 5), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+}
+
+TEST(Checked, ExtendedGcdIdentity) {
+  for (Int a : {3, -3, 0, 7, 25, -40}) {
+    for (Int b : {0, 2, 5, -9, 13}) {
+      if (a == 0 && b == 0) continue;
+      Int x, y;
+      Int g = extended_gcd(a, b, x, y);
+      EXPECT_EQ(g, gcd(a, b));
+      EXPECT_EQ(a * x + b * y, g) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Checked, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_THROW(floor_div(1, 0), InvalidArgument);
+  EXPECT_THROW(ceil_div(1, 0), InvalidArgument);
+}
+
+TEST(Checked, ModFloorAlwaysNonNegative) {
+  for (Int a = -10; a <= 10; ++a) {
+    for (Int b : {2, 3, -3, 7}) {
+      Int m = mod_floor(a, b);
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, checked_abs(b));
+      EXPECT_EQ((a - m) % b, 0);  // m is a residue of a mod |b|
+    }
+  }
+}
+
+TEST(Checked, Sign) {
+  EXPECT_EQ(sign(-3), -1);
+  EXPECT_EQ(sign(0), 0);
+  EXPECT_EQ(sign(9), 1);
+}
+
+TEST(Error, RequireAndEnsure) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), InvalidArgument);
+  EXPECT_NO_THROW(ensure(true, "ok"));
+  EXPECT_THROW(ensure(false, "bug"), InternalError);
+}
+
+TEST(Text, Join) {
+  std::vector<std::string> v{"a", "b", "c"};
+  EXPECT_EQ(join(v, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(Text, Pad) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Text, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(5152), "5,152");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-5152), "-5,152");
+}
+
+TEST(Text, Percent) {
+  EXPECT_EQ(percent(0.819), "81.9%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+}
+
+TEST(Text, TableRendersAligned) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "22"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Text, TableRejectsMismatchedRows) {
+  TextTable t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), InvalidArgument);
+}
+
+TEST(Cli, ParsesFlagsInAllForms) {
+  Cli cli;
+  cli.flag_int("n", 5, "count");
+  cli.flag_bool("verbose", "talk more");
+  cli.flag_string("name", "x", "label");
+  const char* argv[] = {"prog", "--n=7", "--verbose", "--name", "hello"};
+  ASSERT_TRUE(cli.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_string("name"), "hello");
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli;
+  cli.flag_int("n", 5, "count");
+  cli.flag_bool("verbose", "talk");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("n"), 5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  cli.flag_int("n", 5, "count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)), InvalidArgument);
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  Cli cli;
+  cli.flag_int("n", 5, "count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_THROW(cli.get_bool("n"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/reuse.h"
+#include "analysis/symbolic.h"
+#include "analysis/window.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(Poly, ConstantsAndVariables) {
+  Poly c = Poly::constant(2, 7);
+  EXPECT_EQ(c.eval({10, 20}), 7);
+  EXPECT_EQ(c.str(), "7");
+  Poly n2 = Poly::variable(2, 1);
+  EXPECT_EQ(n2.eval({10, 20}), 20);
+  EXPECT_EQ(n2.str(), "N2");
+  EXPECT_THROW(Poly::variable(2, 2), InvalidArgument);
+}
+
+TEST(Poly, Arithmetic) {
+  Poly n1 = Poly::variable(2, 0), n2 = Poly::variable(2, 1);
+  Poly p = (n1 - 1) * (n2 - 2);
+  EXPECT_EQ(p.eval({10, 10}), 72);  // the paper's Example 2 reuse at 10x10
+  EXPECT_EQ(p.str(), "N1*N2 - 2*N1 - N2 + 2");
+  EXPECT_EQ(p.degree(), 2);
+  Poly q = p - p;
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(q.str(), "0");
+}
+
+TEST(Poly, CancellationRemovesTerms) {
+  Poly n1 = Poly::variable(1, 0);
+  Poly p = (n1 + 1) * (n1 - 1);  // N1^2 - 1
+  EXPECT_EQ(p.str(), "N1^2 - 1");
+  EXPECT_EQ(p.eval({7}), 48);
+}
+
+TEST(Poly, MismatchedArityThrows) {
+  EXPECT_THROW(Poly::variable(1, 0) + Poly::variable(2, 0), InvalidArgument);
+  EXPECT_THROW(Poly::constant(2, 1).eval({5}), InvalidArgument);
+}
+
+TEST(Symbolic, ReuseMatchesPaperExamples) {
+  // Example 2: (N1-1)(N2-2).
+  Poly p = symbolic_reuse(IntVec{1, -2});
+  EXPECT_EQ(p.str(), "N1*N2 - 2*N1 - N2 + 2");
+  EXPECT_EQ(p.eval({10, 10}), 72);
+  // Example 4: (N1-5)(N2-2) = 120 at 20x10.
+  EXPECT_EQ(symbolic_reuse(IntVec{5, -2}).eval({20, 10}), 120);
+  // Example 5: (N1-1)(N2-3)(N3-3) = 4131 at 10x20x30.
+  EXPECT_EQ(symbolic_reuse(IntVec{1, 3, -3}).eval({10, 20, 30}), 4131);
+}
+
+TEST(Symbolic, DistinctFormulas) {
+  // Example 2: 2*N1*N2 - (N1-1)(N2-2) -> 128 at 10x10.
+  Poly d = symbolic_distinct_full_dim(2, 2, {IntVec{1, -2}});
+  EXPECT_EQ(d.eval({10, 10}), 128);
+  // Example 3: 4*N1*N2 - [(N1-1)N2 + N1(N2-1) + (N1-1)(N2-1)] -> 139.
+  Poly d3 = symbolic_distinct_full_dim(
+      2, 4, {IntVec{1, 0}, IntVec{0, 1}, IntVec{1, 1}});
+  EXPECT_EQ(d3.eval({10, 10}), 139);
+  // Example 4/5 kernel forms.
+  EXPECT_EQ(symbolic_distinct_kernel(IntVec{5, -2}).eval({20, 10}), 80);
+  EXPECT_EQ(symbolic_distinct_kernel(IntVec{1, 3, -3}).eval({10, 20, 30}), 1869);
+}
+
+TEST(Symbolic, MwsMatchesPaperExample10) {
+  // 1 + d1(N2-|d2|)(N3-|d3|) + d2(N3-|d3|): 541 at (10,20,30).
+  Poly m = symbolic_mws(IntVec{1, 3, -3});
+  EXPECT_EQ(m.eval({10, 20, 30}), 541);
+  EXPECT_EQ(m.str(), "N2*N3 - 3*N2 + 1");
+}
+
+TEST(Symbolic, AgreesWithConcreteFunctionsOnRandomInputs) {
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<Int> dv(-4, 4), bnd(6, 15);
+  for (int iter = 0; iter < 60; ++iter) {
+    size_t n = 2 + iter % 2;
+    IntVec d(n);
+    for (size_t k = 0; k < n; ++k) d[k] = dv(rng);
+    std::vector<Int> bounds;
+    for (size_t k = 0; k < n; ++k) bounds.push_back(bnd(rng));
+    IntBox box = IntBox::from_upper_bounds(bounds);
+    EXPECT_EQ(symbolic_reuse(d).eval(bounds), reuse_volume(d, box))
+        << d.str();
+    if (!d.is_zero()) {
+      EXPECT_EQ(symbolic_mws(d).eval(bounds), mws_from_reuse_vector(d, box))
+          << d.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "transform/unimodular.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(Elementary, Interchange) {
+  IntMat t = interchange(3, 0, 2);
+  EXPECT_TRUE(t.is_unimodular());
+  EXPECT_EQ(t * (IntVec{1, 2, 3}), (IntVec{3, 2, 1}));
+  EXPECT_EQ(t * t, IntMat::identity(3));
+}
+
+TEST(Elementary, Reversal) {
+  IntMat t = reversal(2, 1);
+  EXPECT_TRUE(t.is_unimodular());
+  EXPECT_EQ(t * (IntVec{4, 5}), (IntVec{4, -5}));
+}
+
+TEST(Elementary, Skew) {
+  IntMat t = skew(2, 0, 1, 3);  // row j += 3 * row i
+  EXPECT_TRUE(t.is_unimodular());
+  EXPECT_EQ(t * (IntVec{2, 5}), (IntVec{2, 11}));
+  EXPECT_THROW(skew(2, 0, 0, 1), InvalidArgument);
+}
+
+TEST(Elementary, CompositionStaysUnimodular) {
+  IntMat t = skew(3, 0, 2, -2) * interchange(3, 1, 2) * reversal(3, 0);
+  EXPECT_TRUE(t.is_unimodular());
+}
+
+TEST(Legality, IdentityLegalForLexPositiveDeps) {
+  std::vector<IntVec> deps{{1, -2}, {0, 3}, {2, 0}};
+  EXPECT_TRUE(is_legal(IntMat::identity(2), deps));
+}
+
+TEST(Legality, InterchangeIllegalForMixedSignDep) {
+  // (1,-2) interchanged becomes (-2,1): lex-negative.
+  std::vector<IntVec> deps{{1, -2}};
+  EXPECT_FALSE(is_legal(interchange(2, 0, 1), deps));
+  EXPECT_TRUE(is_legal(interchange(2, 0, 1), {IntVec{1, 2}}));
+}
+
+TEST(Legality, Example8LiPingaliRowsIllegal) {
+  // The paper's Section 4 argument: any transformation whose first row is
+  // (2,5) violates (3,-2); first row (-2,-5)... rows (-2,5) violate (2,0).
+  std::vector<IntVec> deps{{3, -2}, {2, 0}, {5, -2}};
+  IntMat t1{{2, 5}, {1, 3}};  // det 1
+  EXPECT_FALSE(is_legal(t1, deps));  // (2,5).(3,-2) = -4 < 0
+  IntMat t2{{-2, 5}, {-1, 2}};  // det 1
+  EXPECT_FALSE(is_legal(t2, deps));  // (-2,5).(2,0) = -4 < 0
+  // The paper's T = [[2,3],[1,1]] is legal and tileable.
+  IntMat good{{2, 3}, {1, 1}};
+  EXPECT_TRUE(is_legal(good, deps));
+  EXPECT_TRUE(is_tileable(good, deps));
+}
+
+TEST(Tiling, RequiresAllComponentsNonNegative) {
+  std::vector<IntVec> deps{{1, -2}};
+  EXPECT_TRUE(is_legal(IntMat::identity(2), deps));
+  EXPECT_FALSE(is_tileable(IntMat::identity(2), deps));  // second comp -2
+  IntMat skewed = skew(2, 0, 1, 2);  // (1,-2) -> (1,0)
+  EXPECT_TRUE(is_tileable(skewed, deps));
+}
+
+TEST(Tiling, EmptyDependenceSetAlwaysTileable) {
+  EXPECT_TRUE(is_tileable(reversal(2, 0), {}));
+  EXPECT_TRUE(is_legal(reversal(2, 0), {}));
+}
+
+TEST(Transform, Dependences) {
+  IntMat t{{2, 3}, {1, 1}};
+  auto out = transform_dependences(t, {IntVec{3, -2}, IntVec{2, 0}, IntVec{5, -2}});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (IntVec{0, 1}));
+  EXPECT_EQ(out[1], (IntVec{4, 2}));
+  EXPECT_EQ(out[2], (IntVec{4, 3}));
+  for (const auto& d : out) EXPECT_TRUE(d.lex_positive());
+}
+
+TEST(Transform, TileabilityImpliesLegalityForNonzero) {
+  std::vector<IntVec> deps{{3, -2}, {2, 0}};
+  IntMat t{{2, 3}, {1, 1}};
+  ASSERT_TRUE(is_tileable(t, deps));
+  EXPECT_TRUE(is_legal(t, deps));
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "linalg/mat.h"
+#include "linalg/vec.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(IntVec, BasicArithmetic) {
+  IntVec a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(a + b, (IntVec{5, -3, 9}));
+  EXPECT_EQ(a - b, (IntVec{-3, 7, -3}));
+  EXPECT_EQ(-a, (IntVec{-1, -2, -3}));
+  EXPECT_EQ(a * 3, (IntVec{3, 6, 9}));
+  EXPECT_EQ(a.dot(b), 4 - 10 + 18);
+}
+
+TEST(IntVec, SizeMismatchThrows) {
+  IntVec a{1, 2}, b{1, 2, 3};
+  EXPECT_THROW(a + b, InvalidArgument);
+  EXPECT_THROW(a.dot(b), InvalidArgument);
+}
+
+TEST(IntVec, LexOrder) {
+  EXPECT_TRUE((IntVec{0, 1}).lex_positive());
+  EXPECT_TRUE((IntVec{1, -5}).lex_positive());
+  EXPECT_FALSE((IntVec{-1, 5}).lex_positive());
+  EXPECT_FALSE((IntVec{0, 0}).lex_positive());
+  EXPECT_TRUE((IntVec{1, 2}).lex_less(IntVec{1, 3}));
+  EXPECT_TRUE((IntVec{0, 9}).lex_less(IntVec{1, 0}));
+  EXPECT_FALSE((IntVec{1, 3}).lex_less(IntVec{1, 3}));
+}
+
+TEST(IntVec, LevelIsFirstNonzeroOneBased) {
+  EXPECT_EQ((IntVec{3, 2}).level(), 1);
+  EXPECT_EQ((IntVec{0, 2, 0}).level(), 2);
+  EXPECT_EQ((IntVec{0, 0, -1}).level(), 3);
+  EXPECT_EQ((IntVec{0, 0}).level(), 0);
+}
+
+TEST(IntVec, ContentAndPrimitive) {
+  EXPECT_EQ((IntVec{6, -9, 12}).content(), 3);
+  EXPECT_EQ((IntVec{6, -9, 12}).primitive(), (IntVec{2, -3, 4}));
+  EXPECT_EQ((IntVec{0, 0}).content(), 0);
+  EXPECT_EQ((IntVec{0, 0}).primitive(), (IntVec{0, 0}));
+}
+
+TEST(IntVec, Str) {
+  EXPECT_EQ((IntVec{3, -2}).str(), "(3, -2)");
+}
+
+TEST(IntMat, ConstructionAndAccess) {
+  IntMat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 6);
+  EXPECT_EQ(m.row(0), (IntVec{1, 2, 3}));
+  EXPECT_EQ(m.col(1), (IntVec{2, 5}));
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW((IntMat{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(IntMat, Multiply) {
+  IntMat a{{1, 2}, {3, 4}};
+  IntMat b{{0, 1}, {1, 0}};
+  EXPECT_EQ(a * b, (IntMat{{2, 1}, {4, 3}}));
+  EXPECT_EQ(a * (IntVec{1, 1}), (IntVec{3, 7}));
+  EXPECT_EQ(IntMat::identity(2) * a, a);
+}
+
+TEST(IntMat, Transpose) {
+  IntMat a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(a.transposed(), (IntMat{{1, 4}, {2, 5}, {3, 6}}));
+}
+
+TEST(IntMat, Determinant) {
+  EXPECT_EQ((IntMat{{2, 5}, {1, 3}}).determinant(), 1);
+  EXPECT_EQ((IntMat{{2, 3}, {1, 1}}).determinant(), -1);
+  EXPECT_EQ((IntMat{{1, 2}, {2, 4}}).determinant(), 0);
+  EXPECT_EQ(IntMat::identity(4).determinant(), 1);
+  // 3x3 with a known determinant (expand along the last row: -1).
+  EXPECT_EQ((IntMat{{3, 0, 1}, {0, 1, 1}, {1, 0, 0}}).determinant(), -1);
+  EXPECT_THROW((IntMat{{1, 2, 3}, {4, 5, 6}}).determinant(), InvalidArgument);
+}
+
+TEST(IntMat, DeterminantLargerMatrix) {
+  // det of a 4x4 via a triangular-ish construction: product of diagonal.
+  IntMat m{{2, 1, 0, 3}, {0, -3, 1, 1}, {0, 0, 5, -2}, {0, 0, 0, 7}};
+  EXPECT_EQ(m.determinant(), 2 * -3 * 5 * 7);
+}
+
+TEST(IntMat, Rank) {
+  EXPECT_EQ((IntMat{{1, 2}, {2, 4}}).rank(), 1u);
+  EXPECT_EQ((IntMat{{1, 2}, {3, 4}}).rank(), 2u);
+  EXPECT_EQ((IntMat{{3, 0, 1}, {0, 1, 1}}).rank(), 2u);
+  EXPECT_EQ((IntMat{{0, 0}, {0, 0}}).rank(), 0u);
+}
+
+TEST(IntMat, UnimodularInverse) {
+  IntMat t{{2, 3}, {1, 1}};  // det -1 (Example 8's transformation)
+  ASSERT_TRUE(t.is_unimodular());
+  IntMat inv = t.inverse_unimodular();
+  EXPECT_EQ(t * inv, IntMat::identity(2));
+  EXPECT_EQ(inv * t, IntMat::identity(2));
+}
+
+TEST(IntMat, UnimodularInverse3x3) {
+  IntMat t{{3, 0, 1}, {0, 1, 1}, {1, 0, 0}};
+  ASSERT_TRUE(t.is_unimodular());
+  EXPECT_EQ(t * t.inverse_unimodular(), IntMat::identity(3));
+}
+
+TEST(IntMat, NonUnimodularInverseThrows) {
+  EXPECT_THROW((IntMat{{2, 0}, {0, 2}}).inverse_unimodular(), InvalidArgument);
+}
+
+TEST(IntMat, AdjugateIdentity) {
+  IntMat m{{4, 7}, {2, 6}};
+  IntMat adj = m.adjugate();
+  IntMat prod = m * adj;
+  Int det = m.determinant();
+  EXPECT_EQ(prod, IntMat::identity(2) * det);
+}
+
+TEST(IntMat, MinorMatrix) {
+  IntMat m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  EXPECT_EQ(m.minor_matrix(1, 1), (IntMat{{1, 3}, {7, 9}}));
+}
+
+TEST(IntMat, FromRows) {
+  IntMat m = IntMat::from_rows({IntVec{1, 2}, IntVec{3, 4}});
+  EXPECT_EQ(m, (IntMat{{1, 2}, {3, 4}}));
+}
+
+TEST(IntMat, Str) {
+  EXPECT_EQ((IntMat{{2, 3}, {1, 1}}).str(), "[2 3; 1 1]");
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "analysis/window.h"
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace lmre {
+namespace {
+
+TEST(Maxspan, IdentityAndInterchange) {
+  IntBox box = IntBox::from_upper_bounds({20, 30});
+  EXPECT_EQ(maxspan2(box, 1, 0), Rational(29));  // inner loop is j
+  EXPECT_EQ(maxspan2(box, 0, 1), Rational(19));  // inner loop is i
+}
+
+TEST(Maxspan, GeneralRow) {
+  // Section 4.2 worked example: N1=25, N2=10, row (2,3):
+  // min(24/3, 9/2) = 9/2.
+  IntBox box = IntBox::from_upper_bounds({25, 10});
+  EXPECT_EQ(maxspan2(box, 2, 3), Rational(9, 2));
+}
+
+TEST(Maxspan, RejectsBadRows) {
+  IntBox box = IntBox::from_upper_bounds({4, 4});
+  EXPECT_THROW(maxspan2(box, 0, 0), InvalidArgument);
+  EXPECT_THROW(maxspan2(box, 2, 4), InvalidArgument);  // not primitive
+  EXPECT_THROW(maxspan2(IntBox::from_upper_bounds({4}), 1, 0), InvalidArgument);
+}
+
+TEST(Mws2, Example8Identity) {
+  // Untransformed Example 8: "The maximum window size is 50."
+  IntBox box = IntBox::from_upper_bounds({25, 10});
+  EXPECT_EQ(mws2_estimate(IntVec{2, 5}, box, 1, 0), Rational(50));
+}
+
+TEST(Mws2, WorkedExampleRow23) {
+  // (9/2 + 1) * |5*2 - 2*3| = 22 -- "very close to the actual minimum MWS
+  // which is 21".
+  IntBox box = IntBox::from_upper_bounds({25, 10});
+  EXPECT_EQ(mws2_estimate(IntVec{2, 5}, box, 2, 3), Rational(22));
+}
+
+TEST(Mws2, Example7Estimates) {
+  IntBox box = IntBox::from_upper_bounds({20, 30});
+  // Identity ~ Eisenbeis cost 89 (estimate 90); interchange 41 (estimate 40).
+  EXPECT_EQ(mws2_estimate(IntVec{2, -3}, box, 1, 0), Rational(90));
+  EXPECT_EQ(mws2_estimate(IntVec{2, -3}, box, 0, 1), Rational(40));
+  // The compound row (2,-3) zeroes the inner stride: window collapses to 1.
+  EXPECT_EQ(mws2_estimate(IntVec{2, -3}, box, 2, -3), Rational(1));
+}
+
+TEST(Mws2, EstimateUpperBoundsExactOnExamples) {
+  for (auto [nest, row] : {std::pair{codes::example_7(), IntVec{1, 0}},
+                           std::pair{codes::example_8(), IntVec{1, 0}}}) {
+    Rational est =
+        mws2_estimate(nest.all_refs()[0].access.row(0), nest.bounds(), row[0], row[1]);
+    Int exact = simulate(nest).mws_total;
+    EXPECT_GE(est, Rational(exact)) << est.str() << " vs " << exact;
+  }
+}
+
+TEST(Mws2Eq1, ConsistentWithEq2) {
+  // eq. (2) == eq. (1) with the analytic maxspan plugged in.
+  IntBox box = IntBox::from_upper_bounds({25, 10});
+  IntMat t{{2, 3}, {1, 1}};
+  Rational span = maxspan2(box, 2, 3);
+  EXPECT_EQ(mws2_eq1(IntVec{2, 5}, span, t), mws2_estimate(IntVec{2, 5}, box, 2, 3));
+}
+
+TEST(Mws2Eq1, DeterminantSignIrrelevant) {
+  IntMat pos{{2, 3}, {1, 2}};   // det 1
+  IntMat neg{{2, 3}, {1, 1}};   // det -1
+  Rational span(9, 2);
+  EXPECT_EQ(mws2_eq1(IntVec{2, 5}, span, pos), mws2_eq1(IntVec{2, 5}, span, neg));
+  EXPECT_THROW(mws2_eq1(IntVec{2, 5}, span, IntMat{{2, 0}, {0, 1}}),
+               InvalidArgument);
+}
+
+TEST(Mws3, Example10PaperFormula) {
+  IntBox box = IntBox::from_upper_bounds({10, 20, 30});
+  // d2 = 3 > 0: 1*(20-3)*(30-3) + 3*(30-3) + 1 = 541 (paper prints 540).
+  EXPECT_EQ(mws3_paper(IntVec{1, 3, -3}, box), 541);
+  // d2 <= 0 branch.
+  EXPECT_EQ(mws3_paper(IntVec{1, -3, 3}, box), 460);
+  // Normalization: a lex-negative vector is flipped first.
+  EXPECT_EQ(mws3_paper(IntVec{-1, -3, 3}, box), 541);
+}
+
+TEST(Mws3, DepthChecked) {
+  EXPECT_THROW(mws3_paper(IntVec{1, 0}, IntBox::from_upper_bounds({4, 4})),
+               InvalidArgument);
+}
+
+TEST(MwsGeneral, MatchesPaperFormulaOnDepth3) {
+  IntBox box = IntBox::from_upper_bounds({10, 20, 30});
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{1, 3, -3}, box), 541);
+  // The generalized formula adds a pos(d3) term the 3-level paper formula
+  // omits: 459 + 3 = 462 for (1,-3,3).
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{1, -3, 3}, box, /*with_plus_one=*/false), 462);
+}
+
+TEST(MwsGeneral, ExactForExample10IsWithinOne) {
+  LoopNest nest = codes::example_5();
+  Int exact = simulate(nest).mws_total;
+  EXPECT_EQ(exact, 540);  // paper prints 540
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{1, 3, -3}, nest.bounds()), exact + 1);
+}
+
+TEST(MwsGeneral, ZeroVectorMeansNoWindow) {
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{0, 0}, IntBox::from_upper_bounds({5, 5})), 0);
+}
+
+TEST(MwsGeneral, InnerCarriedDependenceIsCheap) {
+  IntBox box = IntBox::from_upper_bounds({10, 20, 30});
+  // (0,0,1): consecutive iterations -> constant-size window.
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{0, 0, 1}, box), 2);
+  // (0,1,0): one inner row.
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{0, 1, 0}, box), 31);
+}
+
+TEST(MwsGeneral, DepthTwo) {
+  IntBox box = IntBox::from_upper_bounds({10, 10});
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{1, 0}, box), 11);
+  EXPECT_EQ(mws_from_reuse_vector(IntVec{1, -2}, box), 9);
+}
+
+TEST(EstimateArray, TwoDeepOneDUsesEq2) {
+  LoopNest nest = codes::example_8();
+  auto m = estimate_mws_array(nest, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 50);
+}
+
+TEST(EstimateArray, NonUniformGivesNullopt) {
+  EXPECT_FALSE(estimate_mws_array(codes::example_6(), 0).has_value());
+}
+
+TEST(EstimateArray, NoReuseGivesZero) {
+  NestBuilder b;
+  b.loop("i", 1, 5).loop("j", 1, 5);
+  ArrayId a = b.array("A", {5, 5});
+  b.statement().write(a, {{1, 0}, {0, 1}}, {0, 0});
+  EXPECT_EQ(*estimate_mws_array(b.build(), 0), 0);
+}
+
+TEST(EstimateArray, CappedByDistinctCount) {
+  // cur[i][j] in a motion-estimation nest: reuse (1,0,0) would naively give
+  // a window of the whole inner space, but only block*block elements exist.
+  LoopNest nest = codes::kernel_three_step_log(8, 4);
+  // Array 0 is cur (8x8 = 64 distinct).
+  auto m = estimate_mws_array(nest, 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_LE(*m, 64);
+  EXPECT_GE(*m, 32);
+}
+
+TEST(EstimateTotal, TracksOracleOnFigure2Kernels) {
+  for (auto& entry : codes::figure2_suite()) {
+    auto est = estimate_mws_total(entry.nest);
+    ASSERT_TRUE(est.has_value()) << entry.name;
+    Int exact = simulate(entry.nest).mws_total;
+    // The estimate is a per-array upper-bound composition; allow slack but
+    // catch order-of-magnitude drift (full_search's cap makes it loose).
+    EXPECT_GE(*est, exact / 2) << entry.name;
+    EXPECT_LE(*est, std::max<Int>(exact * 4, exact + 1024)) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace lmre

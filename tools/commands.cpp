@@ -1,0 +1,324 @@
+#include "tools/commands.h"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/report.h"
+#include "codes/kernels.h"
+#include "dependence/dependence.h"
+#include "exact/oracle.h"
+#include "exact/stack_distance.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "support/json.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+#include "transform/transformed.h"
+
+namespace lmre::tools {
+
+namespace {
+
+// Parses a DSL source, reporting errors on `out`; nullopt on failure.
+std::optional<Program> parse_or_report(const std::string& source, std::ostream& out) {
+  try {
+    return parse_program(source);
+  } catch (const ParseError& e) {
+    out << e.what() << '\n';
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int cmd_analyze(const std::string& source, std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+
+  if (program->phase_count() > 1) {
+    ProgramStats s = program->simulate();
+    out << "multi-phase program, " << s.iterations << " iterations\n";
+    TextTable t;
+    t.header({"phase", "starts", "handoff in", "peak window"});
+    for (size_t k = 0; k < program->phase_count(); ++k) {
+      t.row({program->phase_name(k), with_commas(s.phase_start[k]),
+             with_commas(s.handoff[k]), with_commas(s.phase_mws[k])});
+    }
+    out << t.render() << "whole-program window: " << s.mws_total << '\n';
+    return 0;
+  }
+
+  const LoopNest& nest = program->phase_nest(0);
+  out << print_nest(nest) << '\n';
+  out << summarize_dependences(analyze_dependences(nest));
+  out << '\n' << render(analyze_memory(nest));
+  return 0;
+}
+
+int cmd_optimize(const std::string& source, std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+  if (program->phase_count() > 1) {
+    out << "optimize works on single-nest sources\n";
+    return 1;
+  }
+  const LoopNest& nest = program->phase_nest(0);
+  OptimizeResult res = optimize_locality(nest);
+  out << "method: " << res.method << "\nT = " << res.transform.str() << "\n\n";
+  TransformedNest tn(nest, res.transform);
+  out << tn.print() << "\nexact window: " << simulate(nest).mws_total << " -> "
+      << tn.simulate().mws_total << '\n';
+  return 0;
+}
+
+int cmd_distances(const std::string& source, std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+  TextTable t;
+  t.header({"phase", "kind", "distance", "direction", "level"});
+  for (size_t k = 0; k < program->phase_count(); ++k) {
+    DependenceInfo info = analyze_dependences(program->phase_nest(k));
+    for (const auto& d : info.deps) {
+      t.row({program->phase_name(k), to_string(d.kind), d.distance.str(),
+             direction_string(d.distance), std::to_string(d.level())});
+    }
+    if (info.has_nonuniform()) {
+      t.row({program->phase_name(k), "non-uniform", "-", "-", "-"});
+    }
+  }
+  out << t.render();
+  return 0;
+}
+
+int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
+                  std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+  if (program->phase_count() > 1) {
+    out << "misscurve works on single-nest sources\n";
+    return 1;
+  }
+  const LoopNest& nest = program->phase_nest(0);
+  StackDistanceProfile profile = stack_distances(nest);
+  std::vector<Int> caps = capacities;
+  if (caps.empty()) {
+    // Automatic sweep: powers of two up to just past the knee.
+    for (Int c = 1; c <= profile.max_distance() * 2 && c <= (1 << 20); c *= 2) {
+      caps.push_back(c);
+    }
+    caps.push_back(profile.max_distance());
+  }
+  TextTable t;
+  t.header({"LRU capacity", "misses", "hit rate"});
+  for (Int c : caps) {
+    Int misses = profile.lru_misses(c);
+    double hit = profile.total_accesses == 0
+                     ? 0.0
+                     : 1.0 - double(misses) / double(profile.total_accesses);
+    t.row({with_commas(c), with_commas(misses), percent(hit)});
+  }
+  out << t.render() << "cold misses (distinct elements): " << profile.cold_accesses
+      << "\nknee (max finite stack distance): " << profile.max_distance() << '\n';
+  return 0;
+}
+
+int cmd_series(const std::string& source, std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+  if (program->phase_count() > 1) {
+    out << "series works on single-nest sources\n";
+    return 1;
+  }
+  const LoopNest& nest = program->phase_nest(0);
+  std::vector<Int> series = window_series(nest, IntMat::identity(nest.depth()));
+  out << "iteration,window\n";
+  for (size_t t = 0; t < series.size(); ++t) {
+    out << t << ',' << series[t] << '\n';
+  }
+  return 0;
+}
+
+int cmd_analyze_json(const std::string& source, std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+  if (program->phase_count() > 1) {
+    out << "{\"error\": \"analyze --json works on single-nest sources\"}\n";
+    return 1;
+  }
+  const LoopNest& nest = program->phase_nest(0);
+
+  Json doc = Json::object();
+  doc.set("depth", static_cast<Int>(nest.depth()));
+  doc.set("iterations", nest.iteration_count());
+  Json loops = Json::array();
+  for (size_t k = 0; k < nest.depth(); ++k) {
+    loops.push(Json::object()
+                   .set("var", nest.loop_vars()[k])
+                   .set("lo", nest.bounds().range(k).lo)
+                   .set("hi", nest.bounds().range(k).hi));
+  }
+  doc.set("loops", std::move(loops));
+
+  DependenceInfo info = analyze_dependences(nest);
+  Json deps = Json::array();
+  for (const auto& d : info.deps) {
+    Json dep = Json::object();
+    dep.set("kind", to_string(d.kind));
+    Json dist = Json::array();
+    for (size_t k = 0; k < d.distance.size(); ++k) dist.push(d.distance[k]);
+    dep.set("distance", std::move(dist));
+    dep.set("direction", direction_string(d.distance));
+    dep.set("level", static_cast<Int>(d.level()));
+    deps.push(std::move(dep));
+  }
+  doc.set("dependences", std::move(deps));
+  doc.set("nonuniform", info.has_nonuniform());
+
+  MemoryReport rep = analyze_memory(nest);
+  Json mem = Json::object();
+  mem.set("default", rep.default_memory);
+  mem.set("distinct_estimate", rep.distinct_estimate_total);
+  if (rep.distinct_exact_total) mem.set("distinct_exact", *rep.distinct_exact_total);
+  if (rep.mws_estimate_total) mem.set("mws_estimate", *rep.mws_estimate_total);
+  if (rep.mws_exact_total) mem.set("mws_exact", *rep.mws_exact_total);
+  Json arrays = Json::array();
+  for (const auto& a : rep.arrays) {
+    Json ja = Json::object();
+    ja.set("name", a.name).set("declared", a.declared);
+    if (a.distinct_estimate) ja.set("distinct_estimate", *a.distinct_estimate);
+    if (a.distinct_exact) ja.set("distinct_exact", *a.distinct_exact);
+    if (a.mws_exact) ja.set("mws_exact", *a.mws_exact);
+    arrays.push(std::move(ja));
+  }
+  mem.set("arrays", std::move(arrays));
+  doc.set("memory", std::move(mem));
+
+  out << doc.dump(2) << '\n';
+  return 0;
+}
+
+int cmd_optimize_json(const std::string& source, std::ostream& out) {
+  auto program = parse_or_report(source, out);
+  if (!program) return 1;
+  if (program->phase_count() > 1) {
+    out << "{\"error\": \"optimize --json works on single-nest sources\"}\n";
+    return 1;
+  }
+  const LoopNest& nest = program->phase_nest(0);
+  OptimizeResult res = optimize_locality(nest);
+
+  Json doc = Json::object();
+  doc.set("method", res.method);
+  Json rows = Json::array();
+  for (size_t r = 0; r < res.transform.rows(); ++r) {
+    Json row = Json::array();
+    for (size_t c = 0; c < res.transform.cols(); ++c) {
+      row.push(res.transform(r, c));
+    }
+    rows.push(std::move(row));
+  }
+  doc.set("transform", std::move(rows));
+  doc.set("mws_before", simulate(nest).mws_total);
+  doc.set("mws_after", simulate_transformed(nest, res.transform).mws_total);
+  TransformedNest tn(nest, res.transform);
+  doc.set("transformed_loop", tn.print());
+  out << doc.dump(2) << '\n';
+  return 0;
+}
+
+int cmd_figure2(std::ostream& out) {
+  TextTable t;
+  t.header({"code", "default", "MWS_unopt", "MWS_opt", "method"});
+  for (auto& e : codes::figure2_suite()) {
+    OptimizeResult res = optimize_locality(e.nest);
+    t.row({e.name, with_commas(e.nest.default_memory()),
+           with_commas(simulate(e.nest).mws_total),
+           with_commas(simulate_transformed(e.nest, res.transform).mws_total),
+           res.method});
+  }
+  out << t.render();
+  return 0;
+}
+
+std::string usage() {
+  return
+      "usage: lmre <command> [args]\n"
+      "  analyze   [--json] <file|->   dependences + memory report\n"
+      "  optimize  [--json] <file|->   window-minimizing transformation\n"
+      "  distances <file|->            dependence distance/direction table\n"
+      "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
+      "  series    <file|->            window-size time series as CSV\n"
+      "  figure2                       regenerate the paper's main table\n"
+      "DSL files use the grammar in src/ir/parser.h; '-' reads stdin.\n";
+}
+
+namespace {
+
+std::optional<std::string> read_source(const std::string& path, std::ostream& err) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    err << "cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << usage();
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "figure2") return cmd_figure2(out);
+  if (cmd == "analyze" || cmd == "optimize" || cmd == "distances" ||
+      cmd == "misscurve" || cmd == "series") {
+    if (args.size() < 2) {
+      err << usage();
+      return 2;
+    }
+    bool json = false;
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    for (auto it = rest.begin(); it != rest.end();) {
+      if (*it == "--json") {
+        json = true;
+        it = rest.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (rest.empty()) {
+      err << usage();
+      return 2;
+    }
+    auto source = read_source(rest[0], err);
+    if (!source) return 1;
+    if (cmd == "analyze") {
+      return json ? cmd_analyze_json(*source, out) : cmd_analyze(*source, out);
+    }
+    if (cmd == "optimize" && json) return cmd_optimize_json(*source, out);
+    if (cmd == "optimize") return cmd_optimize(*source, out);
+    if (cmd == "distances") return cmd_distances(*source, out);
+    if (cmd == "series") return cmd_series(*source, out);
+    std::vector<Int> caps;
+    for (size_t i = 1; i < rest.size(); ++i) {
+      caps.push_back(static_cast<Int>(std::stoll(rest[i])));
+    }
+    return cmd_misscurve(*source, caps, out);
+  }
+  err << usage();
+  return 2;
+}
+
+}  // namespace lmre::tools

@@ -1,0 +1,52 @@
+#pragma once
+
+// Implementation of the `lmre` command-line tool's subcommands, separated
+// from main() so they are unit-testable.  Every command takes parsed inputs
+// and writes its report to the given stream.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/checked.h"
+
+namespace lmre::tools {
+
+/// `lmre analyze <dsl>`: dependences + memory report (+ program handoffs
+/// for multi-phase sources).  Returns the process exit code.
+int cmd_analyze(const std::string& source, std::ostream& out);
+
+/// `lmre optimize <dsl>`: transformation search, transformed loop,
+/// before/after windows.
+int cmd_optimize(const std::string& source, std::ostream& out);
+
+/// `lmre distances <dsl>`: dependence distance/direction table.
+int cmd_distances(const std::string& source, std::ostream& out);
+
+/// `lmre misscurve <dsl> [capacities...]`: LRU miss counts from the exact
+/// stack-distance profile; empty capacities = automatic sweep.
+int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
+                  std::ostream& out);
+
+/// `lmre series <dsl>`: CSV of the window-size time series (ordinal,
+/// live-element count) in original order -- for plotting.
+int cmd_series(const std::string& source, std::ostream& out);
+
+/// `lmre analyze --json <dsl>`: the same analysis as cmd_analyze, emitted
+/// as a JSON document (single-nest sources only).
+int cmd_analyze_json(const std::string& source, std::ostream& out);
+
+/// `lmre optimize --json <dsl>`: machine-readable optimization result.
+int cmd_optimize_json(const std::string& source, std::ostream& out);
+
+/// `lmre figure2`: the paper's main table.
+int cmd_figure2(std::ostream& out);
+
+/// Usage text for the dispatcher.
+std::string usage();
+
+/// Dispatcher used by main(): argv-style interface.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace lmre::tools

@@ -1,0 +1,13 @@
+// The `lmre` command-line tool: analyze, optimize, and profile loop nests
+// written in the textual DSL.  See tools/commands.h for the subcommands.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return lmre::tools::run_cli(args, std::cout, std::cerr);
+}
