@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ex7_window"
+  "../bench/bench_ex7_window.pdb"
+  "CMakeFiles/bench_ex7_window.dir/bench_ex7_window.cpp.o"
+  "CMakeFiles/bench_ex7_window.dir/bench_ex7_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex7_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

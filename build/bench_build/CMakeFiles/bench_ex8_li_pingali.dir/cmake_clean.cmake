@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ex8_li_pingali"
+  "../bench/bench_ex8_li_pingali.pdb"
+  "CMakeFiles/bench_ex8_li_pingali.dir/bench_ex8_li_pingali.cpp.o"
+  "CMakeFiles/bench_ex8_li_pingali.dir/bench_ex8_li_pingali.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex8_li_pingali.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ex8_li_pingali.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extra_suite"
+  "../bench/bench_extra_suite.pdb"
+  "CMakeFiles/bench_extra_suite.dir/bench_extra_suite.cpp.o"
+  "CMakeFiles/bench_extra_suite.dir/bench_extra_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

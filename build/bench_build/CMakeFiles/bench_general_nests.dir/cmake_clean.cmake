@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_general_nests"
+  "../bench/bench_general_nests.pdb"
+  "CMakeFiles/bench_general_nests.dir/bench_general_nests.cpp.o"
+  "CMakeFiles/bench_general_nests.dir/bench_general_nests.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_nests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

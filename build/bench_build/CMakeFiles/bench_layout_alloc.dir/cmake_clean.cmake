@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_layout_alloc"
+  "../bench/bench_layout_alloc.pdb"
+  "CMakeFiles/bench_layout_alloc.dir/bench_layout_alloc.cpp.o"
+  "CMakeFiles/bench_layout_alloc.dir/bench_layout_alloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layout_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

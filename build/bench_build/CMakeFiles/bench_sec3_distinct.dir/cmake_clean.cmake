@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_distinct"
+  "../bench/bench_sec3_distinct.pdb"
+  "CMakeFiles/bench_sec3_distinct.dir/bench_sec3_distinct.cpp.o"
+  "CMakeFiles/bench_sec3_distinct.dir/bench_sec3_distinct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_distinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec43_threelevel"
+  "../bench/bench_sec43_threelevel.pdb"
+  "CMakeFiles/bench_sec43_threelevel.dir/bench_sec43_threelevel.cpp.o"
+  "CMakeFiles/bench_sec43_threelevel.dir/bench_sec43_threelevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_threelevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tiling"
+  "../bench/bench_tiling.pdb"
+  "CMakeFiles/bench_tiling.dir/bench_tiling.cpp.o"
+  "CMakeFiles/bench_tiling.dir/bench_tiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_sizing.dir/memory_sizing.cpp.o"
+  "CMakeFiles/memory_sizing.dir/memory_sizing.cpp.o.d"
+  "memory_sizing"
+  "memory_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_nest.dir/optimize_nest.cpp.o"
+  "CMakeFiles/optimize_nest.dir/optimize_nest.cpp.o.d"
+  "optimize_nest"
+  "optimize_nest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_nest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

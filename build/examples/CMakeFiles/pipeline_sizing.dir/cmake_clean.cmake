@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sizing.dir/pipeline_sizing.cpp.o"
+  "CMakeFiles/pipeline_sizing.dir/pipeline_sizing.cpp.o.d"
+  "pipeline_sizing"
+  "pipeline_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

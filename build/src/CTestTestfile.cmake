@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("polyhedra")
+subdirs("ir")
+subdirs("dependence")
+subdirs("exact")
+subdirs("analysis")
+subdirs("layout")
+subdirs("alloc")
+subdirs("related")
+subdirs("program")
+subdirs("cachesim")
+subdirs("energy")
+subdirs("transform")
+subdirs("codes")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_alloc.dir/scratchpad.cpp.o"
+  "CMakeFiles/lmre_alloc.dir/scratchpad.cpp.o.d"
+  "liblmre_alloc.a"
+  "liblmre_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/distinct.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/distinct.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/distinct.cpp.o.d"
+  "/root/repo/src/analysis/lifetime.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/lifetime.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/lifetime.cpp.o.d"
+  "/root/repo/src/analysis/nonuniform.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/nonuniform.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/nonuniform.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/reuse.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/reuse.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/reuse.cpp.o.d"
+  "/root/repo/src/analysis/symbolic.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/symbolic.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/symbolic.cpp.o.d"
+  "/root/repo/src/analysis/window.cpp" "src/analysis/CMakeFiles/lmre_analysis.dir/window.cpp.o" "gcc" "src/analysis/CMakeFiles/lmre_analysis.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exact/CMakeFiles/lmre_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/lmre_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

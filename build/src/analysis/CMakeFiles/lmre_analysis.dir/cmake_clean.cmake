@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_analysis.dir/distinct.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/distinct.cpp.o.d"
+  "CMakeFiles/lmre_analysis.dir/lifetime.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/lifetime.cpp.o.d"
+  "CMakeFiles/lmre_analysis.dir/nonuniform.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/nonuniform.cpp.o.d"
+  "CMakeFiles/lmre_analysis.dir/report.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/lmre_analysis.dir/reuse.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/reuse.cpp.o.d"
+  "CMakeFiles/lmre_analysis.dir/symbolic.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/symbolic.cpp.o.d"
+  "CMakeFiles/lmre_analysis.dir/window.cpp.o"
+  "CMakeFiles/lmre_analysis.dir/window.cpp.o.d"
+  "liblmre_analysis.a"
+  "liblmre_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

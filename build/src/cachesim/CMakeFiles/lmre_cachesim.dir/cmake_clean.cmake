@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/lmre_cachesim.dir/cache.cpp.o.d"
+  "liblmre_cachesim.a"
+  "liblmre_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

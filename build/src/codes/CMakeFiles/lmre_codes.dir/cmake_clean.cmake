@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_codes.dir/examples.cpp.o"
+  "CMakeFiles/lmre_codes.dir/examples.cpp.o.d"
+  "CMakeFiles/lmre_codes.dir/extra_kernels.cpp.o"
+  "CMakeFiles/lmre_codes.dir/extra_kernels.cpp.o.d"
+  "CMakeFiles/lmre_codes.dir/general_kernels.cpp.o"
+  "CMakeFiles/lmre_codes.dir/general_kernels.cpp.o.d"
+  "CMakeFiles/lmre_codes.dir/kernels.cpp.o"
+  "CMakeFiles/lmre_codes.dir/kernels.cpp.o.d"
+  "liblmre_codes.a"
+  "liblmre_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dependence/dependence.cpp" "src/dependence/CMakeFiles/lmre_dependence.dir/dependence.cpp.o" "gcc" "src/dependence/CMakeFiles/lmre_dependence.dir/dependence.cpp.o.d"
+  "/root/repo/src/dependence/directions.cpp" "src/dependence/CMakeFiles/lmre_dependence.dir/directions.cpp.o" "gcc" "src/dependence/CMakeFiles/lmre_dependence.dir/directions.cpp.o.d"
+  "/root/repo/src/dependence/lattice.cpp" "src/dependence/CMakeFiles/lmre_dependence.dir/lattice.cpp.o" "gcc" "src/dependence/CMakeFiles/lmre_dependence.dir/lattice.cpp.o.d"
+  "/root/repo/src/dependence/tests.cpp" "src/dependence/CMakeFiles/lmre_dependence.dir/tests.cpp.o" "gcc" "src/dependence/CMakeFiles/lmre_dependence.dir/tests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lmre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

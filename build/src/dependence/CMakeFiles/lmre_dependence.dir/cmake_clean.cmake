@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_dependence.dir/dependence.cpp.o"
+  "CMakeFiles/lmre_dependence.dir/dependence.cpp.o.d"
+  "CMakeFiles/lmre_dependence.dir/directions.cpp.o"
+  "CMakeFiles/lmre_dependence.dir/directions.cpp.o.d"
+  "CMakeFiles/lmre_dependence.dir/lattice.cpp.o"
+  "CMakeFiles/lmre_dependence.dir/lattice.cpp.o.d"
+  "CMakeFiles/lmre_dependence.dir/tests.cpp.o"
+  "CMakeFiles/lmre_dependence.dir/tests.cpp.o.d"
+  "liblmre_dependence.a"
+  "liblmre_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_energy.dir/model.cpp.o"
+  "CMakeFiles/lmre_energy.dir/model.cpp.o.d"
+  "liblmre_energy.a"
+  "liblmre_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/liveness.cpp" "src/exact/CMakeFiles/lmre_exact.dir/liveness.cpp.o" "gcc" "src/exact/CMakeFiles/lmre_exact.dir/liveness.cpp.o.d"
+  "/root/repo/src/exact/oracle.cpp" "src/exact/CMakeFiles/lmre_exact.dir/oracle.cpp.o" "gcc" "src/exact/CMakeFiles/lmre_exact.dir/oracle.cpp.o.d"
+  "/root/repo/src/exact/stack_distance.cpp" "src/exact/CMakeFiles/lmre_exact.dir/stack_distance.cpp.o" "gcc" "src/exact/CMakeFiles/lmre_exact.dir/stack_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dependence/CMakeFiles/lmre_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_exact.dir/liveness.cpp.o"
+  "CMakeFiles/lmre_exact.dir/liveness.cpp.o.d"
+  "CMakeFiles/lmre_exact.dir/oracle.cpp.o"
+  "CMakeFiles/lmre_exact.dir/oracle.cpp.o.d"
+  "CMakeFiles/lmre_exact.dir/stack_distance.cpp.o"
+  "CMakeFiles/lmre_exact.dir/stack_distance.cpp.o.d"
+  "liblmre_exact.a"
+  "liblmre_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/lmre_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/lmre_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/general.cpp" "src/ir/CMakeFiles/lmre_ir.dir/general.cpp.o" "gcc" "src/ir/CMakeFiles/lmre_ir.dir/general.cpp.o.d"
+  "/root/repo/src/ir/nest.cpp" "src/ir/CMakeFiles/lmre_ir.dir/nest.cpp.o" "gcc" "src/ir/CMakeFiles/lmre_ir.dir/nest.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/lmre_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/lmre_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/lmre_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/lmre_ir.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_ir.dir/builder.cpp.o"
+  "CMakeFiles/lmre_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/lmre_ir.dir/general.cpp.o"
+  "CMakeFiles/lmre_ir.dir/general.cpp.o.d"
+  "CMakeFiles/lmre_ir.dir/nest.cpp.o"
+  "CMakeFiles/lmre_ir.dir/nest.cpp.o.d"
+  "CMakeFiles/lmre_ir.dir/parser.cpp.o"
+  "CMakeFiles/lmre_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/lmre_ir.dir/printer.cpp.o"
+  "CMakeFiles/lmre_ir.dir/printer.cpp.o.d"
+  "liblmre_ir.a"
+  "liblmre_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_layout.dir/layout.cpp.o"
+  "CMakeFiles/lmre_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/lmre_layout.dir/spatial.cpp.o"
+  "CMakeFiles/lmre_layout.dir/spatial.cpp.o.d"
+  "liblmre_layout.a"
+  "liblmre_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

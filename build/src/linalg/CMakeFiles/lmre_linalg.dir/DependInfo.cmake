@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/completion.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/completion.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/completion.cpp.o.d"
+  "/root/repo/src/linalg/diophantine.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/diophantine.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/diophantine.cpp.o.d"
+  "/root/repo/src/linalg/kernel.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/kernel.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/kernel.cpp.o.d"
+  "/root/repo/src/linalg/mat.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/mat.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/mat.cpp.o.d"
+  "/root/repo/src/linalg/normal_form.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/normal_form.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/normal_form.cpp.o.d"
+  "/root/repo/src/linalg/rational.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/rational.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/rational.cpp.o.d"
+  "/root/repo/src/linalg/vec.cpp" "src/linalg/CMakeFiles/lmre_linalg.dir/vec.cpp.o" "gcc" "src/linalg/CMakeFiles/lmre_linalg.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_linalg.dir/completion.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/completion.cpp.o.d"
+  "CMakeFiles/lmre_linalg.dir/diophantine.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/diophantine.cpp.o.d"
+  "CMakeFiles/lmre_linalg.dir/kernel.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/kernel.cpp.o.d"
+  "CMakeFiles/lmre_linalg.dir/mat.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/mat.cpp.o.d"
+  "CMakeFiles/lmre_linalg.dir/normal_form.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/normal_form.cpp.o.d"
+  "CMakeFiles/lmre_linalg.dir/rational.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/rational.cpp.o.d"
+  "CMakeFiles/lmre_linalg.dir/vec.cpp.o"
+  "CMakeFiles/lmre_linalg.dir/vec.cpp.o.d"
+  "liblmre_linalg.a"
+  "liblmre_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polyhedra/affine.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/affine.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/affine.cpp.o.d"
+  "/root/repo/src/polyhedra/box.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/box.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/box.cpp.o.d"
+  "/root/repo/src/polyhedra/constraint.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/constraint.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/constraint.cpp.o.d"
+  "/root/repo/src/polyhedra/counting.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/counting.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/counting.cpp.o.d"
+  "/root/repo/src/polyhedra/fourier_motzkin.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/fourier_motzkin.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/fourier_motzkin.cpp.o.d"
+  "/root/repo/src/polyhedra/geometry.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/geometry.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/geometry.cpp.o.d"
+  "/root/repo/src/polyhedra/scanner.cpp" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/scanner.cpp.o" "gcc" "src/polyhedra/CMakeFiles/lmre_polyhedra.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_polyhedra.dir/affine.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/affine.cpp.o.d"
+  "CMakeFiles/lmre_polyhedra.dir/box.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/box.cpp.o.d"
+  "CMakeFiles/lmre_polyhedra.dir/constraint.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/constraint.cpp.o.d"
+  "CMakeFiles/lmre_polyhedra.dir/counting.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/counting.cpp.o.d"
+  "CMakeFiles/lmre_polyhedra.dir/fourier_motzkin.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/fourier_motzkin.cpp.o.d"
+  "CMakeFiles/lmre_polyhedra.dir/geometry.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/geometry.cpp.o.d"
+  "CMakeFiles/lmre_polyhedra.dir/scanner.cpp.o"
+  "CMakeFiles/lmre_polyhedra.dir/scanner.cpp.o.d"
+  "liblmre_polyhedra.a"
+  "liblmre_polyhedra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_polyhedra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_program.dir/fusion.cpp.o"
+  "CMakeFiles/lmre_program.dir/fusion.cpp.o.d"
+  "CMakeFiles/lmre_program.dir/program.cpp.o"
+  "CMakeFiles/lmre_program.dir/program.cpp.o.d"
+  "liblmre_program.a"
+  "liblmre_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

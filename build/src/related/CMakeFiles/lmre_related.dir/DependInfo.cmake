@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/related/ferrante.cpp" "src/related/CMakeFiles/lmre_related.dir/ferrante.cpp.o" "gcc" "src/related/CMakeFiles/lmre_related.dir/ferrante.cpp.o.d"
+  "/root/repo/src/related/li_pingali.cpp" "src/related/CMakeFiles/lmre_related.dir/li_pingali.cpp.o" "gcc" "src/related/CMakeFiles/lmre_related.dir/li_pingali.cpp.o.d"
+  "/root/repo/src/related/refwindow.cpp" "src/related/CMakeFiles/lmre_related.dir/refwindow.cpp.o" "gcc" "src/related/CMakeFiles/lmre_related.dir/refwindow.cpp.o.d"
+  "/root/repo/src/related/wolf_lam.cpp" "src/related/CMakeFiles/lmre_related.dir/wolf_lam.cpp.o" "gcc" "src/related/CMakeFiles/lmre_related.dir/wolf_lam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/lmre_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lmre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/lmre_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/lmre_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_related.dir/ferrante.cpp.o"
+  "CMakeFiles/lmre_related.dir/ferrante.cpp.o.d"
+  "CMakeFiles/lmre_related.dir/li_pingali.cpp.o"
+  "CMakeFiles/lmre_related.dir/li_pingali.cpp.o.d"
+  "CMakeFiles/lmre_related.dir/refwindow.cpp.o"
+  "CMakeFiles/lmre_related.dir/refwindow.cpp.o.d"
+  "CMakeFiles/lmre_related.dir/wolf_lam.cpp.o"
+  "CMakeFiles/lmre_related.dir/wolf_lam.cpp.o.d"
+  "liblmre_related.a"
+  "liblmre_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_support.dir/checked.cpp.o"
+  "CMakeFiles/lmre_support.dir/checked.cpp.o.d"
+  "CMakeFiles/lmre_support.dir/cli.cpp.o"
+  "CMakeFiles/lmre_support.dir/cli.cpp.o.d"
+  "CMakeFiles/lmre_support.dir/error.cpp.o"
+  "CMakeFiles/lmre_support.dir/error.cpp.o.d"
+  "CMakeFiles/lmre_support.dir/json.cpp.o"
+  "CMakeFiles/lmre_support.dir/json.cpp.o.d"
+  "CMakeFiles/lmre_support.dir/text.cpp.o"
+  "CMakeFiles/lmre_support.dir/text.cpp.o.d"
+  "liblmre_support.a"
+  "liblmre_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

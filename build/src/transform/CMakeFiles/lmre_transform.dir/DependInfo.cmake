@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/minimizer.cpp" "src/transform/CMakeFiles/lmre_transform.dir/minimizer.cpp.o" "gcc" "src/transform/CMakeFiles/lmre_transform.dir/minimizer.cpp.o.d"
+  "/root/repo/src/transform/parallel.cpp" "src/transform/CMakeFiles/lmre_transform.dir/parallel.cpp.o" "gcc" "src/transform/CMakeFiles/lmre_transform.dir/parallel.cpp.o.d"
+  "/root/repo/src/transform/tiling.cpp" "src/transform/CMakeFiles/lmre_transform.dir/tiling.cpp.o" "gcc" "src/transform/CMakeFiles/lmre_transform.dir/tiling.cpp.o.d"
+  "/root/repo/src/transform/transformed.cpp" "src/transform/CMakeFiles/lmre_transform.dir/transformed.cpp.o" "gcc" "src/transform/CMakeFiles/lmre_transform.dir/transformed.cpp.o.d"
+  "/root/repo/src/transform/unimodular.cpp" "src/transform/CMakeFiles/lmre_transform.dir/unimodular.cpp.o" "gcc" "src/transform/CMakeFiles/lmre_transform.dir/unimodular.cpp.o.d"
+  "/root/repo/src/transform/wavefront.cpp" "src/transform/CMakeFiles/lmre_transform.dir/wavefront.cpp.o" "gcc" "src/transform/CMakeFiles/lmre_transform.dir/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lmre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/lmre_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/lmre_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

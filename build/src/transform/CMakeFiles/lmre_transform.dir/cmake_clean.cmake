@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_transform.dir/minimizer.cpp.o"
+  "CMakeFiles/lmre_transform.dir/minimizer.cpp.o.d"
+  "CMakeFiles/lmre_transform.dir/parallel.cpp.o"
+  "CMakeFiles/lmre_transform.dir/parallel.cpp.o.d"
+  "CMakeFiles/lmre_transform.dir/tiling.cpp.o"
+  "CMakeFiles/lmre_transform.dir/tiling.cpp.o.d"
+  "CMakeFiles/lmre_transform.dir/transformed.cpp.o"
+  "CMakeFiles/lmre_transform.dir/transformed.cpp.o.d"
+  "CMakeFiles/lmre_transform.dir/unimodular.cpp.o"
+  "CMakeFiles/lmre_transform.dir/unimodular.cpp.o.d"
+  "CMakeFiles/lmre_transform.dir/wavefront.cpp.o"
+  "CMakeFiles/lmre_transform.dir/wavefront.cpp.o.d"
+  "liblmre_transform.a"
+  "liblmre_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmre_transform.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_constraint_test.dir/affine_constraint_test.cpp.o"
+  "CMakeFiles/affine_constraint_test.dir/affine_constraint_test.cpp.o.d"
+  "affine_constraint_test"
+  "affine_constraint_test.pdb"
+  "affine_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_tests_test.dir/dependence_tests_test.cpp.o"
+  "CMakeFiles/dependence_tests_test.dir/dependence_tests_test.cpp.o.d"
+  "dependence_tests_test"
+  "dependence_tests_test.pdb"
+  "dependence_tests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_tests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directions_parallel_test.dir/directions_parallel_test.cpp.o"
+  "CMakeFiles/directions_parallel_test.dir/directions_parallel_test.cpp.o.d"
+  "directions_parallel_test"
+  "directions_parallel_test.pdb"
+  "directions_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directions_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

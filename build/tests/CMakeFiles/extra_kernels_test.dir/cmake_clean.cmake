@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_kernels_test.dir/extra_kernels_test.cpp.o"
+  "CMakeFiles/extra_kernels_test.dir/extra_kernels_test.cpp.o.d"
+  "extra_kernels_test"
+  "extra_kernels_test.pdb"
+  "extra_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

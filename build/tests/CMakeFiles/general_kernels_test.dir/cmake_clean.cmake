@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_kernels_test.dir/general_kernels_test.cpp.o"
+  "CMakeFiles/general_kernels_test.dir/general_kernels_test.cpp.o.d"
+  "general_kernels_test"
+  "general_kernels_test.pdb"
+  "general_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_nest_test.dir/general_nest_test.cpp.o"
+  "CMakeFiles/general_nest_test.dir/general_nest_test.cpp.o.d"
+  "general_nest_test"
+  "general_nest_test.pdb"
+  "general_nest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_nest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_diophantine_test.dir/kernel_diophantine_test.cpp.o"
+  "CMakeFiles/kernel_diophantine_test.dir/kernel_diophantine_test.cpp.o.d"
+  "kernel_diophantine_test"
+  "kernel_diophantine_test.pdb"
+  "kernel_diophantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_diophantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

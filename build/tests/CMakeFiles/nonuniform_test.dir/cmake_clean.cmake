@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonuniform_test.dir/nonuniform_test.cpp.o"
+  "CMakeFiles/nonuniform_test.dir/nonuniform_test.cpp.o.d"
+  "nonuniform_test"
+  "nonuniform_test.pdb"
+  "nonuniform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonuniform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_numbers_test.dir/paper_numbers_test.cpp.o"
+  "CMakeFiles/paper_numbers_test.dir/paper_numbers_test.cpp.o.d"
+  "paper_numbers_test"
+  "paper_numbers_test.pdb"
+  "paper_numbers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_numbers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

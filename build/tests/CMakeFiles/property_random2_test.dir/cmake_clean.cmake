@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_random2_test.dir/property_random2_test.cpp.o"
+  "CMakeFiles/property_random2_test.dir/property_random2_test.cpp.o.d"
+  "property_random2_test"
+  "property_random2_test.pdb"
+  "property_random2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_random2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_test.dir/related_test.cpp.o"
+  "CMakeFiles/related_test.dir/related_test.cpp.o.d"
+  "related_test"
+  "related_test.pdb"
+  "related_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reuse_distinct_test.cpp" "tests/CMakeFiles/reuse_distinct_test.dir/reuse_distinct_test.cpp.o" "gcc" "tests/CMakeFiles/reuse_distinct_test.dir/reuse_distinct_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/lmre_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/related/CMakeFiles/lmre_related.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/lmre_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/lmre_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/lmre_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/lmre_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/lmre_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lmre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/lmre_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/lmre_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/lmre_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lmre_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyhedra/CMakeFiles/lmre_polyhedra.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmre_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lmre_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_distinct_test.dir/reuse_distinct_test.cpp.o"
+  "CMakeFiles/reuse_distinct_test.dir/reuse_distinct_test.cpp.o.d"
+  "reuse_distinct_test"
+  "reuse_distinct_test.pdb"
+  "reuse_distinct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_distinct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

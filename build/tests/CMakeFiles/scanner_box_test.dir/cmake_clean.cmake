@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_box_test.dir/scanner_box_test.cpp.o"
+  "CMakeFiles/scanner_box_test.dir/scanner_box_test.cpp.o.d"
+  "scanner_box_test"
+  "scanner_box_test.pdb"
+  "scanner_box_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

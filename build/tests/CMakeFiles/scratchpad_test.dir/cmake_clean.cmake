@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scratchpad_test.dir/scratchpad_test.cpp.o"
+  "CMakeFiles/scratchpad_test.dir/scratchpad_test.cpp.o.d"
+  "scratchpad_test"
+  "scratchpad_test.pdb"
+  "scratchpad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scratchpad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformed_test.dir/transformed_test.cpp.o"
+  "CMakeFiles/transformed_test.dir/transformed_test.cpp.o.d"
+  "transformed_test"
+  "transformed_test.pdb"
+  "transformed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimodular_test.dir/unimodular_test.cpp.o"
+  "CMakeFiles/unimodular_test.dir/unimodular_test.cpp.o.d"
+  "unimodular_test"
+  "unimodular_test.pdb"
+  "unimodular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimodular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

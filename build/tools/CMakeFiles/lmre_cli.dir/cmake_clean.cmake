@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_cli.dir/lmre_main.cpp.o"
+  "CMakeFiles/lmre_cli.dir/lmre_main.cpp.o.d"
+  "lmre"
+  "lmre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmre_tools.dir/commands.cpp.o"
+  "CMakeFiles/lmre_tools.dir/commands.cpp.o.d"
+  "liblmre_tools.a"
+  "liblmre_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmre_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
