@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the standard build + full ctest run, then a ThreadSanitizer
+# pass over the parallel-search test suites.  Run from the repo root:
+#
+#   scripts/tier1.sh
+#
+# The TSan stage builds into build-tsan/ so it never disturbs the primary
+# build tree.  Both stages must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== tier 1: ThreadSanitizer pass over the parallel suites =="
+cmake -B build-tsan -S . -DLMRE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target parallel_search_test property_parallel_test
+./build-tsan/tests/parallel_search_test
+./build-tsan/tests/property_parallel_test
+
+echo "tier 1 OK"

@@ -5,6 +5,7 @@
 
 #include "polyhedra/scanner.h"
 #include "support/error.h"
+#include "support/parallel_for.h"
 
 namespace lmre {
 
@@ -65,6 +66,33 @@ void visit_iterations(const LoopNest& nest, const IntMat* t,
   });
 }
 
+void visit_iterations_chunked(const LoopNest& nest, int threads,
+                              const std::function<void(size_t, Int, const IntVec&)>& body) {
+  const size_t n = nest.depth();
+  if (n == 0) return;
+  const IntBox& box = nest.bounds();
+  const Int outer_trips = box.range(0).trip_count();
+  if (outer_trips <= 0) return;
+  Int inner_volume = 1;
+  for (size_t k = 1; k < n; ++k) {
+    inner_volume = checked_mul(inner_volume, box.range(k).trip_count());
+  }
+  parallel_chunks(outer_trips, threads, /*grain=*/1,
+                  [&](size_t slab, Int begin, Int end) {
+    // The slab is the sub-box with the outer index restricted to
+    // [lo + begin, lo + end - 1]; its first iteration has global ordinal
+    // begin * inner_volume because every earlier outer value contributes a
+    // full inner subspace.
+    std::vector<Range> ranges = box.ranges();
+    ranges[0] = Range{box.range(0).lo + begin, box.range(0).lo + end - 1};
+    IntBox sub(std::move(ranges));
+    Int ordinal = checked_mul(begin, inner_volume);
+    scan(sub.to_constraints(), [&](const IntVec& iter) {
+      body(slab, ordinal++, iter);
+    });
+  });
+}
+
 namespace {
 
 // Shared trace pass: computes first/last touch per element and the access
@@ -75,23 +103,50 @@ struct Trace {
   Int total_accesses = 0;
   std::map<ArrayId, Int> distinct;
 
-  void run(const LoopNest& nest, const IntMat* t) {
-    visit_iterations(nest, t, [&](Int ordinal, const IntVec& iter) {
-      iterations = ordinal + 1;
-      for (const auto& stmt : nest.statements()) {
-        for (const auto& ref : stmt.refs) {
-          ++total_accesses;
-          IntVec idx = ref.index_at(iter);
-          ElementKey key{ref.array, idx.data()};
-          auto [it, inserted] = touch.try_emplace(key, FirstLast{ordinal, ordinal});
-          if (inserted) {
-            ++distinct[ref.array];
-          } else {
-            it->second.last = ordinal;
-          }
+  void touch_iteration(const LoopNest& nest, Int ordinal, const IntVec& iter) {
+    if (ordinal + 1 > iterations) iterations = ordinal + 1;
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        ++total_accesses;
+        IntVec idx = ref.index_at(iter);
+        ElementKey key{ref.array, idx.data()};
+        auto [it, inserted] = touch.try_emplace(key, FirstLast{ordinal, ordinal});
+        if (inserted) {
+          ++distinct[ref.array];
+        } else {
+          it->second.last = ordinal;
         }
       }
+    }
+  }
+
+  void run(const LoopNest& nest, const IntMat* t) {
+    visit_iterations(nest, t, [&](Int ordinal, const IntVec& iter) {
+      touch_iteration(nest, ordinal, iter);
     });
+  }
+
+  /// Folds another trace (a later slab of the same execution) into this one.
+  /// first/last merge as min/max, so the merge is order-independent; the
+  /// distinct counters are recomputed by the caller once all slabs are in.
+  void absorb(Trace&& o) {
+    iterations = std::max(iterations, o.iterations);
+    total_accesses = checked_add(total_accesses, o.total_accesses);
+    for (auto& [key, fl] : o.touch) {
+      auto [it, inserted] = touch.try_emplace(key, fl);
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, fl.first);
+        it->second.last = std::max(it->second.last, fl.last);
+      }
+    }
+  }
+
+  void recount_distinct() {
+    distinct.clear();
+    for (const auto& [key, fl] : touch) {
+      (void)fl;
+      ++distinct[key.array];
+    }
   }
 };
 
@@ -157,6 +212,26 @@ TraceStats simulate(const LoopNest& nest) {
   Trace trace;
   trace.run(nest, nullptr);
   return stats_from_trace(nest, trace);
+}
+
+TraceStats simulate(const LoopNest& nest, int threads) {
+  const int workers = resolve_threads(threads);
+  if (workers <= 1 || nest.depth() == 0 ||
+      nest.bounds().range(0).trip_count() < 2) {
+    return simulate(nest);
+  }
+  // One trace per possible slab; visit_iterations_chunked guarantees slab
+  // indices below the resolved worker count and gives each slab global
+  // ordinals, so merging in any order reproduces the serial trace.
+  std::vector<Trace> slabs(static_cast<size_t>(workers));
+  visit_iterations_chunked(nest, threads,
+                           [&](size_t slab, Int ordinal, const IntVec& iter) {
+    slabs[slab].touch_iteration(nest, ordinal, iter);
+  });
+  Trace merged = std::move(slabs[0]);
+  for (size_t s = 1; s < slabs.size(); ++s) merged.absorb(std::move(slabs[s]));
+  merged.recount_distinct();
+  return stats_from_trace(nest, merged);
 }
 
 TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t) {

@@ -29,6 +29,17 @@ namespace lmre {
 void visit_iterations(const LoopNest& nest, const IntMat* transform,
                       const std::function<void(Int, const IntVec&)>& body);
 
+/// Chunked variant for rectangular nests in original order: the outermost
+/// loop is split into contiguous slabs of full inner subspaces and the slabs
+/// are visited concurrently on at most resolve_threads(threads) workers.
+/// `body(slab, ordinal, iter)` receives the *global* lexicographic ordinal
+/// (identical to visit_iterations), so per-slab state merged in slab order
+/// reproduces the serial trace exactly.  `slab` is always smaller than
+/// resolve_threads(threads); body runs concurrently for distinct slabs and
+/// must only touch slab-local state.
+void visit_iterations_chunked(const LoopNest& nest, int threads,
+                              const std::function<void(size_t, Int, const IntVec&)>& body);
+
 /// Exact per-nest measurements from one simulated execution.
 struct TraceStats {
   Int iterations = 0;      ///< number of iterations executed
@@ -45,6 +56,13 @@ struct TraceStats {
 
 /// Executes the nest in original lexicographic order.
 TraceStats simulate(const LoopNest& nest);
+
+/// Parallel simulation over outer-loop slabs (visit_iterations_chunked):
+/// each slab keeps its own touch map, maps are merged at slab boundaries
+/// (first = min, last = max), and the window sweep runs on the merged trace.
+/// Bit-identical to simulate(nest) for every thread count; threads <= 1
+/// takes the serial path.
+TraceStats simulate(const LoopNest& nest, int threads);
 
 /// Executes the nest under the unimodular transformation `t`: iterations are
 /// visited in lexicographic order of u = t * i (the transformed loop), each

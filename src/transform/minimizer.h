@@ -46,9 +46,18 @@ struct MinimizerOptions {
 
   /// optimize_locality: rescore this many best-estimated candidates with the
   /// exact oracle before choosing (0 disables).  Only applies when the
-  /// iteration count is at most verify_iteration_limit.
+  /// iteration count is at most verify_iteration_limit; candidates whose
+  /// *transformed* scan space exceeds the limit (see
+  /// transformed_scan_volume) are skipped individually.
   Int verify_top_k = 8;
   Int verify_iteration_limit = 2'000'000;
+
+  /// Worker threads for candidate-row scoring and oracle re-scoring:
+  /// 0 = hardware concurrency, 1 = the serial legacy path (default).
+  /// Every thread count produces bit-identical results -- the reduction is
+  /// ordered and ties break by serial enumeration position (DESIGN.md,
+  /// "Determinism contract").
+  int threads = 1;
 };
 
 struct MinimizerResult {
@@ -74,6 +83,14 @@ std::optional<IntMat> embedding_transform(const LoopNest& nest, ArrayId array);
 /// arrays).  Permutation-like transforms use the permuted box; general
 /// transforms fall back on bounding-box extents (an over-approximation).
 Int predicted_mws_after(const LoopNest& nest, const IntMat& t);
+
+/// Volume of the axis-aligned hull of t * bounds: the space the
+/// Fourier-Motzkin scanner sweeps when simulating the transformed nest.  A
+/// skewing transform can inflate this far beyond the (invariant) iteration
+/// count, so verify_iteration_limit is checked against this per candidate
+/// before oracle re-scoring.  Equals iteration_count() for signed
+/// permutations (and the identity).
+Int transformed_scan_volume(const LoopNest& nest, const IntMat& t);
 
 struct OptimizeResult {
   IntMat transform;

@@ -174,5 +174,43 @@ TEST(Optimize, TwoPointInterchangeWins) {
   EXPECT_EQ(simulate_transformed(nest, res.transform).mws_total, 1);
 }
 
+TEST(ScanVolume, IdentityEqualsIterationCount) {
+  LoopNest nest = codes::example_8(300, 300);
+  EXPECT_EQ(transformed_scan_volume(nest, IntMat::identity(2)),
+            nest.iteration_count());
+  EXPECT_EQ(transformed_scan_volume(nest, interchange(2, 0, 1)),
+            nest.iteration_count());
+}
+
+TEST(ScanVolume, SkewInflatesBeyondIterationCount) {
+  // The paper transform for example 8 skews the scan hull: 2i+3j sweeps
+  // [5, 1500] and i+j sweeps [2, 600] when both loops run to 300, so the
+  // scanner visits ~10x more points than the (invariant) 90,000 iterations.
+  LoopNest nest = codes::example_8(300, 300);
+  IntMat skew{{2, 3}, {1, 1}};
+  EXPECT_EQ(nest.iteration_count(), 90'000);
+  EXPECT_EQ(transformed_scan_volume(nest, skew), 1496 * 599);
+}
+
+TEST(Optimize, VerifyLimitAppliesToTransformedScanSpace) {
+  // Regression: the verification budget used to be checked only against the
+  // original nest's iteration count, so a skewing candidate could drag the
+  // oracle through a scan space ~10x past the limit.  With the limit between
+  // the iteration count (90,000) and the skewed hull (896,104), the
+  // row-minimizer candidate must be excluded from exact verification while
+  // the identity still qualifies.
+  LoopNest nest = codes::example_8(300, 300);
+  MinimizerOptions tight;
+  tight.verify_iteration_limit = 100'000;
+  OptimizeResult budgeted = optimize_locality(nest, tight);
+  EXPECT_NE(budgeted.method, "row-minimizer");
+
+  MinimizerOptions generous;
+  generous.verify_iteration_limit = 1'000'000;
+  OptimizeResult full = optimize_locality(nest, generous);
+  EXPECT_EQ(full.method, "row-minimizer");
+  EXPECT_EQ(full.transform.row(0), (IntVec{2, 3}));
+}
+
 }  // namespace
 }  // namespace lmre

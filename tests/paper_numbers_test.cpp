@@ -154,6 +154,41 @@ TEST(Paper, Sec43_Example10_ReuseLevelOneToThree) {
   EXPECT_EQ(tv.level(), 3);
 }
 
+TEST(Paper, Sec32_Example6_BoundsParallelPath) {
+  // The published Example 6 numbers (UB 191 / LB 179 / actual within
+  // bounds) must pin the slab-parallel oracle exactly like the serial one.
+  NonUniformBounds b = nonuniform_bounds(codes::example_6(), 0);
+  EXPECT_EQ(b.upper, 191);
+  EXPECT_EQ(b.lower_paper, 179);
+  Int serial = simulate(codes::example_6()).distinct_total;
+  for (int threads : {2, 4}) {
+    Int parallel = simulate(codes::example_6(), threads).distinct_total;
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+    EXPECT_GE(parallel, b.lower_paper);
+    EXPECT_LE(parallel, b.upper);
+  }
+}
+
+TEST(Paper, Sec43_Example10_Window540ParallelPath) {
+  // Example 10's MWS (540) through the chunked simulation, and the Section
+  // 4.2 search numbers (row (2,3), estimate 22) through the parallel
+  // minimizer -- the published values pin both code paths.
+  LoopNest ex10 = codes::example_5();
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(simulate(ex10, threads).mws_total, 540) << "threads=" << threads;
+  }
+  MinimizerOptions par;
+  par.threads = 4;
+  auto res = minimize_mws_2d(codes::example_8(), par);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->transform.row(0), (IntVec{2, 3}));
+  EXPECT_EQ(res->predicted_mws, Rational(22));
+  auto serial = minimize_mws_2d(codes::example_8());
+  ASSERT_TRUE(serial.has_value());
+  EXPECT_EQ(res->candidates, serial->candidates);
+  EXPECT_EQ(res->transform, serial->transform);
+}
+
 TEST(Paper, Sec5_Figure2_MatmultRow) {
   // matmult: default 768 (= 3 * 16^2), MWS 273 before AND after (64.4%).
   LoopNest nest = codes::kernel_matmult(16);

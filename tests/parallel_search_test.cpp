@@ -1,0 +1,189 @@
+// Differential test suite for the parallel design-space search: every
+// thread count must produce results bit-identical to threads=1 -- the same
+// transform, the same analytic estimate, the same candidate count, and the
+// same exact-oracle statistics.  The corpus is the paper's worked examples
+// (7-10) plus every shipped .loop file that parses to a small single nest.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "codes/examples.h"
+#include "exact/oracle.h"
+#include "ir/parser.h"
+#include "support/parallel_for.h"
+#include "transform/minimizer.h"
+
+namespace lmre {
+namespace {
+
+constexpr int kThreadCounts[] = {2, 3, 4, 0};  // 0 = hardware concurrency
+
+void expect_same_stats(const TraceStats& serial, const TraceStats& parallel,
+                       const std::string& what) {
+  EXPECT_EQ(serial.iterations, parallel.iterations) << what;
+  EXPECT_EQ(serial.total_accesses, parallel.total_accesses) << what;
+  EXPECT_EQ(serial.distinct_total, parallel.distinct_total) << what;
+  EXPECT_EQ(serial.distinct, parallel.distinct) << what;
+  EXPECT_EQ(serial.reuse_total, parallel.reuse_total) << what;
+  EXPECT_EQ(serial.reuse, parallel.reuse) << what;
+  EXPECT_EQ(serial.mws_total, parallel.mws_total) << what;
+  EXPECT_EQ(serial.mws, parallel.mws) << what;
+}
+
+// The full differential check for one nest: chunked simulation, the row
+// minimizer under every strategy, and the end-to-end driver.
+void check_nest(const LoopNest& nest, const std::string& name) {
+  TraceStats serial = simulate(nest);
+  for (int threads : kThreadCounts) {
+    expect_same_stats(serial, simulate(nest, threads),
+                      name + " simulate threads=" + std::to_string(threads));
+  }
+
+  using Strategy = MinimizerOptions::Strategy;
+  for (Strategy strategy :
+       {Strategy::kExhaustive, Strategy::kGreedyW, Strategy::kBranchAndBound}) {
+    MinimizerOptions ref;
+    ref.strategy = strategy;
+    ref.threads = 1;
+    auto serial_min = minimize_mws_2d(nest, ref);
+    for (int threads : kThreadCounts) {
+      MinimizerOptions par = ref;
+      par.threads = threads;
+      auto parallel_min = minimize_mws_2d(nest, par);
+      std::string what = name + " minimize strategy=" +
+                         std::to_string(static_cast<int>(strategy)) +
+                         " threads=" + std::to_string(threads);
+      ASSERT_EQ(serial_min.has_value(), parallel_min.has_value()) << what;
+      if (!serial_min) continue;
+      EXPECT_EQ(serial_min->transform, parallel_min->transform) << what;
+      EXPECT_EQ(serial_min->predicted_mws, parallel_min->predicted_mws) << what;
+      EXPECT_EQ(serial_min->candidates, parallel_min->candidates) << what;
+    }
+  }
+
+  MinimizerOptions ref;
+  ref.threads = 1;
+  OptimizeResult serial_opt = optimize_locality(nest, ref);
+  for (int threads : kThreadCounts) {
+    MinimizerOptions par = ref;
+    par.threads = threads;
+    OptimizeResult parallel_opt = optimize_locality(nest, par);
+    std::string what = name + " optimize threads=" + std::to_string(threads);
+    EXPECT_EQ(serial_opt.transform, parallel_opt.transform) << what;
+    EXPECT_EQ(serial_opt.method, parallel_opt.method) << what;
+    EXPECT_EQ(serial_opt.predicted_mws, parallel_opt.predicted_mws) << what;
+    expect_same_stats(simulate_transformed(nest, serial_opt.transform),
+                      simulate_transformed(nest, parallel_opt.transform), what);
+  }
+}
+
+TEST(ParallelSearch, PaperExample7) { check_nest(codes::example_7(), "ex7"); }
+TEST(ParallelSearch, PaperExample8) { check_nest(codes::example_8(), "ex8"); }
+TEST(ParallelSearch, PaperExample9Nonuniform) {
+  // Example 6/9 family: non-uniform references exercise the driver's
+  // permutation path rather than the row minimizer.
+  check_nest(codes::example_6(), "ex6");
+}
+TEST(ParallelSearch, PaperExample10ThreeDeep) {
+  check_nest(codes::example_5(), "ex10");
+}
+
+// ---------------------------------------------------------------------------
+// Every shipped .loop file that parses to a single nest of depth <= 3 with
+// small bounds joins the corpus.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string loops_dir() {
+  for (const char* base : {"examples/loops/", "../examples/loops/",
+                           "../../examples/loops/", "../../../examples/loops/"}) {
+    if (!read_file(std::string(base) + "matmult.loop").empty()) return base;
+  }
+  return "";
+}
+
+TEST(ParallelSearch, ShippedLoopFileCorpus) {
+  std::string dir = loops_dir();
+  if (dir.empty()) GTEST_SKIP() << "loop files not found from test cwd";
+  constexpr Int kIterationCap = 40'000;
+  int covered = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".loop") continue;
+    std::string name = entry.path().filename().string();
+    Program program = parse_program(read_file(entry.path().string()));
+    if (program.phase_count() != 1) continue;  // differential corpus: one nest
+    const LoopNest& nest = program.phase_nest(0);
+    if (nest.depth() > 3 || nest.iteration_count() > kIterationCap) continue;
+    check_nest(nest, name);
+    ++covered;
+  }
+  // The shipped set must keep feeding the corpus; a handful of files are
+  // expected to qualify today (fir, iir, 2point, example8, row_sum, ...).
+  EXPECT_GE(covered, 5) << "corpus shrank: too few .loop files qualified";
+}
+
+// ---------------------------------------------------------------------------
+// The threading layer itself.
+
+TEST(ParallelSearch, ParallelChunksPartitionsInOrder) {
+  std::vector<std::pair<Int, Int>> ranges(8, {-1, -1});
+  parallel_chunks(100, 4, 1, [&](size_t chunk, Int begin, Int end) {
+    ranges[chunk] = {begin, end};
+  });
+  Int expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    if (begin < 0) continue;
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 100);
+}
+
+TEST(ParallelSearch, ParallelChunksSerialFallback) {
+  int calls = 0;
+  parallel_chunks(10, 1, 1, [&](size_t chunk, Int begin, Int end) {
+    ++calls;
+    EXPECT_EQ(chunk, 0u);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelSearch, ParallelChunksPropagatesLowestChunkError) {
+  try {
+    parallel_chunks(64, 4, 1, [&](size_t chunk, Int, Int) {
+      if (chunk >= 1) throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");  // lowest failing chunk wins
+  }
+}
+
+TEST(ParallelSearch, ParallelMapOrdersResults) {
+  auto squares = parallel_map<Int>(257, 4, [](Int i) { return i * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (Int i = 0; i < 257; ++i) EXPECT_EQ(squares[static_cast<size_t>(i)], i * i);
+}
+
+TEST(ParallelSearch, ResolveThreads) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+  EXPECT_EQ(resolve_threads(-3), 1);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,0 +1,108 @@
+// Randomized property suite for the chunked parallel oracle: on random
+// legal 2- and 3-deep nests, the slab-parallel simulate must agree with the
+// serial simulate on every statistic.  ~200 nests per run (100 seeds x 2
+// depths), fixed seeds so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "exact/oracle.h"
+#include "ir/builder.h"
+
+namespace lmre {
+namespace {
+
+std::mt19937 rng_for(int seed) { return std::mt19937(0xBADC0DE + seed); }
+
+// Random 2-deep nest with a write/read pair of uniformly generated 2-d
+// references (the generator pattern of property_random2_test).
+LoopNest random_nest2(std::mt19937& rng) {
+  std::uniform_int_distribution<Int> bnd(3, 11), off(-2, 2);
+  Int n1 = bnd(rng), n2 = bnd(rng);
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2);
+  ArrayId a = b.array("A", {n1 + 6, n2 + 6});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {off(rng) + 3, off(rng) + 3})
+      .read(a, {{1, 0}, {0, 1}}, {off(rng) + 3, off(rng) + 3});
+  return b.build();
+}
+
+// Random 3-deep nest over a 2-d array with a skewed affine access, plus a
+// 1-d reduction target: exercises multi-array merges across slabs.
+LoopNest random_nest3(std::mt19937& rng) {
+  std::uniform_int_distribution<Int> bnd(3, 7), coef(0, 2), off(-2, 2);
+  Int n1 = bnd(rng), n2 = bnd(rng), n3 = bnd(rng);
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2).loop("k", 1, n3);
+  ArrayId a = b.array("A", {60, 60});
+  ArrayId s = b.array("S", {40});
+  Int c1 = coef(rng), c2 = coef(rng) + 1;
+  b.statement().read(a, IntMat{{1, 0, c1}, {0, 1, c2}}, {off(rng) + 5, off(rng) + 5});
+  b.statement().write(s, IntMat{{1, 1, 0}}, IntVec{4});
+  return b.build();
+}
+
+void expect_parallel_matches_serial(const LoopNest& nest, int seed) {
+  TraceStats serial = simulate(nest);
+  for (int threads : {2, 3, 4, 0}) {
+    TraceStats parallel = simulate(nest, threads);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
+                 std::to_string(threads));
+    EXPECT_EQ(serial.distinct_total, parallel.distinct_total);
+    EXPECT_EQ(serial.reuse_total, parallel.reuse_total);
+    EXPECT_EQ(serial.mws_total, parallel.mws_total);
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+    EXPECT_EQ(serial.total_accesses, parallel.total_accesses);
+    EXPECT_EQ(serial.distinct, parallel.distinct);
+    EXPECT_EQ(serial.reuse, parallel.reuse);
+    EXPECT_EQ(serial.mws, parallel.mws);
+  }
+}
+
+class ParallelOracleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelOracleProperty, ChunkedSimulateMatchesSerial2Deep) {
+  auto rng = rng_for(GetParam());
+  expect_parallel_matches_serial(random_nest2(rng), GetParam());
+}
+
+TEST_P(ParallelOracleProperty, ChunkedSimulateMatchesSerial3Deep) {
+  auto rng = rng_for(1000 + GetParam());
+  expect_parallel_matches_serial(random_nest3(rng), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelOracleProperty, ::testing::Range(0, 100));
+
+// Degenerate shapes: the chunking must fall back cleanly when the outer
+// loop is too short to slab.
+TEST(ParallelOracleEdge, SingleOuterIteration) {
+  NestBuilder b;
+  b.loop("i", 1, 1).loop("j", 1, 9);
+  ArrayId a = b.array("A", {20});
+  b.statement().write(a, IntMat{{1, 1}}, IntVec{2}).read(a, IntMat{{1, 1}},
+                                                         IntVec{3});
+  LoopNest nest = b.build();
+  TraceStats serial = simulate(nest);
+  TraceStats parallel = simulate(nest, 4);
+  EXPECT_EQ(serial.mws_total, parallel.mws_total);
+  EXPECT_EQ(serial.distinct_total, parallel.distinct_total);
+}
+
+TEST(ParallelOracleEdge, MoreThreadsThanOuterTrips) {
+  NestBuilder b;
+  b.loop("i", 1, 3).loop("j", 1, 5);
+  ArrayId a = b.array("A", {20});
+  b.statement().write(a, IntMat{{1, 1}}, IntVec{2}).read(a, IntMat{{1, 1}},
+                                                         IntVec{4});
+  LoopNest nest = b.build();
+  TraceStats serial = simulate(nest);
+  TraceStats parallel = simulate(nest, 16);
+  EXPECT_EQ(serial.mws_total, parallel.mws_total);
+  EXPECT_EQ(serial.reuse_total, parallel.reuse_total);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+}
+
+}  // namespace
+}  // namespace lmre

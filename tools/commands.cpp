@@ -57,7 +57,7 @@ int cmd_analyze(const std::string& source, std::ostream& out) {
   return 0;
 }
 
-int cmd_optimize(const std::string& source, std::ostream& out) {
+int cmd_optimize(const std::string& source, std::ostream& out, int threads) {
   auto program = parse_or_report(source, out);
   if (!program) return 1;
   if (program->phase_count() > 1) {
@@ -65,7 +65,9 @@ int cmd_optimize(const std::string& source, std::ostream& out) {
     return 1;
   }
   const LoopNest& nest = program->phase_nest(0);
-  OptimizeResult res = optimize_locality(nest);
+  MinimizerOptions opts;
+  opts.threads = threads;
+  OptimizeResult res = optimize_locality(nest, opts);
   out << "method: " << res.method << "\nT = " << res.transform.str() << "\n\n";
   TransformedNest tn(nest, res.transform);
   out << tn.print() << "\nexact window: " << simulate(nest).mws_total << " -> "
@@ -199,7 +201,7 @@ int cmd_analyze_json(const std::string& source, std::ostream& out) {
   return 0;
 }
 
-int cmd_optimize_json(const std::string& source, std::ostream& out) {
+int cmd_optimize_json(const std::string& source, std::ostream& out, int threads) {
   auto program = parse_or_report(source, out);
   if (!program) return 1;
   if (program->phase_count() > 1) {
@@ -207,7 +209,9 @@ int cmd_optimize_json(const std::string& source, std::ostream& out) {
     return 1;
   }
   const LoopNest& nest = program->phase_nest(0);
-  OptimizeResult res = optimize_locality(nest);
+  MinimizerOptions opts;
+  opts.threads = threads;
+  OptimizeResult res = optimize_locality(nest, opts);
 
   Json doc = Json::object();
   doc.set("method", res.method);
@@ -228,11 +232,13 @@ int cmd_optimize_json(const std::string& source, std::ostream& out) {
   return 0;
 }
 
-int cmd_figure2(std::ostream& out) {
+int cmd_figure2(std::ostream& out, int threads) {
+  MinimizerOptions opts;
+  opts.threads = threads;
   TextTable t;
   t.header({"code", "default", "MWS_unopt", "MWS_opt", "method"});
   for (auto& e : codes::figure2_suite()) {
-    OptimizeResult res = optimize_locality(e.nest);
+    OptimizeResult res = optimize_locality(e.nest, opts);
     t.row({e.name, with_commas(e.nest.default_memory()),
            with_commas(simulate(e.nest).mws_total),
            with_commas(simulate_transformed(e.nest, res.transform).mws_total),
@@ -246,11 +252,14 @@ std::string usage() {
   return
       "usage: lmre <command> [args]\n"
       "  analyze   [--json] <file|->   dependences + memory report\n"
-      "  optimize  [--json] <file|->   window-minimizing transformation\n"
+      "  optimize  [--json] [--threads=N] <file|->\n"
+      "                                window-minimizing transformation\n"
       "  distances <file|->            dependence distance/direction table\n"
       "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
       "  series    <file|->            window-size time series as CSV\n"
-      "  figure2                       regenerate the paper's main table\n"
+      "  figure2   [--threads=N]       regenerate the paper's main table\n"
+      "--threads: search/verify workers (0 = all cores, 1 = serial; the\n"
+      "result is bit-identical for every value).\n"
       "DSL files use the grammar in src/ir/parser.h; '-' reads stdin.\n";
 }
 
@@ -281,23 +290,34 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   const std::string& cmd = args[0];
-  if (cmd == "figure2") return cmd_figure2(out);
+  // Shared flag extraction: --json and --threads=N are recognized anywhere
+  // after the command name.
+  bool json = false;
+  int threads = 1;
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  for (auto it = rest.begin(); it != rest.end();) {
+    if (*it == "--json") {
+      json = true;
+      it = rest.erase(it);
+    } else if (it->rfind("--threads=", 0) == 0) {
+      try {
+        threads = std::stoi(it->substr(10));
+      } catch (const std::exception&) {
+        err << "bad --threads value: " << *it << '\n';
+        return 2;
+      }
+      if (threads < 0) {
+        err << "--threads must be >= 0\n";
+        return 2;
+      }
+      it = rest.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (cmd == "figure2") return cmd_figure2(out, threads);
   if (cmd == "analyze" || cmd == "optimize" || cmd == "distances" ||
       cmd == "misscurve" || cmd == "series") {
-    if (args.size() < 2) {
-      err << usage();
-      return 2;
-    }
-    bool json = false;
-    std::vector<std::string> rest(args.begin() + 1, args.end());
-    for (auto it = rest.begin(); it != rest.end();) {
-      if (*it == "--json") {
-        json = true;
-        it = rest.erase(it);
-      } else {
-        ++it;
-      }
-    }
     if (rest.empty()) {
       err << usage();
       return 2;
@@ -307,8 +327,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "analyze") {
       return json ? cmd_analyze_json(*source, out) : cmd_analyze(*source, out);
     }
-    if (cmd == "optimize" && json) return cmd_optimize_json(*source, out);
-    if (cmd == "optimize") return cmd_optimize(*source, out);
+    if (cmd == "optimize" && json) return cmd_optimize_json(*source, out, threads);
+    if (cmd == "optimize") return cmd_optimize(*source, out, threads);
     if (cmd == "distances") return cmd_distances(*source, out);
     if (cmd == "series") return cmd_series(*source, out);
     std::vector<Int> caps;

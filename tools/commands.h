@@ -17,8 +17,9 @@ namespace lmre::tools {
 int cmd_analyze(const std::string& source, std::ostream& out);
 
 /// `lmre optimize <dsl>`: transformation search, transformed loop,
-/// before/after windows.
-int cmd_optimize(const std::string& source, std::ostream& out);
+/// before/after windows.  `threads` follows the MinimizerOptions convention
+/// (0 = hardware concurrency, 1 = serial); results are identical either way.
+int cmd_optimize(const std::string& source, std::ostream& out, int threads = 1);
 
 /// `lmre distances <dsl>`: dependence distance/direction table.
 int cmd_distances(const std::string& source, std::ostream& out);
@@ -37,10 +38,11 @@ int cmd_series(const std::string& source, std::ostream& out);
 int cmd_analyze_json(const std::string& source, std::ostream& out);
 
 /// `lmre optimize --json <dsl>`: machine-readable optimization result.
-int cmd_optimize_json(const std::string& source, std::ostream& out);
+int cmd_optimize_json(const std::string& source, std::ostream& out,
+                      int threads = 1);
 
 /// `lmre figure2`: the paper's main table.
-int cmd_figure2(std::ostream& out);
+int cmd_figure2(std::ostream& out, int threads = 1);
 
 /// Usage text for the dispatcher.
 std::string usage();
