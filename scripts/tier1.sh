@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the standard build + full ctest run, then a ThreadSanitizer
-# pass over the parallel-search test suites.  Run from the repo root:
+# Tier-1 gate: the standard build + full ctest run, then two sanitizer
+# passes -- ThreadSanitizer over the parallel-search suites and
+# ASan+UBSan over the parser / lint / CLI suites (the layers that chew on
+# untrusted input).  Run from the repo root:
 #
 #   scripts/tier1.sh
 #
-# The TSan stage builds into build-tsan/ so it never disturbs the primary
-# build tree.  Both stages must pass.
+# The sanitizer stages build into build-tsan/ and build-asan/ so they
+# never disturb the primary build tree.  All stages must pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +24,13 @@ cmake --build build-tsan -j "$JOBS" \
   --target parallel_search_test property_parallel_test
 ./build-tsan/tests/parallel_search_test
 ./build-tsan/tests/property_parallel_test
+
+echo "== tier 1: ASan+UBSan pass over the input-handling suites =="
+cmake -B build-asan -S . -DLMRE_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target parser_test lint_test cli_tool_test
+./build-asan/tests/parser_test
+./build-asan/tests/lint_test
+./build-asan/tests/cli_tool_test
 
 echo "tier 1 OK"

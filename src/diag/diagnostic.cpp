@@ -1,0 +1,82 @@
+#include "diag/diagnostic.h"
+
+#include <sstream>
+
+namespace lmre {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+size_t DiagnosticEngine::count(Severity s) const {
+  size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string render_text(const std::vector<Diagnostic>& diags, const std::string& file,
+                        Severity min_severity) {
+  std::ostringstream os;
+  for (const auto& d : diags) {
+    if (d.severity < min_severity) continue;
+    os << file;
+    if (d.span.valid()) os << ':' << d.span.line << ':' << d.span.column;
+    os << ": " << to_string(d.severity) << ": ";
+    if (!d.phase.empty()) os << "phase '" << d.phase << "': ";
+    os << d.message << " [" << d.id << "]\n";
+  }
+  return os.str();
+}
+
+Json render_json(const std::vector<Diagnostic>& diags, const std::string& file) {
+  Json arr = Json::array();
+  for (const auto& d : diags) {
+    Json obj = Json::object();
+    obj.set("id", d.id)
+        .set("severity", to_string(d.severity))
+        .set("message", d.message)
+        .set("file", file);
+    if (d.span.valid()) {
+      obj.set("line", d.span.line).set("column", d.span.column);
+    }
+    if (!d.phase.empty()) obj.set("phase", d.phase);
+    arr.push(std::move(obj));
+  }
+  return arr;
+}
+
+std::string render_summary(const std::vector<Diagnostic>& diags) {
+  size_t errors = 0, warnings = 0, notes = 0;
+  for (const auto& d : diags) {
+    switch (d.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kNote: ++notes; break;
+    }
+  }
+  if (errors + warnings + notes == 0) return "no findings";
+  std::ostringstream os;
+  auto plural = [&](size_t n, const char* word) {
+    os << n << ' ' << word << (n == 1 ? "" : "s");
+  };
+  bool first = true;
+  auto emit = [&](size_t n, const char* word) {
+    if (n == 0) return;
+    if (!first) os << ", ";
+    plural(n, word);
+    first = false;
+  };
+  emit(errors, "error");
+  emit(warnings, "warning");
+  emit(notes, "note");
+  return os.str();
+}
+
+}  // namespace lmre

@@ -1,0 +1,84 @@
+#pragma once
+
+// Diagnostic records for the static-analysis layer (src/lint).
+//
+// A Diagnostic is one finding: a stable check ID (e.g. "LMRE-E001"), a
+// severity, a human-readable message, and an optional source span taken
+// from the parser's line/column tracking.  The DiagnosticEngine collects
+// findings in emission order; render_text / render_json turn a batch into
+// compiler-style text lines or a machine-readable JSON array.
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace lmre {
+
+enum class Severity { kNote, kWarning, kError };
+
+std::string to_string(Severity s);
+
+/// 1-based source position; line 0 means "no position applies" (e.g. a
+/// whole-nest property or a programmatically built nest).
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+};
+
+struct Diagnostic {
+  std::string id;  ///< stable check ID, e.g. "LMRE-E001"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceSpan span;
+  std::string phase;  ///< phase name for multi-phase programs; "" otherwise
+};
+
+/// Collects diagnostics in emission order.
+class DiagnosticEngine {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+  void error(std::string id, std::string message, SourceSpan span = {}) {
+    add({std::move(id), Severity::kError, std::move(message), span, phase_});
+  }
+  void warning(std::string id, std::string message, SourceSpan span = {}) {
+    add({std::move(id), Severity::kWarning, std::move(message), span, phase_});
+  }
+  void note(std::string id, std::string message, SourceSpan span = {}) {
+    add({std::move(id), Severity::kNote, std::move(message), span, phase_});
+  }
+
+  /// Phase name attached to subsequently emitted diagnostics.
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::vector<Diagnostic> take() { return std::move(diags_); }
+
+  size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::string phase_;
+};
+
+/// Compiler-style rendering, one line per diagnostic:
+///   file:3:7: error: subscript 1 of 'A' ... [LMRE-E001]
+///   file: warning: iteration volume ... [LMRE-W006]       (span-less)
+/// `min_severity` drops findings below the given severity.
+std::string render_text(const std::vector<Diagnostic>& diags, const std::string& file,
+                        Severity min_severity = Severity::kNote);
+
+/// JSON array of diagnostic objects:
+///   [{"id": "LMRE-E001", "severity": "error", "message": ...,
+///     "file": ..., "line": 3, "column": 7, "phase": ...}, ...]
+/// Span-less diagnostics omit line/column; single-nest ones omit phase.
+Json render_json(const std::vector<Diagnostic>& diags, const std::string& file);
+
+/// Totals line, e.g. "2 errors, 1 warning, 3 notes"; "no findings" when empty.
+std::string render_summary(const std::vector<Diagnostic>& diags);
+
+}  // namespace lmre

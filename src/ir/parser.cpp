@@ -13,6 +13,7 @@ namespace lmre {
 ParseError::ParseError(const std::string& what, int line, int column)
     : Error("parse error at " + std::to_string(line) + ":" + std::to_string(column) +
             ": " + what),
+      message_(what),
       line_(line),
       column_(column) {}
 
@@ -120,18 +121,23 @@ class Parser {
  public:
   explicit Parser(const std::string& src) : lex_(src) {}
 
-  LoopNest parse() {
+  LoopNest parse(NestSourceMap* map) {
     while (at_ident("array")) parse_array_decl();
     expect_ident("for");
     parse_loop();
     if (lex_.peek().kind != Tok::kEnd) {
       fail("unexpected trailing input '" + lex_.peek().text + "'");
     }
-    return build();
+    return build(map);
   }
 
-  Program parse_program() {
+  Program parse_program(ProgramSourceMap* map) {
     Program program;
+    auto phase_map = [&]() -> NestSourceMap* {
+      if (map == nullptr) return nullptr;
+      map->phases.emplace_back();
+      return &map->phases.back();
+    };
     while (at_ident("array")) parse_array_decl();
     if (!at_ident("phase")) {
       // Single-nest form: one phase named "main".
@@ -140,12 +146,13 @@ class Parser {
       if (lex_.peek().kind != Tok::kEnd) {
         fail("unexpected trailing input '" + lex_.peek().text + "'");
       }
-      program.add_phase("main", build());
+      program.add_phase("main", build(phase_map()));
       return program;
     }
     // Promote top-level declarations to globals shared by every phase.
     global_declared_ = declared_;
     global_order_ = order_;
+    global_decl_locs_ = decl_locs_;
     while (at_ident("phase")) {
       lex_.take();
       std::string name = take_name();
@@ -155,7 +162,7 @@ class Parser {
       expect_ident("for");
       parse_loop();
       expect_punct("}");
-      program.add_phase(name, build());
+      program.add_phase(name, build(phase_map()));
     }
     if (lex_.peek().kind != Tok::kEnd) {
       fail("unexpected trailing input '" + lex_.peek().text + "'");
@@ -208,7 +215,9 @@ class Parser {
 
   void parse_array_decl() {
     expect_ident("array");
+    SourceLoc loc{lex_.peek().line, lex_.peek().column};
     std::string name = take_name();
+    decl_locs_[name] = loc;
     if (declared_.count(name)) fail("array '" + name + "' declared twice");
     std::vector<Int> extents;
     while (at_punct("[")) {
@@ -223,6 +232,7 @@ class Parser {
   }
 
   void parse_loop() {
+    loop_locs_.push_back(SourceLoc{lex_.peek().line, lex_.peek().column});
     std::string var = take_name();
     for (const auto& [v, idx] : vars_) {
       (void)idx;
@@ -347,7 +357,19 @@ class Parser {
     throw ParseError("unknown loop variable '" + t.text + "'", t.line, t.column);
   }
 
-  LoopNest build() {
+  LoopNest build(NestSourceMap* map) {
+    if (map != nullptr) {
+      map->loop_locs = loop_locs_;
+      for (const auto& stmt : statements_) {
+        for (const auto& ref : stmt.refs) {
+          map->ref_locs.push_back(SourceLoc{ref.line, ref.column});
+        }
+      }
+      map->array_decl_locs = decl_locs_;
+      for (const auto& [name, loc] : global_decl_locs_) {
+        map->array_decl_locs.emplace(name, loc);
+      }
+    }
     NestBuilder b;
     for (size_t k = 0; k < vars_.size(); ++k) {
       if (steps_[k] == 1) {
@@ -443,6 +465,8 @@ class Parser {
     declared_.clear();
     order_.clear();
     statements_.clear();
+    loop_locs_.clear();
+    decl_locs_.clear();
   }
 
   Lexer lex_;
@@ -454,14 +478,19 @@ class Parser {
   std::map<std::string, std::vector<Int>> global_declared_;
   std::vector<std::string> global_order_;
   std::vector<ParsedStatement> statements_;
+  std::vector<SourceLoc> loop_locs_;
+  std::map<std::string, SourceLoc> decl_locs_;
+  std::map<std::string, SourceLoc> global_decl_locs_;
 };
 
 }  // namespace
 
-LoopNest parse_nest(const std::string& source) { return Parser(source).parse(); }
+LoopNest parse_nest(const std::string& source, NestSourceMap* map) {
+  return Parser(source).parse(map);
+}
 
-Program parse_program(const std::string& source) {
-  return Parser(source).parse_program();
+Program parse_program(const std::string& source, ProgramSourceMap* map) {
+  return Parser(source).parse_program(map);
 }
 
 std::string to_dsl(const LoopNest& nest) {

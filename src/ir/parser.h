@@ -25,7 +25,9 @@
 //
 // Errors carry 1-based line/column positions.
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "ir/nest.h"
 #include "program/program.h"
@@ -33,10 +35,37 @@
 
 namespace lmre {
 
+/// 1-based source position recorded while parsing; line 0 = unknown.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+/// Source positions for one parsed nest, consumed by the lint layer to
+/// attach file:line:column spans to its diagnostics.
+struct NestSourceMap {
+  /// Parallel to LoopNest::all_refs() order (statements in order, refs in
+  /// statement order): position of each reference's array name.
+  std::vector<SourceLoc> ref_locs;
+
+  /// Per loop level: position of the loop variable in its 'for' header.
+  std::vector<SourceLoc> loop_locs;
+
+  /// Position of each explicit 'array' declaration (by array name);
+  /// inferred arrays have no entry.
+  std::map<std::string, SourceLoc> array_decl_locs;
+};
+
+/// One NestSourceMap per phase, in phase order.
+struct ProgramSourceMap {
+  std::vector<NestSourceMap> phases;
+};
+
 /// Parses the DSL into a validated LoopNest.  Throws ParseError on any
 /// syntactic or semantic problem (unknown identifier, non-affine subscript,
-/// inconsistent dimensionality, ...).
-LoopNest parse_nest(const std::string& source);
+/// inconsistent dimensionality, ...).  A non-null `map` receives source
+/// positions for diagnostics.
+LoopNest parse_nest(const std::string& source, NestSourceMap* map = nullptr);
 
 /// Multi-phase form: top-level array declarations are shared by all phases;
 /// each phase is a named nest.  A source without any 'phase' keyword parses
@@ -51,19 +80,23 @@ LoopNest parse_nest(const std::string& source);
 ///     for i = 1 to 64
 ///       B[i] = A[i];
 ///   }
-Program parse_program(const std::string& source);
+Program parse_program(const std::string& source, ProgramSourceMap* map = nullptr);
 
 /// Renders a nest back into the DSL (parse(to_dsl(n)) is semantically n).
 std::string to_dsl(const LoopNest& nest);
 
-/// Error with source position information.
+/// Error with source position information.  what() includes the position
+/// prefix ("parse error at L:C: ..."); message() is the bare description,
+/// for callers that format positions themselves (file:line:col style).
 class ParseError : public Error {
  public:
   ParseError(const std::string& what, int line, int column);
   int line() const { return line_; }
   int column() const { return column_; }
+  const std::string& message() const { return message_; }
 
  private:
+  std::string message_;
   int line_, column_;
 };
 

@@ -1,0 +1,54 @@
+#pragma once
+
+// Internal interface between the lint driver (lint.cpp) and the individual
+// check passes (checks.cpp).  Not installed; include lint/lint.h instead.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "diag/diagnostic.h"
+#include "ir/nest.h"
+#include "ir/parser.h"
+#include "lint/lint.h"
+
+namespace lmre::lint_detail {
+
+struct CheckContext {
+  const LoopNest& nest;
+  const NestSourceMap* map;  ///< may be null (programmatically built nests)
+  const LintOptions& opts;
+
+  /// Names of arrays read anywhere in the enclosing program; null when
+  /// linting a bare nest (fall back to nest-local reads).  Lets the
+  /// write-only check see producer/consumer phase pairs.
+  const std::set<std::string>* read_anywhere;
+};
+
+using CheckFn = void (*)(const CheckContext&, DiagnosticEngine&);
+
+struct RegisteredCheck {
+  const char* name;  ///< pass name, used in LMRE-E000 failure reports
+  CheckFn fn;
+};
+
+/// The pass list, in execution order.
+const std::vector<RegisteredCheck>& check_registry();
+
+// Passes (checks.cpp).  Each may emit several related check IDs.
+void check_subscript_bounds(const CheckContext& ctx, DiagnosticEngine& out);
+void check_loop_ranges(const CheckContext& ctx, DiagnosticEngine& out);
+void check_uniform_generation(const CheckContext& ctx, DiagnosticEngine& out);
+void check_kernel_dimension(const CheckContext& ctx, DiagnosticEngine& out);
+void check_iteration_volume(const CheckContext& ctx, DiagnosticEngine& out);
+void check_array_usage(const CheckContext& ctx, DiagnosticEngine& out);
+void check_duplicate_refs(const CheckContext& ctx, DiagnosticEngine& out);
+void check_transform_plan(const CheckContext& ctx, DiagnosticEngine& out);
+
+// Span lookup helpers; all return an invalid span when ctx.map is null or
+// the index is out of range.
+SourceSpan ref_span(const CheckContext& ctx, size_t ref_index);
+SourceSpan loop_span(const CheckContext& ctx, size_t level);
+SourceSpan array_span(const CheckContext& ctx, const std::string& name);
+
+}  // namespace lmre::lint_detail

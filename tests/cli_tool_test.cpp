@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
+#include <string>
 
+#include "ir/parser.h"
 #include "tools/commands.h"
 
 namespace lmre::tools {
@@ -35,10 +38,18 @@ TEST(CliAnalyze, MultiPhase) {
   EXPECT_NE(out.str().find("whole-program window: 8"), std::string::npos);
 }
 
-TEST(CliAnalyze, ParseErrorReturnsNonzero) {
+TEST(CliAnalyze, ParseErrorPropagates) {
+  // run_cli formats ParseError as file:line:col (exit 3); the cmd_*
+  // functions let it propagate instead of flattening it to text.
   std::ostringstream out;
-  EXPECT_EQ(cmd_analyze("for i = 1 to\n", out), 1);
-  EXPECT_NE(out.str().find("parse error"), std::string::npos);
+  EXPECT_THROW(cmd_analyze("for i = 1 to\n", out), ParseError);
+}
+
+TEST(CliAnalyze, LintErrorsAbortWithDiagnostics) {
+  std::ostringstream out;
+  int rc = cmd_analyze("array A[4];\nfor i = 1 to 10\n  use A[i];\n", out);
+  EXPECT_EQ(rc, 3);
+  EXPECT_NE(out.str().find("[LMRE-E001]"), std::string::npos);
 }
 
 TEST(CliOptimize, FindsPaperTransform) {
@@ -109,6 +120,96 @@ TEST(CliDispatcher, UnreadableFile) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"analyze", "/nonexistent/nest.loop"}, out, err), 1);
   EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+const char* kOutOfBounds = "array A[4];\nfor i = 1 to 10\n  use A[i];\n";
+
+TEST(CliLint, CleanInputExitsZero) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_lint(kExample8, {}, out), 0);
+  EXPECT_EQ(out.str().find(" error: "), std::string::npos);
+}
+
+TEST(CliLint, OutOfBoundsFixtureReportsE001) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_lint(kOutOfBounds, {}, out, "bad.loop"), 3);
+  std::string s = out.str();
+  EXPECT_NE(s.find("bad.loop:3:7: error:"), std::string::npos);
+  EXPECT_NE(s.find("[LMRE-E001]"), std::string::npos);
+}
+
+TEST(CliLint, JsonEmitsDiagnosticsArray) {
+  std::ostringstream out;
+  LintCliOptions opts;
+  opts.json = true;
+  EXPECT_EQ(cmd_lint(kOutOfBounds, opts, out, "bad.loop"), 3);
+  std::string s = out.str();
+  // A JSON array of diagnostic objects, machine-checkable fields present.
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s[s.size() - 2], ']');  // trailing newline after the array
+  EXPECT_NE(s.find("\"id\": \"LMRE-E001\""), std::string::npos);
+  EXPECT_NE(s.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(s.find("\"file\": \"bad.loop\""), std::string::npos);
+}
+
+TEST(CliLint, StrictTurnsWarningsIntoNonzeroExit) {
+  // Unused array: a warning, so exit 0 normally and 3 under --strict.
+  const char* src = "array B[5];\nfor i = 1 to 3\n  use A[i];\n";
+  std::ostringstream out;
+  EXPECT_EQ(cmd_lint(src, {}, out), 0);
+  LintCliOptions strict;
+  strict.strict = true;
+  std::ostringstream out2;
+  EXPECT_EQ(cmd_lint(src, strict, out2), 3);
+}
+
+TEST(CliLint, ExplicitPlanIsRecertified) {
+  // Interchange is illegal for distance (1, -1): documented ID, exit 3.
+  const char* src = "for i = 1 to 6\n  for j = 1 to 6\n    A[i][j] = A[i-1][j+1];\n";
+  LintCliOptions opts;
+  opts.plan = IntMat{{0, 1}, {1, 0}};
+  std::ostringstream out;
+  EXPECT_EQ(cmd_lint(src, opts, out), 3);
+  EXPECT_NE(out.str().find("[LMRE-E013]"), std::string::npos);
+}
+
+TEST(CliLint, AuditedOptimizerPlanCertifies) {
+  LintCliOptions opts;
+  opts.audit_plan = true;
+  std::ostringstream out;
+  EXPECT_EQ(cmd_lint(kExample8, opts, out), 0);
+  EXPECT_NE(out.str().find("[LMRE-N016]"), std::string::npos);
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream(path) << content;
+  return path;
+}
+
+TEST(CliDispatcher, ParseErrorFormatsFileLineColumn) {
+  std::string path = write_temp("truncated.loop", "for i = 1 to\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"analyze", path}, out, err), 3);
+  // The input ends mid-statement, so the position is end-of-input: 2:1.
+  EXPECT_NE(err.str().find(path + ":2:1: error:"), std::string::npos);
+}
+
+TEST(CliDispatcher, LintVerbWithPlanFlag) {
+  std::string path = write_temp(
+      "skewed.loop", "for i = 1 to 6\n  for j = 1 to 6\n    A[i][j] = A[i-1][j+1];\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"lint", "--plan=0 1; 1 0", path}, out, err), 3);
+  EXPECT_NE(out.str().find("[LMRE-E013]"), std::string::npos);
+}
+
+TEST(CliDispatcher, LintJsonVerb) {
+  std::string path = write_temp("oob.loop", kOutOfBounds);
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"lint", "--json", path}, out, err), 3);
+  EXPECT_EQ(out.str().front(), '[');
+  EXPECT_NE(out.str().find("\"id\": \"LMRE-E001\""), std::string::npos);
 }
 
 }  // namespace

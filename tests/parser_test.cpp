@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "codes/examples.h"
 #include "codes/kernels.h"
 #include "exact/oracle.h"
@@ -280,6 +285,65 @@ TEST(RoundTrip, KernelsSurvive) {
     EXPECT_EQ(simulate(back).mws_total, simulate(nest).mws_total);
     EXPECT_EQ(simulate(back).distinct_total, simulate(nest).distinct_total);
   }
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input corpus: each tests/bad_loops/*.loop starts with
+//   # expect: <line>:<column> <message substring>
+// and must make parse_program throw a ParseError at exactly that
+// position whose message contains the substring.
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string bad_loops_dir() {
+  for (const char* base : {"tests/bad_loops/", "../tests/bad_loops/",
+                           "../../tests/bad_loops/", "../../../tests/bad_loops/"}) {
+    if (!read_file_or_empty(std::string(base) + "missing_to.loop").empty())
+      return base;
+  }
+  return "";
+}
+
+TEST(ParserErrorCorpus, EveryBadLoopFailsAtTheDocumentedPosition) {
+  std::string dir = bad_loops_dir();
+  if (dir.empty()) GTEST_SKIP() << "bad_loops corpus not found from test cwd";
+  size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".loop") continue;
+    std::string source = read_file_or_empty(entry.path().string());
+    ASSERT_FALSE(source.empty()) << entry.path();
+
+    // Parse the "# expect: L:C message" header.
+    std::istringstream header(source.substr(0, source.find('\n')));
+    std::string hash, expect_kw;
+    int line = 0, column = 0;
+    char colon = 0;
+    header >> hash >> expect_kw >> line >> colon >> column;
+    ASSERT_EQ(hash, "#") << entry.path();
+    ASSERT_EQ(expect_kw, "expect:") << entry.path();
+    ASSERT_EQ(colon, ':') << entry.path();
+    std::string fragment;
+    std::getline(header >> std::ws, fragment);
+    ASSERT_FALSE(fragment.empty()) << entry.path();
+
+    try {
+      parse_program(source);
+      FAIL() << entry.path() << ": expected a ParseError, parsed cleanly";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << entry.path() << ": " << e.what();
+      EXPECT_EQ(e.column(), column) << entry.path() << ": " << e.what();
+      EXPECT_NE(e.message().find(fragment), std::string::npos)
+          << entry.path() << ": " << e.what();
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 15u) << "bad_loops corpus shrank unexpectedly";
 }
 
 }  // namespace

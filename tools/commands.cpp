@@ -8,10 +8,12 @@
 #include "analysis/report.h"
 #include "codes/kernels.h"
 #include "dependence/dependence.h"
+#include "diag/diagnostic.h"
 #include "exact/oracle.h"
 #include "exact/stack_distance.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "lint/lint.h"
 #include "support/json.h"
 #include "support/text.h"
 #include "transform/minimizer.h"
@@ -21,21 +23,38 @@ namespace lmre::tools {
 
 namespace {
 
-// Parses a DSL source, reporting errors on `out`; nullopt on failure.
-std::optional<Program> parse_or_report(const std::string& source, std::ostream& out) {
-  try {
-    return parse_program(source);
-  } catch (const ParseError& e) {
-    out << e.what() << '\n';
-    return std::nullopt;
+// Lint gate run at the top of analyze/optimize: errors abort the command
+// with rendered diagnostics (exit 3); warnings are surfaced and the
+// command proceeds.  Returns nullopt to continue.
+std::optional<int> lint_gate(const Program& program, const ProgramSourceMap& smap,
+                             const std::string& file, bool json, std::ostream& out) {
+  LintResult lint = lint_program(program, &smap);
+  if (lint.has_errors()) {
+    if (json) {
+      Json doc = Json::object();
+      doc.set("error", "input rejected by lint");
+      doc.set("diagnostics", render_json(lint.diagnostics, file));
+      out << doc.dump(2) << '\n';
+    } else {
+      out << render_text(lint.diagnostics, file, Severity::kWarning)
+          << render_summary(lint.diagnostics) << '\n';
+    }
+    return 3;
   }
+  // Warnings don't block, but the user should see them (text mode only;
+  // JSON documents keep their schema).
+  if (!json) out << render_text(lint.diagnostics, file, Severity::kWarning);
+  return std::nullopt;
 }
 
 }  // namespace
 
-int cmd_analyze(const std::string& source, std::ostream& out) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+int cmd_analyze(const std::string& source, std::ostream& out,
+                const std::string& file) {
+  ProgramSourceMap smap;
+  Program parsed = parse_program(source, &smap);
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, out)) return *rc;
+  const Program* program = &parsed;
 
   if (program->phase_count() > 1) {
     ProgramStats s = program->simulate();
@@ -57,9 +76,12 @@ int cmd_analyze(const std::string& source, std::ostream& out) {
   return 0;
 }
 
-int cmd_optimize(const std::string& source, std::ostream& out, int threads) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+int cmd_optimize(const std::string& source, std::ostream& out, int threads,
+                 const std::string& file) {
+  ProgramSourceMap smap;
+  Program parsed = parse_program(source, &smap);
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, out)) return *rc;
+  const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "optimize works on single-nest sources\n";
     return 1;
@@ -76,8 +98,8 @@ int cmd_optimize(const std::string& source, std::ostream& out, int threads) {
 }
 
 int cmd_distances(const std::string& source, std::ostream& out) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+  Program parsed = parse_program(source);
+  const Program* program = &parsed;
   TextTable t;
   t.header({"phase", "kind", "distance", "direction", "level"});
   for (size_t k = 0; k < program->phase_count(); ++k) {
@@ -96,8 +118,8 @@ int cmd_distances(const std::string& source, std::ostream& out) {
 
 int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
                   std::ostream& out) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+  Program parsed = parse_program(source);
+  const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "misscurve works on single-nest sources\n";
     return 1;
@@ -127,8 +149,8 @@ int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
 }
 
 int cmd_series(const std::string& source, std::ostream& out) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+  Program parsed = parse_program(source);
+  const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "series works on single-nest sources\n";
     return 1;
@@ -142,9 +164,12 @@ int cmd_series(const std::string& source, std::ostream& out) {
   return 0;
 }
 
-int cmd_analyze_json(const std::string& source, std::ostream& out) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+int cmd_analyze_json(const std::string& source, std::ostream& out,
+                     const std::string& file) {
+  ProgramSourceMap smap;
+  Program parsed = parse_program(source, &smap);
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, out)) return *rc;
+  const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "{\"error\": \"analyze --json works on single-nest sources\"}\n";
     return 1;
@@ -201,9 +226,12 @@ int cmd_analyze_json(const std::string& source, std::ostream& out) {
   return 0;
 }
 
-int cmd_optimize_json(const std::string& source, std::ostream& out, int threads) {
-  auto program = parse_or_report(source, out);
-  if (!program) return 1;
+int cmd_optimize_json(const std::string& source, std::ostream& out, int threads,
+                      const std::string& file) {
+  ProgramSourceMap smap;
+  Program parsed = parse_program(source, &smap);
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, out)) return *rc;
+  const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "{\"error\": \"optimize --json works on single-nest sources\"}\n";
     return 1;
@@ -232,6 +260,33 @@ int cmd_optimize_json(const std::string& source, std::ostream& out, int threads)
   return 0;
 }
 
+int cmd_lint(const std::string& source, const LintCliOptions& cli,
+             std::ostream& out, const std::string& file) {
+  ProgramSourceMap smap;
+  Program program = parse_program(source, &smap);
+
+  LintOptions opts;
+  if (cli.plan) {
+    opts.plan = &*cli.plan;
+  } else {
+    opts.audit_plan = cli.audit_plan;
+  }
+  if ((opts.plan != nullptr || opts.audit_plan) && program.phase_count() > 1) {
+    out << "lint --plan works on single-nest sources\n";
+    return 1;
+  }
+
+  LintResult res = lint_program(program, &smap, opts);
+  if (cli.json) {
+    out << render_json(res.diagnostics, file).dump(2) << '\n';
+  } else {
+    out << render_text(res.diagnostics, file)
+        << render_summary(res.diagnostics) << '\n';
+  }
+  bool fail = res.has_errors() || (cli.strict && res.has_warnings());
+  return fail ? 3 : 0;
+}
+
 int cmd_figure2(std::ostream& out, int threads) {
   MinimizerOptions opts;
   opts.threads = threads;
@@ -254,12 +309,18 @@ std::string usage() {
       "  analyze   [--json] <file|->   dependences + memory report\n"
       "  optimize  [--json] [--threads=N] <file|->\n"
       "                                window-minimizing transformation\n"
+      "  lint      [--json] [--strict] [--plan[=\"a b; c d\"]] <file|->\n"
+      "                                static diagnostics (check IDs LMRE-*);\n"
+      "                                --plan re-certifies a transform plan\n"
+      "                                (default: the one optimize emits)\n"
       "  distances <file|->            dependence distance/direction table\n"
       "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
       "  series    <file|->            window-size time series as CSV\n"
       "  figure2   [--threads=N]       regenerate the paper's main table\n"
       "--threads: search/verify workers (0 = all cores, 1 = serial; the\n"
       "result is bit-identical for every value).\n"
+      "exit codes: 0 ok/clean, 1 failure, 2 usage, 3 diagnostics (parse or\n"
+      "lint errors; --strict extends to warnings), 4 integer overflow.\n"
       "DSL files use the grammar in src/ir/parser.h; '-' reads stdin.\n";
 }
 
@@ -281,6 +342,33 @@ std::optional<std::string> read_source(const std::string& path, std::ostream& er
   return ss.str();
 }
 
+// Parses "--plan=a b; c d" matrix text (rows split on ';', entries on
+// spaces/commas); nullopt on malformed input.
+std::optional<IntMat> parse_plan_matrix(const std::string& text) {
+  std::vector<std::vector<Int>> rows;
+  std::istringstream row_stream(text);
+  std::string row_text;
+  while (std::getline(row_stream, row_text, ';')) {
+    for (char& c : row_text) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream cells(row_text);
+    std::vector<Int> row;
+    Int v = 0;
+    while (cells >> v) row.push_back(v);
+    if (!cells.eof()) return std::nullopt;  // non-numeric junk
+    if (row.empty()) return std::nullopt;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return std::nullopt;
+  IntMat m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != rows[0].size()) return std::nullopt;
+    for (size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -290,10 +378,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   const std::string& cmd = args[0];
-  // Shared flag extraction: --json and --threads=N are recognized anywhere
-  // after the command name.
+  // Shared flag extraction: --json, --threads=N and the lint flags are
+  // recognized anywhere after the command name.
   bool json = false;
   int threads = 1;
+  LintCliOptions lint_opts;
   std::vector<std::string> rest(args.begin() + 1, args.end());
   for (auto it = rest.begin(); it != rest.end();) {
     if (*it == "--json") {
@@ -311,31 +400,60 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         return 2;
       }
       it = rest.erase(it);
+    } else if (cmd == "lint" && *it == "--strict") {
+      lint_opts.strict = true;
+      it = rest.erase(it);
+    } else if (cmd == "lint" && *it == "--plan") {
+      lint_opts.audit_plan = true;
+      it = rest.erase(it);
+    } else if (cmd == "lint" && it->rfind("--plan=", 0) == 0) {
+      lint_opts.plan = parse_plan_matrix(it->substr(7));
+      if (!lint_opts.plan) {
+        err << "bad --plan matrix: " << it->substr(7) << '\n';
+        return 2;
+      }
+      it = rest.erase(it);
     } else {
       ++it;
     }
   }
+  lint_opts.json = json;
   if (cmd == "figure2") return cmd_figure2(out, threads);
-  if (cmd == "analyze" || cmd == "optimize" || cmd == "distances" ||
-      cmd == "misscurve" || cmd == "series") {
+  if (cmd == "analyze" || cmd == "optimize" || cmd == "lint" ||
+      cmd == "distances" || cmd == "misscurve" || cmd == "series") {
     if (rest.empty()) {
       err << usage();
       return 2;
     }
-    auto source = read_source(rest[0], err);
+    const std::string& path = rest[0];
+    auto source = read_source(path, err);
     if (!source) return 1;
-    if (cmd == "analyze") {
-      return json ? cmd_analyze_json(*source, out) : cmd_analyze(*source, out);
+    const std::string file = path == "-" ? "<stdin>" : path;
+    try {
+      if (cmd == "analyze") {
+        return json ? cmd_analyze_json(*source, out, file)
+                    : cmd_analyze(*source, out, file);
+      }
+      if (cmd == "optimize" && json) {
+        return cmd_optimize_json(*source, out, threads, file);
+      }
+      if (cmd == "optimize") return cmd_optimize(*source, out, threads, file);
+      if (cmd == "lint") return cmd_lint(*source, lint_opts, out, file);
+      if (cmd == "distances") return cmd_distances(*source, out);
+      if (cmd == "series") return cmd_series(*source, out);
+      std::vector<Int> caps;
+      for (size_t i = 1; i < rest.size(); ++i) {
+        caps.push_back(static_cast<Int>(std::stoll(rest[i])));
+      }
+      return cmd_misscurve(*source, caps, out);
+    } catch (const ParseError& e) {
+      err << file << ':' << e.line() << ':' << e.column() << ": error: "
+          << e.message() << '\n';
+      return 3;
+    } catch (const OverflowError& e) {
+      err << file << ": error: " << e.what() << '\n';
+      return 4;
     }
-    if (cmd == "optimize" && json) return cmd_optimize_json(*source, out, threads);
-    if (cmd == "optimize") return cmd_optimize(*source, out, threads);
-    if (cmd == "distances") return cmd_distances(*source, out);
-    if (cmd == "series") return cmd_series(*source, out);
-    std::vector<Int> caps;
-    for (size_t i = 1; i < rest.size(); ++i) {
-      caps.push_back(static_cast<Int>(std::stoll(rest[i])));
-    }
-    return cmd_misscurve(*source, caps, out);
   }
   err << usage();
   return 2;

@@ -5,21 +5,51 @@
 // and writes its report to the given stream.
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "linalg/mat.h"
 #include "support/checked.h"
 
 namespace lmre::tools {
 
+// Exit-code convention (shared by every subcommand and run_cli):
+//   0  success / lint clean
+//   1  command failure (unreadable file, unsupported input shape)
+//   2  usage error
+//   3  input rejected with diagnostics (parse error or lint errors)
+//   4  arithmetic outside 64-bit range (OverflowError)
+// Parse errors propagate as ParseError out of the cmd_* functions; run_cli
+// formats them as "file:line:col: error: ..." on the error stream.
+
 /// `lmre analyze <dsl>`: dependences + memory report (+ program handoffs
-/// for multi-phase sources).  Returns the process exit code.
-int cmd_analyze(const std::string& source, std::ostream& out);
+/// for multi-phase sources).  Lints the input first: errors abort with
+/// diagnostics (exit 3), warnings are printed and analysis continues.
+/// `file` names the input in diagnostics.  Returns the process exit code.
+int cmd_analyze(const std::string& source, std::ostream& out,
+                const std::string& file = "<input>");
 
 /// `lmre optimize <dsl>`: transformation search, transformed loop,
-/// before/after windows.  `threads` follows the MinimizerOptions convention
-/// (0 = hardware concurrency, 1 = serial); results are identical either way.
-int cmd_optimize(const std::string& source, std::ostream& out, int threads = 1);
+/// before/after windows.  Lint-gated like cmd_analyze.  `threads` follows
+/// the MinimizerOptions convention (0 = hardware concurrency, 1 = serial);
+/// results are identical either way.
+int cmd_optimize(const std::string& source, std::ostream& out, int threads = 1,
+                 const std::string& file = "<input>");
+
+/// Options for `lmre lint`, parsed by run_cli.
+struct LintCliOptions {
+  bool json = false;        ///< emit a JSON diagnostics array instead of text
+  bool strict = false;      ///< warnings also make the exit code nonzero
+  bool audit_plan = false;  ///< --plan: re-certify the plan optimize emits
+  std::optional<IntMat> plan;  ///< --plan="a b; c d": explicit plan matrix
+};
+
+/// `lmre lint [--json] [--strict] [--plan[=MATRIX]] <file|->`: runs the
+/// static verifier (src/lint) and renders its diagnostics.  Exit 0 when no
+/// errors were found (--strict: no warnings either), 3 otherwise.
+int cmd_lint(const std::string& source, const LintCliOptions& opts,
+             std::ostream& out, const std::string& file = "<input>");
 
 /// `lmre distances <dsl>`: dependence distance/direction table.
 int cmd_distances(const std::string& source, std::ostream& out);
@@ -34,12 +64,14 @@ int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
 int cmd_series(const std::string& source, std::ostream& out);
 
 /// `lmre analyze --json <dsl>`: the same analysis as cmd_analyze, emitted
-/// as a JSON document (single-nest sources only).
-int cmd_analyze_json(const std::string& source, std::ostream& out);
+/// as a JSON document (single-nest sources only).  Lint errors produce a
+/// JSON document with a "diagnostics" array (exit 3).
+int cmd_analyze_json(const std::string& source, std::ostream& out,
+                     const std::string& file = "<input>");
 
 /// `lmre optimize --json <dsl>`: machine-readable optimization result.
 int cmd_optimize_json(const std::string& source, std::ostream& out,
-                      int threads = 1);
+                      int threads = 1, const std::string& file = "<input>");
 
 /// `lmre figure2`: the paper's main table.
 int cmd_figure2(std::ostream& out, int threads = 1);

@@ -1,13 +1,30 @@
-// The `lmre` command-line tool: analyze, optimize, and profile loop nests
-// written in the textual DSL.  See tools/commands.h for the subcommands.
+// The `lmre` command-line tool: analyze, optimize, lint, and profile loop
+// nests written in the textual DSL.  See tools/commands.h for the
+// subcommands and the exit-code convention.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "ir/parser.h"
+#include "support/error.h"
 #include "tools/commands.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return lmre::tools::run_cli(args, std::cout, std::cerr);
+  // run_cli formats parse errors with file:line:col positions itself; these
+  // handlers are the backstop so no exception ever escapes as a crash, with
+  // distinct exit codes per failure class (see tools/commands.h).
+  try {
+    return lmre::tools::run_cli(args, std::cout, std::cerr);
+  } catch (const lmre::ParseError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  } catch (const lmre::OverflowError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 4;
+  } catch (const lmre::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
 }
