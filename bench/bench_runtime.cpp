@@ -1,0 +1,88 @@
+// Runtime bench: cold vs warm AnalysisSession over the builder-kernel
+// corpus, demonstrating what memoization buys on a full-pipeline batch.
+// Prints a table and writes BENCH_runtime.json (enveloped: timings plus
+// the session's metrics snapshot) into the current directory so perf
+// trajectories are machine-readable; scripts/tier1.sh smoke-checks the
+// file.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "codes/extra_kernels.h"
+#include "codes/kernels.h"
+#include "ir/parser.h"
+#include "runtime/session.h"
+#include "support/json.h"
+#include "support/text.h"
+
+using namespace lmre;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+std::vector<AnalysisRequest> corpus() {
+  std::vector<AnalysisRequest> reqs;
+  for (auto& e : codes::figure2_suite()) {
+    reqs.push_back({to_dsl(e.nest), e.name + ".loop",
+                    AnalysisRequest::Kind::kFull});
+  }
+  for (auto& [name, nest] : codes::extra_suite()) {
+    reqs.push_back({to_dsl(nest), name + ".loop", AnalysisRequest::Kind::kFull});
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<AnalysisRequest> reqs = corpus();
+
+  SessionOptions opts;
+  opts.run.threads = 0;  // all cores; results are thread-count independent
+  AnalysisSession session(opts);
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<AnalysisResult> cold = session.run_batch(reqs);
+  double cold_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  std::vector<AnalysisResult> warm = session.run_batch(reqs);
+  double warm_ms = ms_since(t0);
+
+  bool identical = true;
+  int hits = 0;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    identical = identical && cold[i].payload == warm[i].payload;
+    hits += warm[i].cache_hit ? 1 : 0;
+  }
+
+  TextTable t;
+  t.header({"run", "files", "time (ms)", "cache hits"});
+  t.row({"cold", std::to_string(reqs.size()),
+         std::to_string(static_cast<Int>(cold_ms)), "0"});
+  t.row({"warm", std::to_string(reqs.size()),
+         std::to_string(static_cast<Int>(warm_ms)), std::to_string(hits)});
+  std::cout << "=== batch runtime: cold vs warm session ===\n"
+            << t.render() << "payloads identical: "
+            << (identical ? "yes" : "NO") << '\n';
+
+  Json doc = Json::object();
+  doc.set("files", static_cast<Int>(reqs.size()));
+  doc.set("cold_ms", cold_ms);
+  doc.set("warm_ms", warm_ms);
+  doc.set("warm_hits", Int{hits});
+  doc.set("payloads_identical", identical);
+  doc.set("metrics", session.metrics_json());
+  std::ofstream("BENCH_runtime.json")
+      << json_envelope("bench-runtime", std::move(doc)).dump(2) << '\n';
+  std::cout << "wrote BENCH_runtime.json\n";
+
+  return identical && hits == static_cast<int>(reqs.size()) ? 0 : 1;
+}

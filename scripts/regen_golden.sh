@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden files pinned by the test suite.  Run from the repo
+# root after an intentional output-schema change, then review the diff:
+#
+#   ./scripts/regen_golden.sh [build-dir]
+#
+# Currently covers tests/golden/batch_loops.json, the byte-exact document
+# `lmre batch --json examples/loops` must produce (golden_batch_test).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+LMRE="$BUILD/tools/lmre"
+if [[ ! -x "$LMRE" ]]; then
+  echo "error: $LMRE not built (cmake -B $BUILD -S . && cmake --build $BUILD)" >&2
+  exit 1
+fi
+
+mkdir -p tests/golden
+"$LMRE" batch --json examples/loops > tests/golden/batch_loops.json
+echo "wrote tests/golden/batch_loops.json"

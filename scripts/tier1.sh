@@ -18,6 +18,26 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== tier 1: batch smoke (cold + warm cache, metrics emission) =="
+# Run the batch verb twice against one cache dir: the cold run populates
+# it, the warm run must serve from it, and both runs must agree byte for
+# byte.  The metrics snapshot lands in BENCH_runtime.json (gitignored);
+# the gate fails if it is missing or malformed.
+BATCH_CACHE="$(mktemp -d)"
+trap 'rm -rf "$BATCH_CACHE"' EXIT
+./build/tools/lmre batch --json --cache-dir="$BATCH_CACHE" examples/loops \
+  > "$BATCH_CACHE/cold.json"
+./build/tools/lmre batch --json --cache-dir="$BATCH_CACHE" \
+  --metrics=BENCH_runtime.json examples/loops > "$BATCH_CACHE/warm.json"
+cmp "$BATCH_CACHE/cold.json" "$BATCH_CACHE/warm.json" \
+  || { echo "FAIL: warm batch output differs from cold"; exit 1; }
+[ -s BENCH_runtime.json ] \
+  || { echo "FAIL: BENCH_runtime.json missing or empty"; exit 1; }
+grep -q '"schema_version"' BENCH_runtime.json \
+  || { echo "FAIL: BENCH_runtime.json lacks the versioned envelope"; exit 1; }
+grep -q '"cache.hit_rate": 1' BENCH_runtime.json \
+  || { echo "FAIL: warm batch did not hit the cache for every file"; exit 1; }
+
 echo "== tier 1: ThreadSanitizer pass over the parallel suites =="
 cmake -B build-tsan -S . -DLMRE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \

@@ -10,12 +10,11 @@
 
 namespace lmre {
 
-MemoryReport analyze_memory(const LoopNest& nest, bool with_oracle) {
+namespace {
+
+MemoryReport report_from(const LoopNest& nest, const std::optional<TraceStats>& exact) {
   MemoryReport rep;
   rep.default_memory = nest.default_memory();
-
-  std::optional<TraceStats> exact;
-  if (with_oracle) exact = simulate(nest);
 
   bool mws_total_known = true;
   for (ArrayId id = 0; id < nest.arrays().size(); ++id) {
@@ -56,6 +55,22 @@ MemoryReport analyze_memory(const LoopNest& nest, bool with_oracle) {
     rep.mws_exact_total = exact->mws_total;
   }
   return rep;
+}
+
+}  // namespace
+
+MemoryReport analyze_memory(const LoopNest& nest, bool with_oracle) {
+  std::optional<TraceStats> exact;
+  if (with_oracle) exact = simulate(nest);
+  return report_from(nest, exact);
+}
+
+MemoryReport analyze_memory(const LoopNest& nest, const RunOptions& run) {
+  std::optional<TraceStats> exact;
+  if (nest.iteration_count() <= run.verify_limit) {
+    exact = simulate(nest, run.threads);
+  }
+  return report_from(nest, exact);
 }
 
 namespace {

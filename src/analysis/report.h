@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ir/nest.h"
+#include "support/options.h"
 
 namespace lmre {
 
@@ -38,6 +39,11 @@ struct MemoryReport {
 
 /// Runs estimation (and the oracle when `with_oracle`) on the nest.
 MemoryReport analyze_memory(const LoopNest& nest, bool with_oracle = true);
+
+/// analyze_memory under the shared pipeline options: the oracle runs only
+/// when the nest's iteration count is within run.verify_limit, on
+/// run.threads workers (results independent of the thread count).
+MemoryReport analyze_memory(const LoopNest& nest, const RunOptions& run);
 
 /// Renders the report as an aligned text table.
 std::string render(const MemoryReport& report);

@@ -1,0 +1,48 @@
+#pragma once
+
+// lmre public API facade.
+//
+// This umbrella header re-exports the supported, stable surface of the
+// library so tools, tests, and downstream users include ONE header instead
+// of reaching into six internal subdirectories:
+//
+//   #include "api/lmre.h"
+//
+// What the facade covers (and what we promise to keep source-compatible):
+//
+//   nest IR + builder      ir/nest.h, ir/general.h          LoopNest, ArrayRef
+//   parser / printer       ir/parser.h, ir/printer.h        parse_program, to_dsl
+//   programs               program/program.h                Program, ProgramStats
+//   diagnostics + lint     diag/diagnostic.h, lint/lint.h   lint_program, Diagnostic
+//   estimates + reports    analysis/report.h                analyze_memory
+//   exact oracle (MWS)     exact/oracle.h                   simulate, TraceStats
+//   transform search       transform/minimizer.h,           optimize_locality,
+//                          transform/transformed.h          minimize_mws_2d
+//   batch runtime          runtime/session.h,               AnalysisSession,
+//                          runtime/metrics.h,               Metrics, ResultCache
+//                          runtime/cache.h
+//   shared support         support/error.h (ExitCode),      RunOptions, Json,
+//                          support/options.h,               json_envelope
+//                          support/json.h
+//
+// Headers NOT reachable from here (linalg internals, polyhedra scanners,
+// per-check lint passes, layout/alloc experiments, ...) are internal: they
+// may change or disappear between versions without notice.
+
+#include "analysis/report.h"
+#include "diag/diagnostic.h"
+#include "exact/oracle.h"
+#include "ir/general.h"
+#include "ir/nest.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "lint/lint.h"
+#include "program/program.h"
+#include "runtime/cache.h"
+#include "runtime/metrics.h"
+#include "runtime/session.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/options.h"
+#include "transform/minimizer.h"
+#include "transform/transformed.h"

@@ -234,6 +234,10 @@ TraceStats simulate(const LoopNest& nest, int threads) {
   return stats_from_trace(nest, merged);
 }
 
+TraceStats simulate(const LoopNest& nest, const RunOptions& run) {
+  return simulate(nest, run.threads);
+}
+
 TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t) {
   Trace trace;
   trace.run(nest, &t);

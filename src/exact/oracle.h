@@ -18,6 +18,7 @@
 #include "ir/general.h"
 #include "ir/nest.h"
 #include "linalg/mat.h"
+#include "support/options.h"
 
 namespace lmre {
 
@@ -63,6 +64,12 @@ TraceStats simulate(const LoopNest& nest);
 /// Bit-identical to simulate(nest) for every thread count; threads <= 1
 /// takes the serial path.
 TraceStats simulate(const LoopNest& nest, int threads);
+
+/// simulate under the shared pipeline options: worker count from
+/// run.threads (the result does not depend on it).  Callers are expected
+/// to gate on run.verify_limit themselves -- the oracle always runs when
+/// called.
+TraceStats simulate(const LoopNest& nest, const RunOptions& run);
 
 /// Executes the nest under the unimodular transformation `t`: iterations are
 /// visited in lexicographic order of u = t * i (the transformed loop), each

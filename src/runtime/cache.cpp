@@ -1,0 +1,140 @@
+#include "runtime/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/error.h"
+
+namespace lmre {
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(size_t capacity, std::string disk_dir)
+    : capacity_(capacity == 0 ? 1 : capacity), dir_(std::move(disk_dir)) {}
+
+std::string ResultCache::disk_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.lmre",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+std::optional<CachedEntry> ResultCache::disk_load(std::uint64_t key) const {
+  std::ifstream in(disk_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  int status = 0;
+  if (std::sscanf(header.c_str(), "lmre-cache v1 status=%d", &status) != 1) {
+    return std::nullopt;  // wrong version or corrupted: a miss, not an error
+  }
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return CachedEntry{status, payload.str()};
+}
+
+void ResultCache::disk_store(std::uint64_t key, const CachedEntry& entry) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;  // best effort: no disk layer is never fatal
+  // Unique temp name per writer thread, then atomic rename: a reader only
+  // ever sees complete files, and same-key racers both leave a valid one.
+  std::string path = disk_path(key);
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  {
+    std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << "lmre-cache v1 status=" << entry.status << '\n' << entry.payload;
+    if (!out) return;
+  }
+  std::filesystem::rename(tmp.str(), path, ec);
+  if (ec) std::filesystem::remove(tmp.str(), ec);
+}
+
+std::optional<CachedEntry> ResultCache::get(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      hits_ += 1;
+      return it->second->second;
+    }
+  }
+  if (!dir_.empty()) {
+    // Disk probe outside the lock: file IO must not serialize the pool.
+    if (std::optional<CachedEntry> entry = disk_load(key)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (index_.find(key) == index_.end()) insert_locked(key, *entry);
+      hits_ += 1;
+      disk_hits_ += 1;
+      return entry;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  misses_ += 1;
+  return std::nullopt;
+}
+
+void ResultCache::insert_locked(std::uint64_t key, CachedEntry entry) {
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_ += 1;
+  }
+}
+
+void ResultCache::put(std::uint64_t key, CachedEntry entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = entry;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      insert_locked(key, entry);
+    }
+  }
+  if (!dir_.empty()) disk_store(key, entry);
+}
+
+Int ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+Int ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+Int ResultCache::disk_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_hits_;
+}
+
+Int ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace lmre

@@ -1,0 +1,99 @@
+#pragma once
+
+// Memoized result store for the analysis runtime.
+//
+// Results are keyed by a 64-bit FNV-1a content hash of (canonicalized
+// source, request kind, result-affecting options) -- see
+// AnalysisSession::request_key for the exact recipe and DESIGN.md for the
+// invalidation rules.  Two layers:
+//
+//  * an in-memory LRU (bounded entry count) that serves repeat requests
+//    within one session/process, and
+//  * an optional on-disk store (`--cache-dir`) holding one file per key,
+//    so a warm re-run of a corpus in a fresh process skips everything
+//    after hashing.
+//
+// The cached value is the *serialized* result: the exit status plus the
+// compact-JSON payload text the session produced.  Storing text (rather
+// than a structure) makes the bit-identity contract trivial -- a hit
+// returns byte-for-byte what the miss computed -- and lets the disk layer
+// round-trip without a JSON parser (lmre only emits JSON).
+//
+// Disk file format (versioned, self-describing):
+//   line 1:  "lmre-cache v1 status=<int>"
+//   rest:    the payload bytes, verbatim
+// Unreadable, truncated, or version-mismatched files are treated as
+// misses (never errors): the cache is an accelerator, not a source of
+// truth.  Writes go through a per-thread temp file + atomic rename so
+// concurrent workers racing on one key leave a complete file either way.
+//
+// All public methods are thread-safe.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "support/checked.h"
+
+namespace lmre {
+
+/// 64-bit FNV-1a over `data`, continuing from `seed` (chain calls to hash
+/// multi-part keys without concatenating).
+std::uint64_t fnv1a(std::string_view data,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// One memoized result: the exit status (ExitCode as int) and the
+/// compact-JSON payload text.
+struct CachedEntry {
+  int status = 0;
+  std::string payload;
+};
+
+class ResultCache {
+ public:
+  /// `capacity`: max in-memory entries (>= 1; least recently used evicted).
+  /// `disk_dir`: directory for the persistent layer; "" disables it.  The
+  /// directory is created on first put.
+  explicit ResultCache(size_t capacity, std::string disk_dir = "");
+
+  /// Lookup: memory first, then disk (a disk hit is promoted into
+  /// memory).  Updates hit/miss counters.
+  std::optional<CachedEntry> get(std::uint64_t key);
+
+  /// Inserts (or refreshes) the entry, evicting the LRU tail past
+  /// capacity, and writes through to disk when enabled.
+  void put(std::uint64_t key, CachedEntry entry);
+
+  /// Counters since construction (disk hits are counted in hits() too).
+  Int hits() const;
+  Int misses() const;
+  Int disk_hits() const;
+  Int evictions() const;
+
+  /// Current in-memory entry count.
+  size_t size() const;
+
+  const std::string& disk_dir() const { return dir_; }
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, CachedEntry>>;
+
+  std::string disk_path(std::uint64_t key) const;
+  std::optional<CachedEntry> disk_load(std::uint64_t key) const;
+  void disk_store(std::uint64_t key, const CachedEntry& entry);
+  void insert_locked(std::uint64_t key, CachedEntry entry);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::string dir_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  Int hits_ = 0, misses_ = 0, disk_hits_ = 0, evictions_ = 0;
+};
+
+}  // namespace lmre

@@ -1,0 +1,53 @@
+#include "runtime/metrics.h"
+
+#include "support/checked.h"
+
+namespace lmre {
+
+void Metrics::count(const std::string& name, Int delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = checked_add(counters_[name], delta);
+}
+
+void Metrics::gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Metrics::observe_ms(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimerStat& t = timers_[name];
+  t.total_ms += ms;
+  t.count += 1;
+}
+
+Int Metrics::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Metrics::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Json Metrics::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::object();
+  for (const auto& [name, v] : counters_) counters.set(name, v);
+  Json gauges = Json::object();
+  for (const auto& [name, v] : gauges_) gauges.set(name, v);
+  Json timers = Json::object();
+  for (const auto& [name, t] : timers_) {
+    timers.set(name,
+               Json::object().set("total_ms", t.total_ms).set("count", t.count));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("timers_ms", std::move(timers));
+}
+
+}  // namespace lmre

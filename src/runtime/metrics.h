@@ -1,0 +1,88 @@
+#pragma once
+
+// Lightweight instrumentation for the analysis runtime: named counters,
+// accumulated wall-clock timers, and gauges, rendered through
+// support/json.h.
+//
+// Every pipeline stage the session runs is bracketed by a ScopedTimer and
+// bumps counters (files seen, cache hits/misses, stage executions); `lmre
+// batch --metrics=FILE` snapshots the registry into the versioned JSON
+// envelope so perf trajectories (BENCH_runtime.json) are machine-readable.
+//
+// All operations are thread-safe: batch fan-out updates one shared Metrics
+// from every worker.  Counters and gauges are exact; timer totals are
+// wall-clock sums over concurrent scopes (so a parallel batch's
+// "stage.*_ms" can exceed elapsed time -- that is CPU-style accounting,
+// documented in DESIGN.md).
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/checked.h"
+#include "support/json.h"
+
+namespace lmre {
+
+class Metrics {
+ public:
+  /// Adds `delta` to the named counter (created at 0).
+  void count(const std::string& name, Int delta = 1);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void gauge(const std::string& name, double value);
+
+  /// Adds `ms` to the named timer's accumulated total and bumps its
+  /// observation count.
+  void observe_ms(const std::string& name, double ms);
+
+  /// RAII wall-clock scope: accumulates its lifetime into `name` via
+  /// observe_ms on destruction.
+  class ScopedTimer {
+   public:
+    ScopedTimer(Metrics& metrics, std::string name)
+        : metrics_(&metrics),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+      std::chrono::duration<double, std::milli> dt =
+          std::chrono::steady_clock::now() - start_;
+      metrics_->observe_ms(name_, dt.count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    Metrics* metrics_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Starts a wall-clock scope accumulating into `name`.
+  ScopedTimer time(std::string name) { return ScopedTimer(*this, std::move(name)); }
+
+  /// Current counter value; 0 when never touched.
+  Int counter(const std::string& name) const;
+
+  /// Current gauge value; 0.0 when never set.
+  double gauge_value(const std::string& name) const;
+
+  /// Snapshot:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "timers_ms": {"<name>": {"total_ms": t, "count": n}, ...}}
+  Json to_json() const;
+
+ private:
+  struct TimerStat {
+    double total_ms = 0.0;
+    Int count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Int> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+}  // namespace lmre

@@ -1,0 +1,328 @@
+#include "runtime/session.h"
+
+#include <cctype>
+#include <optional>
+
+#include "analysis/report.h"
+#include "diag/diagnostic.h"
+#include "exact/oracle.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "lint/lint.h"
+#include "program/program.h"
+#include "support/parallel_for.h"
+#include "transform/minimizer.h"
+#include "transform/transformed.h"
+
+namespace lmre {
+
+const char* to_string(AnalysisRequest::Kind kind) {
+  switch (kind) {
+    case AnalysisRequest::Kind::kLint: return "lint";
+    case AnalysisRequest::Kind::kAnalyze: return "analyze";
+    case AnalysisRequest::Kind::kOptimize: return "optimize";
+    case AnalysisRequest::Kind::kFull: return "full";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Version tag mixed into every content hash: bump when the payload schema
+// changes so stale disk caches invalidate themselves.
+constexpr const char* kHashSalt = "lmre-result-v1";
+
+Json error_json(const char* kind, const std::string& message, int line = 0,
+                int column = 0) {
+  Json err = Json::object();
+  err.set("kind", kind).set("message", message);
+  if (line > 0) err.set("line", line).set("column", column);
+  return Json::object().set("error", std::move(err));
+}
+
+// File-name-free diagnostic record (the cache key ignores file names, so
+// the payload must too; callers attach the name when rendering).
+Json diag_json(const Diagnostic& d) {
+  Json j = Json::object();
+  j.set("id", d.id).set("severity", to_string(d.severity)).set("message", d.message);
+  if (d.span.valid()) j.set("line", d.span.line).set("column", d.span.column);
+  if (!d.phase.empty()) j.set("phase", d.phase);
+  return j;
+}
+
+Json lint_json(const LintResult& lint) {
+  Json diags = Json::array();
+  for (const auto& d : lint.diagnostics) diags.push(diag_json(d));
+  return Json::object()
+      .set("errors", static_cast<Int>(lint.count(Severity::kError)))
+      .set("warnings", static_cast<Int>(lint.count(Severity::kWarning)))
+      .set("notes", static_cast<Int>(lint.count(Severity::kNote)))
+      .set("diagnostics", std::move(diags));
+}
+
+Json transform_json(const IntMat& t) {
+  Json rows = Json::array();
+  for (size_t r = 0; r < t.rows(); ++r) {
+    Json row = Json::array();
+    for (size_t c = 0; c < t.cols(); ++c) row.push(t(r, c));
+    rows.push(std::move(row));
+  }
+  return rows;
+}
+
+Json analysis_json(const LoopNest& nest, const MemoryReport& rep,
+                   const std::optional<TraceStats>& exact) {
+  Json doc = Json::object();
+  doc.set("depth", static_cast<Int>(nest.depth()));
+  doc.set("iterations", nest.iteration_count());
+  doc.set("default_memory", rep.default_memory);
+  doc.set("distinct_estimate", rep.distinct_estimate_total);
+  if (rep.mws_estimate_total) doc.set("mws_estimate", *rep.mws_estimate_total);
+  if (exact) {
+    doc.set("distinct_exact", exact->distinct_total);
+    doc.set("mws_exact", exact->mws_total);
+  } else {
+    doc.set("exact_skipped", true);
+  }
+
+  // rep.arrays holds referenced arrays in ArrayId order; walk ids in step
+  // so per-array exact stats (keyed by id) line up.
+  Json arrays = Json::array();
+  size_t next = 0;
+  for (ArrayId id = 0; id < nest.arrays().size() && next < rep.arrays.size(); ++id) {
+    if (nest.refs_to(id).empty()) continue;
+    const ArrayReport& ar = rep.arrays[next++];
+    Json ja = Json::object();
+    ja.set("name", ar.name).set("declared", ar.declared);
+    if (ar.distinct_estimate) ja.set("distinct_estimate", *ar.distinct_estimate);
+    if (ar.distinct_upper) ja.set("distinct_upper", *ar.distinct_upper);
+    if (ar.distinct_lower) ja.set("distinct_lower", *ar.distinct_lower);
+    if (ar.mws_estimate) ja.set("mws_estimate", *ar.mws_estimate);
+    if (exact) {
+      auto dit = exact->distinct.find(id);
+      ja.set("distinct_exact", dit == exact->distinct.end() ? 0 : dit->second);
+      auto mit = exact->mws.find(id);
+      ja.set("mws_exact", mit == exact->mws.end() ? 0 : mit->second);
+    }
+    arrays.push(std::move(ja));
+  }
+  doc.set("arrays", std::move(arrays));
+  return doc;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(SessionOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_capacity, opts_.cache_dir) {}
+
+std::string AnalysisSession::canonicalize(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  bool in_comment = false;
+  bool pending_space = false;
+  for (char c : source) {
+    if (c == '\n') in_comment = false;
+    if (in_comment) continue;
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+std::uint64_t AnalysisSession::request_key(const AnalysisRequest& req) const {
+  // threads is deliberately absent: results are bit-identical across
+  // thread counts, so a warm hit is valid at any --threads value.
+  std::uint64_t h = fnv1a(kHashSalt);
+  h = fnv1a(canonicalize(req.source), h);
+  h = fnv1a("|kind=", h);
+  h = fnv1a(to_string(req.kind), h);
+  h = fnv1a("|verify=", h);
+  h = fnv1a(std::to_string(opts_.run.verify_limit), h);
+  h = fnv1a(opts_.run.strict ? "|strict" : "|lax", h);
+  return h;
+}
+
+std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
+                                             int threads, ExitCode* status) {
+  using Kind = AnalysisRequest::Kind;
+  *status = ExitCode::kSuccess;
+  Json result = Json::object();
+  result.set("kind", to_string(req.kind));
+  try {
+    ProgramSourceMap smap;
+    Program program;
+    {
+      Metrics::ScopedTimer t = metrics_.time("stage.parse");
+      program = parse_program(req.source, &smap);
+    }
+    result.set("phases", static_cast<Int>(program.phase_count()));
+
+    LintResult lint;
+    {
+      Metrics::ScopedTimer t = metrics_.time("stage.lint");
+      lint = lint_program(program, &smap);
+    }
+    result.set("lint", lint_json(lint));
+    if (lint.has_errors() || (opts_.run.strict && lint.has_warnings())) {
+      *status = ExitCode::kDiagnostics;
+      return result.dump();
+    }
+    if (req.kind == Kind::kLint) return result.dump();
+
+    RunOptions stage = opts_.run;
+    stage.threads = threads;
+    const bool single = program.phase_count() == 1;
+
+    if (req.kind == Kind::kAnalyze || req.kind == Kind::kFull) {
+      if (single) {
+        const LoopNest& nest = program.phase_nest(0);
+        MemoryReport rep;
+        {
+          Metrics::ScopedTimer t = metrics_.time("stage.estimate");
+          rep = analyze_memory(nest, /*with_oracle=*/false);
+        }
+        std::optional<TraceStats> exact;
+        if (nest.iteration_count() <= stage.verify_limit) {
+          Metrics::ScopedTimer t = metrics_.time("stage.mws");
+          exact = simulate(nest, stage);
+        }
+        result.set("analysis", analysis_json(nest, rep, exact));
+      } else {
+        Json prog = Json::object();
+        Int iterations = 0;
+        for (size_t k = 0; k < program.phase_count(); ++k) {
+          iterations = checked_add(iterations, program.phase_nest(k).iteration_count());
+        }
+        prog.set("iterations", iterations);
+        if (iterations <= stage.verify_limit) {
+          Metrics::ScopedTimer t = metrics_.time("stage.mws");
+          ProgramStats stats = program.simulate();
+          prog.set("default_memory", stats.default_memory);
+          prog.set("distinct_exact", stats.distinct_total);
+          prog.set("mws_exact", stats.mws_total);
+          Json phases = Json::array();
+          for (size_t k = 0; k < program.phase_count(); ++k) {
+            phases.push(Json::object()
+                            .set("name", program.phase_name(k))
+                            .set("start", stats.phase_start[k])
+                            .set("handoff", stats.handoff[k])
+                            .set("mws", stats.phase_mws[k]));
+          }
+          prog.set("phases", std::move(phases));
+        } else {
+          prog.set("exact_skipped", true);
+        }
+        result.set("program", std::move(prog));
+      }
+    }
+
+    if (req.kind == Kind::kOptimize || req.kind == Kind::kFull) {
+      if (!single) {
+        if (req.kind == Kind::kOptimize) {
+          *status = ExitCode::kFailure;
+          return error_json("unsupported", "optimize works on single-nest sources")
+              .set("kind", to_string(req.kind))
+              .dump();
+        }
+        // kFull on a program: the analysis section above is the result.
+        return result.dump();
+      }
+      const LoopNest& nest = program.phase_nest(0);
+      OptimizeResult res;
+      {
+        Metrics::ScopedTimer t = metrics_.time("stage.optimize");
+        res = optimize_locality(nest, stage);
+      }
+      Json opt = Json::object();
+      opt.set("method", res.method);
+      opt.set("transform", transform_json(res.transform));
+      opt.set("predicted_mws", res.predicted_mws);
+      if (nest.iteration_count() <= stage.verify_limit) {
+        opt.set("mws_before", simulate(nest, stage).mws_total);
+      }
+      if (transformed_scan_volume(nest, res.transform) <= stage.verify_limit) {
+        opt.set("mws_after", simulate_transformed(nest, res.transform).mws_total);
+      }
+      result.set("optimize", std::move(opt));
+    }
+    return result.dump();
+  } catch (const ParseError& e) {
+    *status = ExitCode::kDiagnostics;
+    return error_json("parse", e.message(), e.line(), e.column())
+        .set("kind", to_string(req.kind))
+        .dump();
+  } catch (const OverflowError& e) {
+    *status = ExitCode::kOverflow;
+    return error_json("overflow", e.what())
+        .set("kind", to_string(req.kind))
+        .dump();
+  } catch (const Error& e) {
+    *status = ExitCode::kFailure;
+    return error_json("failure", e.what())
+        .set("kind", to_string(req.kind))
+        .dump();
+  }
+}
+
+AnalysisResult AnalysisSession::run_with_threads(const AnalysisRequest& req,
+                                                 int threads) {
+  AnalysisResult res;
+  res.key = request_key(req);
+  metrics_.count("runs.total");
+  if (std::optional<CachedEntry> hit = cache_.get(res.key)) {
+    metrics_.count("runs.cached");
+    res.status = static_cast<ExitCode>(hit->status);
+    res.cache_hit = true;
+    res.payload = std::move(hit->payload);
+    return res;
+  }
+  metrics_.count("runs.computed");
+  Metrics::ScopedTimer t = metrics_.time("stage.total");
+  ExitCode status = ExitCode::kSuccess;
+  res.payload = compute_payload(req, threads, &status);
+  res.status = status;
+  cache_.put(res.key, CachedEntry{to_int(status), res.payload});
+  return res;
+}
+
+AnalysisResult AnalysisSession::run(const AnalysisRequest& req) {
+  return run_with_threads(req, opts_.run.threads);
+}
+
+std::vector<AnalysisResult> AnalysisSession::run_batch(
+    const std::vector<AnalysisRequest>& requests) {
+  metrics_.count("batch.calls");
+  metrics_.count("batch.files", static_cast<Int>(requests.size()));
+  Metrics::ScopedTimer t = metrics_.time("stage.batch");
+  // The fan-out owns the thread budget; each request runs its stages
+  // serially (threads=1) to avoid nested pools.  Results are positional,
+  // so output order never depends on scheduling.
+  return parallel_map<AnalysisResult>(
+      static_cast<Int>(requests.size()), opts_.run.threads,
+      [&](Int i) { return run_with_threads(requests[static_cast<size_t>(i)], 1); });
+}
+
+Json AnalysisSession::metrics_json() {
+  const Int hits = cache_.hits(), misses = cache_.misses();
+  metrics_.gauge("cache.hits", static_cast<double>(hits));
+  metrics_.gauge("cache.misses", static_cast<double>(misses));
+  metrics_.gauge("cache.disk_hits", static_cast<double>(cache_.disk_hits()));
+  metrics_.gauge("cache.evictions", static_cast<double>(cache_.evictions()));
+  metrics_.gauge("cache.size", static_cast<double>(cache_.size()));
+  metrics_.gauge("cache.hit_rate",
+                 hits + misses == 0
+                     ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(hits + misses));
+  return metrics_.to_json();
+}
+
+}  // namespace lmre

@@ -1,0 +1,106 @@
+#pragma once
+
+// The batch analysis runtime: one coherent entry point over the whole
+// pipeline (parse -> lint -> estimate -> exact MWS -> optimize) with
+// memoized results and structured metrics.
+//
+// An AnalysisSession owns a ResultCache and a Metrics registry and turns
+// AnalysisRequests (DSL source + requested pipeline depth) into
+// AnalysisResults (exit status + a compact-JSON payload).  Results are
+// content-addressed: request_key() hashes the canonicalized source, the
+// request kind, and every result-affecting option, so a warm re-run of a
+// corpus -- same session, or a fresh process pointed at the same
+// --cache-dir -- skips everything after hashing.  `threads` is explicitly
+// NOT part of the key: every stage is bit-identical across thread counts
+// (DESIGN.md, "Determinism contract"), which is what makes cached and
+// fresh results interchangeable at any --threads value.
+//
+// The payload is file-name independent (diagnostics carry line/column but
+// no file), so identical sources under different names share one cache
+// entry; callers attach the file name when rendering.
+
+#include <string>
+#include <vector>
+
+#include "runtime/cache.h"
+#include "runtime/metrics.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/options.h"
+
+namespace lmre {
+
+struct AnalysisRequest {
+  /// How deep to run the pipeline.  Every kind parses and lints; kAnalyze
+  /// adds estimates + exact measurements, kOptimize adds the transform
+  /// search, kFull runs everything.
+  enum class Kind { kLint, kAnalyze, kOptimize, kFull };
+
+  std::string source;             ///< DSL text (see ir/parser.h)
+  std::string file = "<input>";   ///< display name only; never hashed
+  Kind kind = Kind::kFull;
+};
+
+/// Stable lower-case name ("lint", "analyze", "optimize", "full").
+const char* to_string(AnalysisRequest::Kind kind);
+
+struct AnalysisResult {
+  ExitCode status = ExitCode::kSuccess;
+  std::uint64_t key = 0;   ///< content hash the result was cached under
+  bool cache_hit = false;  ///< served from the cache (memory or disk)
+  /// Compact JSON object text describing the outcome: lint summary +
+  /// diagnostics, per-array analysis, program stats, optimize plan, or an
+  /// "error" object.  Deterministic for a given (source, kind, options):
+  /// keys are sorted and no timing or host information is embedded.
+  std::string payload;
+};
+
+struct SessionOptions {
+  RunOptions run;              ///< threads / verify_limit / strict
+  size_t cache_capacity = 256; ///< in-memory LRU entries
+  std::string cache_dir;       ///< on-disk store; "" = memory only
+};
+
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(SessionOptions opts = {});
+
+  /// Runs (or recalls) one request.  Never throws for input-related
+  /// failures -- parse errors, lint rejections, overflow all come back as
+  /// a status + error payload, so batch drivers survive any corpus.
+  AnalysisResult run(const AnalysisRequest& req);
+
+  /// Fans a corpus out over options().run.threads workers
+  /// (support/parallel_for); results[i] always corresponds to
+  /// requests[i], independent of scheduling.  Per-request analysis runs
+  /// serially inside the fan-out (no nested pools).
+  std::vector<AnalysisResult> run_batch(const std::vector<AnalysisRequest>& requests);
+
+  /// The content hash `run` would use for this request (exposed so tests
+  /// can assert invalidation rules).
+  std::uint64_t request_key(const AnalysisRequest& req) const;
+
+  /// Canonical form hashed by request_key: comments stripped, whitespace
+  /// runs collapsed -- formatting-only edits do not invalidate.
+  static std::string canonicalize(const std::string& source);
+
+  Metrics& metrics() { return metrics_; }
+  const SessionOptions& options() const { return opts_; }
+  const ResultCache& cache() const { return cache_; }
+
+  /// Metrics snapshot with the cache counters folded in as gauges
+  /// (cache.hits, cache.misses, cache.disk_hits, cache.evictions,
+  /// cache.size, cache.hit_rate).
+  Json metrics_json();
+
+ private:
+  AnalysisResult run_with_threads(const AnalysisRequest& req, int threads);
+  std::string compute_payload(const AnalysisRequest& req, int threads,
+                              ExitCode* status);
+
+  SessionOptions opts_;
+  ResultCache cache_;
+  Metrics metrics_;
+};
+
+}  // namespace lmre

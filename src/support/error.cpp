@@ -10,4 +10,15 @@ void ensure(bool cond, const std::string& what) {
   if (!cond) throw InternalError(what);
 }
 
+const char* to_string(ExitCode c) {
+  switch (c) {
+    case ExitCode::kSuccess: return "success";
+    case ExitCode::kFailure: return "failure";
+    case ExitCode::kUsage: return "usage";
+    case ExitCode::kDiagnostics: return "diagnostics";
+    case ExitCode::kOverflow: return "overflow";
+  }
+  return "unknown";
+}
+
 }  // namespace lmre

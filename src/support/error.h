@@ -49,4 +49,22 @@ void require(bool cond, const std::string& what);
 /// Throws InternalError with `what` when `cond` is false.
 void ensure(bool cond, const std::string& what);
 
+/// Process exit codes shared by every lmre tool entry point (the CLI
+/// subcommands, run_cli, and the batch session).  The numeric values are a
+/// stable part of the CLI contract -- scripts match on them -- and are
+/// asserted by cli_tool_test.
+enum class ExitCode : int {
+  kSuccess = 0,      ///< success / lint clean
+  kFailure = 1,      ///< command failure (unreadable file, unsupported shape)
+  kUsage = 2,        ///< usage error (bad flags or arguments)
+  kDiagnostics = 3,  ///< input rejected with diagnostics (parse/lint errors)
+  kOverflow = 4,     ///< arithmetic outside 64-bit range (OverflowError)
+};
+
+/// The process exit status for `c` (the enum's underlying value).
+constexpr int to_int(ExitCode c) { return static_cast<int>(c); }
+
+/// Stable lower-case name, e.g. "success", "diagnostics".
+const char* to_string(ExitCode c);
+
 }  // namespace lmre

@@ -43,6 +43,12 @@ Json Json::boolean(bool v) {
   return j;
 }
 
+Json Json::raw(std::string json_text) {
+  Json j;
+  j.value_ = Raw{std::move(json_text)};
+  return j;
+}
+
 bool Json::is_object() const {
   return std::holds_alternative<std::shared_ptr<Object>>(value_);
 }
@@ -139,6 +145,8 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
     out += '"';
     out += escape(std::get<std::string>(value_));
     out += '"';
+  } else if (std::holds_alternative<Raw>(value_)) {
+    out += std::get<Raw>(value_).text;
   } else if (is_object()) {
     const Object& obj = *std::get<std::shared_ptr<Object>>(value_);
     if (obj.empty()) {
@@ -181,6 +189,14 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+Json json_envelope(const std::string& command, Json result) {
+  return Json::object()
+      .set("schema_version", kJsonSchemaVersion)
+      .set("tool", "lmre")
+      .set("command", command)
+      .set("result", std::move(result));
 }
 
 }  // namespace lmre

@@ -29,6 +29,12 @@ class Json {
   static Json number(double v);
   static Json boolean(bool v);
 
+  /// Pre-serialized JSON spliced verbatim into the output at dump time.
+  /// The caller guarantees `json_text` is a well-formed JSON value; it is
+  /// emitted exactly as given (no re-indenting).  This is how the batch
+  /// runtime embeds cached result payloads without a JSON parser.
+  static Json raw(std::string json_text);
+
   bool is_object() const;
   bool is_array() const;
 
@@ -58,11 +64,25 @@ class Json {
  private:
   using Object = std::map<std::string, Json>;
   using Array = std::vector<Json>;
+  struct Raw {
+    std::string text;
+  };
   std::variant<std::nullptr_t, bool, Int, double, std::string,
-               std::shared_ptr<Object>, std::shared_ptr<Array>>
+               std::shared_ptr<Object>, std::shared_ptr<Array>, Raw>
       value_;
 
   void dump_to(std::string& out, int indent, int depth) const;
 };
+
+/// Version of the envelope every `--json` emitter wraps its payload in.
+/// Bump when the envelope itself (not a command's result schema) changes.
+inline constexpr Int kJsonSchemaVersion = 1;
+
+/// The common machine-readable envelope:
+///   {"schema_version": 1, "tool": "lmre", "command": <command>,
+///    "result": <result>}
+/// Built in one place so every emitter (analyze, lint, optimize, batch,
+/// metrics files) stays structurally identical.
+Json json_envelope(const std::string& command, Json result);
 
 }  // namespace lmre

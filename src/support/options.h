@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared run options for the analysis pipeline.
+//
+// Historically every stage grew its own knobs: minimize_mws_2d and
+// optimize_locality took `MinimizerOptions::threads` plus a
+// `verify_iteration_limit`, the exact oracle took a bare `threads` int, and
+// the CLI re-plumbed each one separately.  RunOptions is the one struct a
+// caller fills once and hands to every stage (directly, or via the
+// per-stage overloads in transform/minimizer.h, exact/oracle.h and
+// analysis/report.h); runtime/session.h threads it through the whole
+// parse -> lint -> estimate -> MWS -> optimize pipeline.
+//
+// None of these fields may change a stage's *result* except by disabling
+// work outright (verify_limit) or tightening acceptance (strict):
+// `threads` is bit-identity-preserving everywhere (DESIGN.md,
+// "Determinism contract"), which is why the result cache excludes it from
+// its content hash.
+
+#include "support/checked.h"
+
+namespace lmre {
+
+struct RunOptions {
+  /// Worker threads for every parallel stage: 0 = hardware concurrency,
+  /// 1 = the serial legacy path, n = at most n workers.  Never affects
+  /// results, only wall-clock time.
+  int threads = 1;
+
+  /// Iteration budget for exact (enumerating) analyses: the oracle runs
+  /// only when the nest's iteration count -- or a candidate's transformed
+  /// scan volume -- stays within this.  Matches the historical
+  /// MinimizerOptions::verify_iteration_limit default.
+  Int verify_limit = 2'000'000;
+
+  /// Treat lint warnings like errors (the CLI's --strict).
+  bool strict = false;
+};
+
+}  // namespace lmre

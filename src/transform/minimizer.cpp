@@ -488,4 +488,20 @@ OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& o
                         candidates.front().score};
 }
 
+MinimizerOptions minimizer_options(const RunOptions& run) {
+  MinimizerOptions opts;
+  opts.threads = run.threads;
+  opts.verify_iteration_limit = run.verify_limit;
+  return opts;
+}
+
+std::optional<MinimizerResult> minimize_mws_2d(const LoopNest& nest,
+                                               const RunOptions& run) {
+  return minimize_mws_2d(nest, minimizer_options(run));
+}
+
+OptimizeResult optimize_locality(const LoopNest& nest, const RunOptions& run) {
+  return optimize_locality(nest, minimizer_options(run));
+}
+
 }  // namespace lmre

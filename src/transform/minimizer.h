@@ -19,6 +19,7 @@
 
 #include "ir/nest.h"
 #include "linalg/rational.h"
+#include "support/options.h"
 
 namespace lmre {
 
@@ -102,5 +103,18 @@ struct OptimizeResult {
 /// identity, legal loop permutations, the depth-2 row minimizer, and
 /// per-array embeddings, scored by predicted_mws_after.
 OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& opts = {});
+
+/// Maps the shared pipeline options onto this stage's knobs: threads and
+/// verify_iteration_limit come from `run`, everything else keeps its
+/// default.  The RunOptions overloads below are the preferred entry points
+/// for callers driving the whole pipeline (runtime/session.h).
+MinimizerOptions minimizer_options(const RunOptions& run);
+
+/// minimize_mws_2d under the shared RunOptions (see minimizer_options).
+std::optional<MinimizerResult> minimize_mws_2d(const LoopNest& nest,
+                                               const RunOptions& run);
+
+/// optimize_locality under the shared RunOptions (see minimizer_options).
+OptimizeResult optimize_locality(const LoopNest& nest, const RunOptions& run);
 
 }  // namespace lmre

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "ir/parser.h"
+#include "support/error.h"
 #include "tools/commands.h"
 
 namespace lmre::tools {
@@ -17,9 +19,25 @@ const char* kExample8 = R"(
       X[2*i + 5*j + 1] = X[2*i + 5*j + 5];
 )";
 
+// The CLI's exit-code contract is the named enum in support/error.h; the
+// numeric values are part of the tool's public interface (scripts match on
+// them), so pin both directions of the mapping.
+TEST(ExitCodeConvention, NamedValuesAreStable) {
+  EXPECT_EQ(to_int(ExitCode::kSuccess), 0);
+  EXPECT_EQ(to_int(ExitCode::kFailure), 1);
+  EXPECT_EQ(to_int(ExitCode::kUsage), 2);
+  EXPECT_EQ(to_int(ExitCode::kDiagnostics), 3);
+  EXPECT_EQ(to_int(ExitCode::kOverflow), 4);
+  EXPECT_STREQ(to_string(ExitCode::kSuccess), "success");
+  EXPECT_STREQ(to_string(ExitCode::kFailure), "failure");
+  EXPECT_STREQ(to_string(ExitCode::kUsage), "usage");
+  EXPECT_STREQ(to_string(ExitCode::kDiagnostics), "diagnostics");
+  EXPECT_STREQ(to_string(ExitCode::kOverflow), "overflow");
+}
+
 TEST(CliAnalyze, SingleNest) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_analyze(kExample8, out), 0);
+  EXPECT_EQ(cmd_analyze(kExample8, out), ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("flow (3, -2)"), std::string::npos);
   EXPECT_NE(s.find("anti (2, 0)"), std::string::npos);
@@ -28,33 +46,33 @@ TEST(CliAnalyze, SingleNest) {
 
 TEST(CliAnalyze, MultiPhase) {
   std::ostringstream out;
-  int rc = cmd_analyze(R"(
+  ExitCode rc = cmd_analyze(R"(
     array A[8];
     phase p { for i = 1 to 8  A[i] = 0; }
     phase c { for i = 1 to 8  B[i] = A[i]; }
   )",
-                       out);
-  EXPECT_EQ(rc, 0);
+                            out);
+  EXPECT_EQ(rc, ExitCode::kSuccess);
   EXPECT_NE(out.str().find("whole-program window: 8"), std::string::npos);
 }
 
 TEST(CliAnalyze, ParseErrorPropagates) {
-  // run_cli formats ParseError as file:line:col (exit 3); the cmd_*
-  // functions let it propagate instead of flattening it to text.
+  // run_cli formats ParseError as file:line:col (exit kDiagnostics); the
+  // cmd_* functions let it propagate instead of flattening it to text.
   std::ostringstream out;
   EXPECT_THROW(cmd_analyze("for i = 1 to\n", out), ParseError);
 }
 
 TEST(CliAnalyze, LintErrorsAbortWithDiagnostics) {
   std::ostringstream out;
-  int rc = cmd_analyze("array A[4];\nfor i = 1 to 10\n  use A[i];\n", out);
-  EXPECT_EQ(rc, 3);
+  ExitCode rc = cmd_analyze("array A[4];\nfor i = 1 to 10\n  use A[i];\n", out);
+  EXPECT_EQ(rc, ExitCode::kDiagnostics);
   EXPECT_NE(out.str().find("[LMRE-E001]"), std::string::npos);
 }
 
 TEST(CliOptimize, FindsPaperTransform) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_optimize(kExample8, out), 0);
+  EXPECT_EQ(cmd_optimize(kExample8, out), ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("[2 3; 1 1]"), std::string::npos);
   EXPECT_NE(s.find("44 -> 21"), std::string::npos);
@@ -62,7 +80,7 @@ TEST(CliOptimize, FindsPaperTransform) {
 
 TEST(CliDistances, Table) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_distances(kExample8, out), 0);
+  EXPECT_EQ(cmd_distances(kExample8, out), ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("(<, >)"), std::string::npos);  // (3,-2) and (5,-2)
   EXPECT_NE(s.find("(<, =)"), std::string::npos);  // (2,0)
@@ -70,7 +88,7 @@ TEST(CliDistances, Table) {
 
 TEST(CliMisscurve, ExplicitCapacities) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_misscurve(kExample8, {64}, out), 0);
+  EXPECT_EQ(cmd_misscurve(kExample8, {64}, out), ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("cold misses (distinct elements): 94"), std::string::npos);
   EXPECT_NE(s.find("64"), std::string::npos);
@@ -78,14 +96,15 @@ TEST(CliMisscurve, ExplicitCapacities) {
 
 TEST(CliMisscurve, AutoSweepIncludesKnee) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_misscurve(kExample8, {}, out), 0);
+  EXPECT_EQ(cmd_misscurve(kExample8, {}, out), ExitCode::kSuccess);
   EXPECT_NE(out.str().find("knee (max finite stack distance): 48"),
             std::string::npos);
 }
 
 TEST(CliSeries, EmitsCsv) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_series("for i = 1 to 4\n  A[i] = A[i-1];\n", out), 0);
+  EXPECT_EQ(cmd_series("for i = 1 to 4\n  A[i] = A[i-1];\n", out),
+            ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("iteration,window"), std::string::npos);
   // 4 iterations -> 4 data lines + header.
@@ -94,7 +113,7 @@ TEST(CliSeries, EmitsCsv) {
 
 TEST(CliFigure2, Runs) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_figure2(out), 0);
+  EXPECT_EQ(cmd_figure2(out), ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("matmult"), std::string::npos);
   EXPECT_NE(s.find("273"), std::string::npos);
@@ -102,23 +121,24 @@ TEST(CliFigure2, Runs) {
 
 TEST(CliDispatcher, UnknownCommand) {
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"bogus"}, out, err), 2);
+  EXPECT_EQ(run_cli({"bogus"}, out, err), ExitCode::kUsage);
   EXPECT_NE(err.str().find("usage"), std::string::npos);
 }
 
 TEST(CliDispatcher, NoArgs) {
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({}, out, err), 2);
+  EXPECT_EQ(run_cli({}, out, err), ExitCode::kUsage);
 }
 
 TEST(CliDispatcher, MissingFileArgument) {
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"analyze"}, out, err), 2);
+  EXPECT_EQ(run_cli({"analyze"}, out, err), ExitCode::kUsage);
 }
 
 TEST(CliDispatcher, UnreadableFile) {
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"analyze", "/nonexistent/nest.loop"}, out, err), 1);
+  EXPECT_EQ(run_cli({"analyze", "/nonexistent/nest.loop"}, out, err),
+            ExitCode::kFailure);
   EXPECT_NE(err.str().find("cannot open"), std::string::npos);
 }
 
@@ -126,42 +146,48 @@ const char* kOutOfBounds = "array A[4];\nfor i = 1 to 10\n  use A[i];\n";
 
 TEST(CliLint, CleanInputExitsZero) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_lint(kExample8, {}, out), 0);
+  EXPECT_EQ(cmd_lint(kExample8, {}, out), ExitCode::kSuccess);
   EXPECT_EQ(out.str().find(" error: "), std::string::npos);
 }
 
 TEST(CliLint, OutOfBoundsFixtureReportsE001) {
   std::ostringstream out;
-  EXPECT_EQ(cmd_lint(kOutOfBounds, {}, out, "bad.loop"), 3);
+  EXPECT_EQ(cmd_lint(kOutOfBounds, {}, out, "bad.loop"), ExitCode::kDiagnostics);
   std::string s = out.str();
   EXPECT_NE(s.find("bad.loop:3:7: error:"), std::string::npos);
   EXPECT_NE(s.find("[LMRE-E001]"), std::string::npos);
 }
 
-TEST(CliLint, JsonEmitsDiagnosticsArray) {
+TEST(CliLint, JsonEmitsEnvelopedDiagnostics) {
   std::ostringstream out;
   LintCliOptions opts;
   opts.json = true;
-  EXPECT_EQ(cmd_lint(kOutOfBounds, opts, out, "bad.loop"), 3);
+  EXPECT_EQ(cmd_lint(kOutOfBounds, opts, out, "bad.loop"),
+            ExitCode::kDiagnostics);
   std::string s = out.str();
-  // A JSON array of diagnostic objects, machine-checkable fields present.
+  // The versioned envelope wraps a result object holding the diagnostics
+  // array; machine-checkable fields present.
   ASSERT_FALSE(s.empty());
-  EXPECT_EQ(s.front(), '[');
-  EXPECT_EQ(s[s.size() - 2], ']');  // trailing newline after the array
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"tool\": \"lmre\""), std::string::npos);
+  EXPECT_NE(s.find("\"command\": \"lint\""), std::string::npos);
+  EXPECT_NE(s.find("\"diagnostics\""), std::string::npos);
   EXPECT_NE(s.find("\"id\": \"LMRE-E001\""), std::string::npos);
   EXPECT_NE(s.find("\"severity\": \"error\""), std::string::npos);
   EXPECT_NE(s.find("\"file\": \"bad.loop\""), std::string::npos);
 }
 
 TEST(CliLint, StrictTurnsWarningsIntoNonzeroExit) {
-  // Unused array: a warning, so exit 0 normally and 3 under --strict.
+  // Unused array: a warning, so kSuccess normally and kDiagnostics under
+  // --strict.
   const char* src = "array B[5];\nfor i = 1 to 3\n  use A[i];\n";
   std::ostringstream out;
-  EXPECT_EQ(cmd_lint(src, {}, out), 0);
+  EXPECT_EQ(cmd_lint(src, {}, out), ExitCode::kSuccess);
   LintCliOptions strict;
   strict.strict = true;
   std::ostringstream out2;
-  EXPECT_EQ(cmd_lint(src, strict, out2), 3);
+  EXPECT_EQ(cmd_lint(src, strict, out2), ExitCode::kDiagnostics);
 }
 
 TEST(CliLint, ExplicitPlanIsRecertified) {
@@ -170,7 +196,7 @@ TEST(CliLint, ExplicitPlanIsRecertified) {
   LintCliOptions opts;
   opts.plan = IntMat{{0, 1}, {1, 0}};
   std::ostringstream out;
-  EXPECT_EQ(cmd_lint(src, opts, out), 3);
+  EXPECT_EQ(cmd_lint(src, opts, out), ExitCode::kDiagnostics);
   EXPECT_NE(out.str().find("[LMRE-E013]"), std::string::npos);
 }
 
@@ -178,7 +204,7 @@ TEST(CliLint, AuditedOptimizerPlanCertifies) {
   LintCliOptions opts;
   opts.audit_plan = true;
   std::ostringstream out;
-  EXPECT_EQ(cmd_lint(kExample8, opts, out), 0);
+  EXPECT_EQ(cmd_lint(kExample8, opts, out), ExitCode::kSuccess);
   EXPECT_NE(out.str().find("[LMRE-N016]"), std::string::npos);
 }
 
@@ -191,7 +217,7 @@ std::string write_temp(const std::string& name, const std::string& content) {
 TEST(CliDispatcher, ParseErrorFormatsFileLineColumn) {
   std::string path = write_temp("truncated.loop", "for i = 1 to\n");
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"analyze", path}, out, err), 3);
+  EXPECT_EQ(run_cli({"analyze", path}, out, err), ExitCode::kDiagnostics);
   // The input ends mid-statement, so the position is end-of-input: 2:1.
   EXPECT_NE(err.str().find(path + ":2:1: error:"), std::string::npos);
 }
@@ -200,16 +226,105 @@ TEST(CliDispatcher, LintVerbWithPlanFlag) {
   std::string path = write_temp(
       "skewed.loop", "for i = 1 to 6\n  for j = 1 to 6\n    A[i][j] = A[i-1][j+1];\n");
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"lint", "--plan=0 1; 1 0", path}, out, err), 3);
+  EXPECT_EQ(run_cli({"lint", "--plan=0 1; 1 0", path}, out, err),
+            ExitCode::kDiagnostics);
   EXPECT_NE(out.str().find("[LMRE-E013]"), std::string::npos);
 }
 
 TEST(CliDispatcher, LintJsonVerb) {
   std::string path = write_temp("oob.loop", kOutOfBounds);
   std::ostringstream out, err;
-  EXPECT_EQ(run_cli({"lint", "--json", path}, out, err), 3);
-  EXPECT_EQ(out.str().front(), '[');
+  EXPECT_EQ(run_cli({"lint", "--json", path}, out, err),
+            ExitCode::kDiagnostics);
+  EXPECT_EQ(out.str().front(), '{');
+  EXPECT_NE(out.str().find("\"command\": \"lint\""), std::string::npos);
   EXPECT_NE(out.str().find("\"id\": \"LMRE-E001\""), std::string::npos);
+}
+
+TEST(CliAnalyzeJson, EnvelopeWrapsResult) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_analyze_json(kExample8, out), ExitCode::kSuccess);
+  std::string s = out.str();
+  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"command\": \"analyze\""), std::string::npos);
+  EXPECT_NE(s.find("\"mws_exact\": 44"), std::string::npos);
+}
+
+TEST(CliOptimizeJson, EnvelopeWrapsResult) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_optimize_json(kExample8, out), ExitCode::kSuccess);
+  std::string s = out.str();
+  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"command\": \"optimize\""), std::string::npos);
+  EXPECT_NE(s.find("\"method\": \"row-minimizer\""), std::string::npos);
+}
+
+// ---- batch verb ------------------------------------------------------------
+
+TEST(CliBatch, DirectoryExpansionAndTextTable) {
+  std::string dir = ::testing::TempDir() + "batch_text";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/b.loop") << kExample8;
+  std::ofstream(dir + "/a.loop") << "for i = 1 to 4\n  A[i] = A[i-1];\n";
+  std::ofstream(dir + "/notes.txt") << "not a loop file";
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"batch", dir}, out, err), ExitCode::kSuccess);
+  std::string s = out.str();
+  // Sorted *.loop only; the .txt is skipped.
+  size_t a = s.find("a.loop"), b = s.find("b.loop");
+  EXPECT_NE(a, std::string::npos);
+  EXPECT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(s.find("notes.txt"), std::string::npos);
+  EXPECT_NE(s.find("2 files, 2 ok"), std::string::npos);
+}
+
+TEST(CliBatch, ExitCodeIsWorstPerFileStatus) {
+  std::string dir = ::testing::TempDir() + "batch_worst";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/good.loop") << "for i = 1 to 4\n  A[i] = A[i-1];\n";
+  std::ofstream(dir + "/bad.loop") << kOutOfBounds;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"batch", dir}, out, err), ExitCode::kDiagnostics);
+  EXPECT_NE(out.str().find("diagnostics"), std::string::npos);
+}
+
+TEST(CliBatch, MissingInputFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"batch", "/nonexistent/corpus"}, out, err),
+            ExitCode::kFailure);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST(CliBatch, JsonColdAndWarmRunsAreByteIdentical) {
+  std::string dir = ::testing::TempDir() + "batch_json";
+  std::string cache = ::testing::TempDir() + "batch_json_cache";
+  std::filesystem::remove_all(cache);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/x.loop") << kExample8;
+  std::ofstream(dir + "/y.loop") << "for i = 1 to 4\n  A[i] = A[i-1];\n";
+  std::string metrics = ::testing::TempDir() + "batch_json_metrics.json";
+
+  std::ostringstream cold, warm, err;
+  EXPECT_EQ(run_cli({"batch", "--json", "--cache-dir=" + cache, dir}, cold, err),
+            ExitCode::kSuccess);
+  EXPECT_EQ(run_cli({"batch", "--json", "--threads=4", "--cache-dir=" + cache,
+                     "--metrics=" + metrics, dir},
+                    warm, err),
+            ExitCode::kSuccess);
+  // Warm run at a different thread count: byte-identical result document.
+  EXPECT_EQ(cold.str(), warm.str());
+  EXPECT_NE(cold.str().find("\"command\": \"batch\""), std::string::npos);
+  EXPECT_NE(cold.str().find("\"schema_version\": 1"), std::string::npos);
+
+  // The warm run's metrics report every file as a (disk) cache hit.
+  std::ifstream mf(metrics);
+  ASSERT_TRUE(mf.good());
+  std::stringstream ms;
+  ms << mf.rdbuf();
+  EXPECT_NE(ms.str().find("\"command\": \"batch-metrics\""), std::string::npos);
+  EXPECT_NE(ms.str().find("\"cache.hit_rate\": 1"), std::string::npos);
+  EXPECT_NE(ms.str().find("\"runs.cached\": 2"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+// Golden-file test for `lmre batch --json` over the shipped corpus: the
+// enveloped document must match tests/golden/batch_loops.json byte for
+// byte (after normalizing the corpus path prefix out of the "file"
+// fields).  This pins the schema_version-1 batch output shape; regenerate
+// the golden with scripts/regen_golden.sh after an intentional change.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/commands.h"
+
+namespace lmre::tools {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The test binary runs from <build>/tests; probe plausible source roots.
+std::string source_root() {
+  for (const char* base : {"", "../", "../../", "../../../"}) {
+    if (!read_file(std::string(base) + "examples/loops/matmult.loop").empty()) {
+      return base;
+    }
+  }
+  return "?";
+}
+
+// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string s, const std::string& from,
+                        const std::string& to) {
+  size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+TEST(GoldenBatch, JsonDocumentMatchesGolden) {
+  std::string root = source_root();
+  if (root == "?") GTEST_SKIP() << "source tree not found from test cwd";
+  std::string golden = read_file(root + "tests/golden/batch_loops.json");
+  ASSERT_FALSE(golden.empty()) << "tests/golden/batch_loops.json missing";
+
+  std::ostringstream out, err;
+  ExitCode rc = run_cli({"batch", "--json", root + "examples/loops"}, out, err);
+  EXPECT_EQ(rc, ExitCode::kSuccess) << err.str();
+
+  // The "file" fields carry the probed path prefix; normalize it away so
+  // the golden is independent of the build layout.
+  std::string normalized =
+      replace_all(out.str(), root + "examples/loops/", "examples/loops/");
+  EXPECT_EQ(normalized, golden)
+      << "batch --json output drifted from the golden; if intentional, "
+         "regenerate with scripts/regen_golden.sh and bump schema notes";
+}
+
+}  // namespace
+}  // namespace lmre::tools

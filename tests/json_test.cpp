@@ -64,16 +64,35 @@ TEST(Json, OverwriteKey) {
   EXPECT_EQ(j.dump(), "{\"k\":2}");
 }
 
+TEST(Json, RawSplicesPreSerializedText) {
+  // Json::raw lets the batch emitter embed an already-serialized cached
+  // payload without reparsing; the text is emitted verbatim.
+  Json j = Json::object().set("result", Json::raw("{\"mws\":21}"));
+  EXPECT_EQ(j.dump(), "{\"result\":{\"mws\":21}}");
+  Json arr = Json::array();
+  arr.push(Json::raw("[1,2]")).push(Int{3});
+  EXPECT_EQ(arr.dump(), "[[1,2],3]");
+}
+
+TEST(Json, EnvelopeShape) {
+  Json env = json_envelope("analyze", Json::object().set("x", Int{1}));
+  EXPECT_EQ(env.dump(),
+            "{\"command\":\"analyze\",\"result\":{\"x\":1},"
+            "\"schema_version\":1,\"tool\":\"lmre\"}");
+}
+
 TEST(CliJson, AnalyzeEmitsWellFormedDocument) {
   std::ostringstream out;
-  int rc = tools::cmd_analyze_json(R"(
+  ExitCode rc = tools::cmd_analyze_json(R"(
     for i = 1 to 25
       for j = 1 to 10
         X[2*i + 5*j + 1] = X[2*i + 5*j + 5];
   )",
-                                   out);
-  EXPECT_EQ(rc, 0);
+                                        out);
+  EXPECT_EQ(rc, ExitCode::kSuccess);
   std::string s = out.str();
+  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"tool\": \"lmre\""), std::string::npos);
   EXPECT_NE(s.find("\"mws_exact\": 44"), std::string::npos);
   EXPECT_NE(s.find("\"distinct_exact\": 94"), std::string::npos);
   EXPECT_NE(s.find("\"kind\": \"flow\""), std::string::npos);
@@ -84,13 +103,13 @@ TEST(CliJson, AnalyzeEmitsWellFormedDocument) {
 
 TEST(CliJson, OptimizeEmitsTransform) {
   std::ostringstream out;
-  int rc = tools::cmd_optimize_json(R"(
+  ExitCode rc = tools::cmd_optimize_json(R"(
     for i = 1 to 25
       for j = 1 to 10
         X[2*i + 5*j + 1] = X[2*i + 5*j + 5];
   )",
-                                    out);
-  EXPECT_EQ(rc, 0);
+                                         out);
+  EXPECT_EQ(rc, ExitCode::kSuccess);
   std::string s = out.str();
   EXPECT_NE(s.find("\"method\": \"row-minimizer\""), std::string::npos);
   EXPECT_NE(s.find("\"mws_before\": 44"), std::string::npos);
@@ -101,7 +120,7 @@ TEST(CliJson, DispatcherFlag) {
   std::ostringstream out, err;
   // Write a temp file through stdin-less path: use '-' is awkward in tests;
   // rely on the unreadable-file path keeping exit codes sane instead.
-  EXPECT_EQ(tools::run_cli({"analyze", "--json"}, out, err), 2);
+  EXPECT_EQ(tools::run_cli({"analyze", "--json"}, out, err), ExitCode::kUsage);
 }
 
 }  // namespace

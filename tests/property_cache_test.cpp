@@ -1,0 +1,112 @@
+// Randomized property suite for the memoization contract: over ~200 random
+// legal nests (the generator pattern of property_parallel_test), a cached
+// AnalysisResult must be bit-identical to the freshly computed one -- same
+// session, fresh session warming from a disk cache, and at every thread
+// count.  Fixed seeds so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "runtime/session.h"
+
+namespace lmre {
+namespace {
+
+std::mt19937 rng_for(int seed) { return std::mt19937(0xBADC0DE + seed); }
+
+// Random 2-deep nest with a write/read pair of uniformly generated 2-d
+// references.
+LoopNest random_nest2(std::mt19937& rng) {
+  std::uniform_int_distribution<Int> bnd(3, 11), off(-2, 2);
+  Int n1 = bnd(rng), n2 = bnd(rng);
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2);
+  ArrayId a = b.array("A", {n1 + 6, n2 + 6});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {off(rng) + 3, off(rng) + 3})
+      .read(a, {{1, 0}, {0, 1}}, {off(rng) + 3, off(rng) + 3});
+  return b.build();
+}
+
+// Random 3-deep nest over a 2-d array with a skewed affine access plus a
+// 1-d reduction target.
+LoopNest random_nest3(std::mt19937& rng) {
+  std::uniform_int_distribution<Int> bnd(3, 7), coef(0, 2), off(-2, 2);
+  Int n1 = bnd(rng), n2 = bnd(rng), n3 = bnd(rng);
+  NestBuilder b;
+  b.loop("i", 1, n1).loop("j", 1, n2).loop("k", 1, n3);
+  ArrayId a = b.array("A", {60, 60});
+  ArrayId s = b.array("S", {40});
+  Int c1 = coef(rng), c2 = coef(rng) + 1;
+  b.statement().read(a, IntMat{{1, 0, c1}, {0, 1, c2}}, {off(rng) + 5, off(rng) + 5});
+  b.statement().write(s, IntMat{{1, 1, 0}}, IntVec{4});
+  return b.build();
+}
+
+// Cached and uncached results for the same source must agree byte-for-byte
+// in every field a caller can observe.
+void expect_cache_transparent(const std::string& source, int seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  AnalysisRequest req{source, "prop.loop", AnalysisRequest::Kind::kAnalyze};
+
+  AnalysisSession session;
+  AnalysisResult fresh = session.run(req);
+  AnalysisResult cached = session.run(req);
+  ASSERT_FALSE(fresh.cache_hit);
+  ASSERT_TRUE(cached.cache_hit);
+  EXPECT_EQ(fresh.payload, cached.payload);
+  EXPECT_EQ(fresh.status, cached.status);
+  EXPECT_EQ(fresh.key, cached.key);
+
+  // A different thread count must land on the same key and payload.
+  SessionOptions wide;
+  wide.run.threads = 4;
+  AnalysisSession parallel(wide);
+  AnalysisResult wide_fresh = parallel.run(req);
+  EXPECT_EQ(wide_fresh.key, fresh.key);
+  EXPECT_EQ(wide_fresh.payload, fresh.payload);
+  EXPECT_EQ(wide_fresh.status, fresh.status);
+}
+
+class CacheProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheProperty, CachedEqualsFresh2Deep) {
+  auto rng = rng_for(GetParam());
+  expect_cache_transparent(to_dsl(random_nest2(rng)), GetParam());
+}
+
+TEST_P(CacheProperty, CachedEqualsFresh3Deep) {
+  auto rng = rng_for(1000 + GetParam());
+  expect_cache_transparent(to_dsl(random_nest3(rng)), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheProperty, ::testing::Range(0, 100));
+
+// Disk-layer transparency: a fresh process (modelled by a fresh session)
+// pointed at the same --cache-dir serves byte-identical results.
+TEST(CachePropertyDisk, FreshSessionsAgreeThroughDisk) {
+  std::string dir = ::testing::TempDir() + "lmre_prop_disk";
+  std::filesystem::remove_all(dir);
+  SessionOptions opts;
+  opts.cache_dir = dir;
+  for (int seed = 0; seed < 20; ++seed) {
+    auto rng = rng_for(5000 + seed);
+    AnalysisRequest req{to_dsl(random_nest2(rng)), "disk.loop",
+                        AnalysisRequest::Kind::kFull};
+    AnalysisResult cold = AnalysisSession(opts).run(req);
+    AnalysisResult warm = AnalysisSession(opts).run(req);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(cold.payload, warm.payload);
+    EXPECT_EQ(cold.status, warm.status);
+  }
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,5 +1,7 @@
 #include "tools/commands.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <ostream>
@@ -14,6 +16,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "lint/lint.h"
+#include "runtime/session.h"
 #include "support/json.h"
 #include "support/text.h"
 #include "transform/minimizer.h"
@@ -24,22 +27,24 @@ namespace lmre::tools {
 namespace {
 
 // Lint gate run at the top of analyze/optimize: errors abort the command
-// with rendered diagnostics (exit 3); warnings are surfaced and the
-// command proceeds.  Returns nullopt to continue.
-std::optional<int> lint_gate(const Program& program, const ProgramSourceMap& smap,
-                             const std::string& file, bool json, std::ostream& out) {
+// with rendered diagnostics (exit kDiagnostics); warnings are surfaced and
+// the command proceeds.  Returns nullopt to continue.  `command` names the
+// JSON envelope when json is set.
+std::optional<ExitCode> lint_gate(const Program& program, const ProgramSourceMap& smap,
+                                  const std::string& file, bool json,
+                                  const std::string& command, std::ostream& out) {
   LintResult lint = lint_program(program, &smap);
   if (lint.has_errors()) {
     if (json) {
       Json doc = Json::object();
       doc.set("error", "input rejected by lint");
       doc.set("diagnostics", render_json(lint.diagnostics, file));
-      out << doc.dump(2) << '\n';
+      out << json_envelope(command, std::move(doc)).dump(2) << '\n';
     } else {
       out << render_text(lint.diagnostics, file, Severity::kWarning)
           << render_summary(lint.diagnostics) << '\n';
     }
-    return 3;
+    return ExitCode::kDiagnostics;
   }
   // Warnings don't block, but the user should see them (text mode only;
   // JSON documents keep their schema).
@@ -49,11 +54,13 @@ std::optional<int> lint_gate(const Program& program, const ProgramSourceMap& sma
 
 }  // namespace
 
-int cmd_analyze(const std::string& source, std::ostream& out,
-                const std::string& file) {
+ExitCode cmd_analyze(const std::string& source, std::ostream& out,
+                     const std::string& file) {
   ProgramSourceMap smap;
   Program parsed = parse_program(source, &smap);
-  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, out)) return *rc;
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, "analyze", out)) {
+    return *rc;
+  }
   const Program* program = &parsed;
 
   if (program->phase_count() > 1) {
@@ -66,25 +73,27 @@ int cmd_analyze(const std::string& source, std::ostream& out,
              with_commas(s.handoff[k]), with_commas(s.phase_mws[k])});
     }
     out << t.render() << "whole-program window: " << s.mws_total << '\n';
-    return 0;
+    return ExitCode::kSuccess;
   }
 
   const LoopNest& nest = program->phase_nest(0);
   out << print_nest(nest) << '\n';
   out << summarize_dependences(analyze_dependences(nest));
   out << '\n' << render(analyze_memory(nest));
-  return 0;
+  return ExitCode::kSuccess;
 }
 
-int cmd_optimize(const std::string& source, std::ostream& out, int threads,
-                 const std::string& file) {
+ExitCode cmd_optimize(const std::string& source, std::ostream& out, int threads,
+                      const std::string& file) {
   ProgramSourceMap smap;
   Program parsed = parse_program(source, &smap);
-  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, out)) return *rc;
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, "optimize", out)) {
+    return *rc;
+  }
   const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "optimize works on single-nest sources\n";
-    return 1;
+    return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
   MinimizerOptions opts;
@@ -94,10 +103,10 @@ int cmd_optimize(const std::string& source, std::ostream& out, int threads,
   TransformedNest tn(nest, res.transform);
   out << tn.print() << "\nexact window: " << simulate(nest).mws_total << " -> "
       << tn.simulate().mws_total << '\n';
-  return 0;
+  return ExitCode::kSuccess;
 }
 
-int cmd_distances(const std::string& source, std::ostream& out) {
+ExitCode cmd_distances(const std::string& source, std::ostream& out) {
   Program parsed = parse_program(source);
   const Program* program = &parsed;
   TextTable t;
@@ -113,16 +122,16 @@ int cmd_distances(const std::string& source, std::ostream& out) {
     }
   }
   out << t.render();
-  return 0;
+  return ExitCode::kSuccess;
 }
 
-int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
-                  std::ostream& out) {
+ExitCode cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
+                       std::ostream& out) {
   Program parsed = parse_program(source);
   const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "misscurve works on single-nest sources\n";
-    return 1;
+    return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
   StackDistanceProfile profile = stack_distances(nest);
@@ -145,15 +154,15 @@ int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
   }
   out << t.render() << "cold misses (distinct elements): " << profile.cold_accesses
       << "\nknee (max finite stack distance): " << profile.max_distance() << '\n';
-  return 0;
+  return ExitCode::kSuccess;
 }
 
-int cmd_series(const std::string& source, std::ostream& out) {
+ExitCode cmd_series(const std::string& source, std::ostream& out) {
   Program parsed = parse_program(source);
   const Program* program = &parsed;
   if (program->phase_count() > 1) {
     out << "series works on single-nest sources\n";
-    return 1;
+    return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
   std::vector<Int> series = window_series(nest, IntMat::identity(nest.depth()));
@@ -161,18 +170,21 @@ int cmd_series(const std::string& source, std::ostream& out) {
   for (size_t t = 0; t < series.size(); ++t) {
     out << t << ',' << series[t] << '\n';
   }
-  return 0;
+  return ExitCode::kSuccess;
 }
 
-int cmd_analyze_json(const std::string& source, std::ostream& out,
-                     const std::string& file) {
+ExitCode cmd_analyze_json(const std::string& source, std::ostream& out,
+                          const std::string& file) {
   ProgramSourceMap smap;
   Program parsed = parse_program(source, &smap);
-  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, out)) return *rc;
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, "analyze", out)) {
+    return *rc;
+  }
   const Program* program = &parsed;
   if (program->phase_count() > 1) {
-    out << "{\"error\": \"analyze --json works on single-nest sources\"}\n";
-    return 1;
+    Json doc = Json::object().set("error", "analyze --json works on single-nest sources");
+    out << json_envelope("analyze", std::move(doc)).dump(2) << '\n';
+    return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
 
@@ -222,19 +234,22 @@ int cmd_analyze_json(const std::string& source, std::ostream& out,
   mem.set("arrays", std::move(arrays));
   doc.set("memory", std::move(mem));
 
-  out << doc.dump(2) << '\n';
-  return 0;
+  out << json_envelope("analyze", std::move(doc)).dump(2) << '\n';
+  return ExitCode::kSuccess;
 }
 
-int cmd_optimize_json(const std::string& source, std::ostream& out, int threads,
-                      const std::string& file) {
+ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int threads,
+                           const std::string& file) {
   ProgramSourceMap smap;
   Program parsed = parse_program(source, &smap);
-  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, out)) return *rc;
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, "optimize", out)) {
+    return *rc;
+  }
   const Program* program = &parsed;
   if (program->phase_count() > 1) {
-    out << "{\"error\": \"optimize --json works on single-nest sources\"}\n";
-    return 1;
+    Json doc = Json::object().set("error", "optimize --json works on single-nest sources");
+    out << json_envelope("optimize", std::move(doc)).dump(2) << '\n';
+    return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
   MinimizerOptions opts;
@@ -256,12 +271,12 @@ int cmd_optimize_json(const std::string& source, std::ostream& out, int threads,
   doc.set("mws_after", simulate_transformed(nest, res.transform).mws_total);
   TransformedNest tn(nest, res.transform);
   doc.set("transformed_loop", tn.print());
-  out << doc.dump(2) << '\n';
-  return 0;
+  out << json_envelope("optimize", std::move(doc)).dump(2) << '\n';
+  return ExitCode::kSuccess;
 }
 
-int cmd_lint(const std::string& source, const LintCliOptions& cli,
-             std::ostream& out, const std::string& file) {
+ExitCode cmd_lint(const std::string& source, const LintCliOptions& cli,
+                  std::ostream& out, const std::string& file) {
   ProgramSourceMap smap;
   Program program = parse_program(source, &smap);
 
@@ -273,21 +288,23 @@ int cmd_lint(const std::string& source, const LintCliOptions& cli,
   }
   if ((opts.plan != nullptr || opts.audit_plan) && program.phase_count() > 1) {
     out << "lint --plan works on single-nest sources\n";
-    return 1;
+    return ExitCode::kFailure;
   }
 
   LintResult res = lint_program(program, &smap, opts);
   if (cli.json) {
-    out << render_json(res.diagnostics, file).dump(2) << '\n';
+    Json doc = Json::object();
+    doc.set("diagnostics", render_json(res.diagnostics, file));
+    out << json_envelope("lint", std::move(doc)).dump(2) << '\n';
   } else {
     out << render_text(res.diagnostics, file)
         << render_summary(res.diagnostics) << '\n';
   }
   bool fail = res.has_errors() || (cli.strict && res.has_warnings());
-  return fail ? 3 : 0;
+  return fail ? ExitCode::kDiagnostics : ExitCode::kSuccess;
 }
 
-int cmd_figure2(std::ostream& out, int threads) {
+ExitCode cmd_figure2(std::ostream& out, int threads) {
   MinimizerOptions opts;
   opts.threads = threads;
   TextTable t;
@@ -300,28 +317,7 @@ int cmd_figure2(std::ostream& out, int threads) {
            res.method});
   }
   out << t.render();
-  return 0;
-}
-
-std::string usage() {
-  return
-      "usage: lmre <command> [args]\n"
-      "  analyze   [--json] <file|->   dependences + memory report\n"
-      "  optimize  [--json] [--threads=N] <file|->\n"
-      "                                window-minimizing transformation\n"
-      "  lint      [--json] [--strict] [--plan[=\"a b; c d\"]] <file|->\n"
-      "                                static diagnostics (check IDs LMRE-*);\n"
-      "                                --plan re-certifies a transform plan\n"
-      "                                (default: the one optimize emits)\n"
-      "  distances <file|->            dependence distance/direction table\n"
-      "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
-      "  series    <file|->            window-size time series as CSV\n"
-      "  figure2   [--threads=N]       regenerate the paper's main table\n"
-      "--threads: search/verify workers (0 = all cores, 1 = serial; the\n"
-      "result is bit-identical for every value).\n"
-      "exit codes: 0 ok/clean, 1 failure, 2 usage, 3 diagnostics (parse or\n"
-      "lint errors; --strict extends to warnings), 4 integer overflow.\n"
-      "DSL files use the grammar in src/ir/parser.h; '-' reads stdin.\n";
+  return ExitCode::kSuccess;
 }
 
 namespace {
@@ -341,6 +337,140 @@ std::optional<std::string> read_source(const std::string& path, std::ostream& er
   ss << in.rdbuf();
   return ss.str();
 }
+
+/// Expands batch inputs: a directory contributes its *.loop files; plain
+/// paths pass through.  The final list is sorted (deterministic output
+/// order) and deduplicated.  nullopt when a path does not exist.
+std::optional<std::vector<std::string>> expand_batch_inputs(
+    const std::vector<std::string>& inputs, std::ostream& err) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry : fs::directory_iterator(input, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".loop") {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        err << "cannot read directory " << input << '\n';
+        return std::nullopt;
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      err << "cannot open " << input << '\n';
+      return std::nullopt;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+ExitCode cmd_batch(const std::vector<std::string>& inputs,
+                   const BatchCliOptions& opts, std::ostream& out,
+                   std::ostream& err) {
+  auto files = expand_batch_inputs(inputs, err);
+  if (!files) return ExitCode::kFailure;
+  if (files->empty()) {
+    err << "batch: no .loop files to analyze\n";
+    return ExitCode::kFailure;
+  }
+
+  SessionOptions session_opts;
+  session_opts.run.threads = opts.threads;
+  session_opts.cache_dir = opts.cache_dir;
+  AnalysisSession session(session_opts);
+
+  std::vector<AnalysisRequest> requests;
+  requests.reserve(files->size());
+  for (const std::string& path : *files) {
+    auto source = read_source(path, err);
+    if (!source) return ExitCode::kFailure;
+    requests.push_back(AnalysisRequest{std::move(*source), path,
+                                       AnalysisRequest::Kind::kFull});
+  }
+
+  std::vector<AnalysisResult> results = session.run_batch(requests);
+
+  ExitCode worst = ExitCode::kSuccess;
+  Int ok = 0;
+  for (const AnalysisResult& r : results) {
+    if (r.status == ExitCode::kSuccess) ok += 1;
+    if (to_int(r.status) > to_int(worst)) worst = r.status;
+  }
+
+  // The result document is deliberately free of cache/timing state so a
+  // warm re-run is byte-identical to the cold one; --metrics carries the
+  // run-dependent side.
+  if (opts.json) {
+    Json list = Json::array();
+    for (size_t i = 0; i < results.size(); ++i) {
+      list.push(Json::object()
+                    .set("file", requests[i].file)
+                    .set("status", to_int(results[i].status))
+                    .set("status_name", to_string(results[i].status))
+                    .set("result", Json::raw(results[i].payload)));
+    }
+    Json doc = Json::object();
+    doc.set("files", std::move(list));
+    doc.set("summary", Json::object()
+                           .set("total", static_cast<Int>(results.size()))
+                           .set("ok", ok)
+                           .set("failed", static_cast<Int>(results.size()) - ok));
+    out << json_envelope("batch", std::move(doc)).dump(2) << '\n';
+  } else {
+    TextTable t;
+    t.header({"file", "status"});
+    for (size_t i = 0; i < results.size(); ++i) {
+      t.row({requests[i].file, to_string(results[i].status)});
+    }
+    out << t.render() << results.size() << " files, " << ok << " ok\n";
+  }
+
+  if (!opts.metrics_file.empty()) {
+    std::ofstream mf(opts.metrics_file, std::ios::trunc);
+    if (!mf) {
+      err << "cannot write " << opts.metrics_file << '\n';
+      return ExitCode::kFailure;
+    }
+    mf << json_envelope("batch-metrics", session.metrics_json()).dump(2) << '\n';
+  }
+  return worst;
+}
+
+std::string usage() {
+  return
+      "usage: lmre <command> [args]\n"
+      "  analyze   [--json] <file|->   dependences + memory report\n"
+      "  optimize  [--json] [--threads=N] <file|->\n"
+      "                                window-minimizing transformation\n"
+      "  lint      [--json] [--strict] [--plan[=\"a b; c d\"]] <file|->\n"
+      "                                static diagnostics (check IDs LMRE-*);\n"
+      "                                --plan re-certifies a transform plan\n"
+      "                                (default: the one optimize emits)\n"
+      "  batch     [--json] [--threads=N] [--cache-dir=D] [--metrics=FILE]\n"
+      "            <dir|files...>      full pipeline over a corpus of .loop\n"
+      "                                files with memoized results; --metrics\n"
+      "                                writes counters/timers/cache stats\n"
+      "  distances <file|->            dependence distance/direction table\n"
+      "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
+      "  series    <file|->            window-size time series as CSV\n"
+      "  figure2   [--threads=N]       regenerate the paper's main table\n"
+      "--threads: search/verify workers (0 = all cores, 1 = serial; the\n"
+      "result is bit-identical for every value).\n"
+      "exit codes: 0 ok/clean, 1 failure, 2 usage, 3 diagnostics (parse or\n"
+      "lint errors; --strict extends to warnings), 4 integer overflow\n"
+      "(the ExitCode enum in support/error.h).\n"
+      "--json output is wrapped in {schema_version, tool, command, result}.\n"
+      "DSL files use the grammar in src/ir/parser.h; '-' reads stdin.\n";
+}
+
+namespace {
 
 // Parses "--plan=a b; c d" matrix text (rows split on ';', entries on
 // spaces/commas); nullopt on malformed input.
@@ -371,18 +501,19 @@ std::optional<IntMat> parse_plan_matrix(const std::string& text) {
 
 }  // namespace
 
-int run_cli(const std::vector<std::string>& args, std::ostream& out,
-            std::ostream& err) {
+ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
   if (args.empty()) {
     err << usage();
-    return 2;
+    return ExitCode::kUsage;
   }
   const std::string& cmd = args[0];
-  // Shared flag extraction: --json, --threads=N and the lint flags are
-  // recognized anywhere after the command name.
+  // Shared flag extraction: --json, --threads=N and the per-command flags
+  // are recognized anywhere after the command name.
   bool json = false;
   int threads = 1;
   LintCliOptions lint_opts;
+  BatchCliOptions batch_opts;
   std::vector<std::string> rest(args.begin() + 1, args.end());
   for (auto it = rest.begin(); it != rest.end();) {
     if (*it == "--json") {
@@ -393,11 +524,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         threads = std::stoi(it->substr(10));
       } catch (const std::exception&) {
         err << "bad --threads value: " << *it << '\n';
-        return 2;
+        return ExitCode::kUsage;
       }
       if (threads < 0) {
         err << "--threads must be >= 0\n";
-        return 2;
+        return ExitCode::kUsage;
       }
       it = rest.erase(it);
     } else if (cmd == "lint" && *it == "--strict") {
@@ -410,7 +541,21 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       lint_opts.plan = parse_plan_matrix(it->substr(7));
       if (!lint_opts.plan) {
         err << "bad --plan matrix: " << it->substr(7) << '\n';
-        return 2;
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "batch" && it->rfind("--cache-dir=", 0) == 0) {
+      batch_opts.cache_dir = it->substr(12);
+      if (batch_opts.cache_dir.empty()) {
+        err << "--cache-dir needs a directory\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "batch" && it->rfind("--metrics=", 0) == 0) {
+      batch_opts.metrics_file = it->substr(10);
+      if (batch_opts.metrics_file.empty()) {
+        err << "--metrics needs a file name\n";
+        return ExitCode::kUsage;
       }
       it = rest.erase(it);
     } else {
@@ -419,15 +564,24 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   lint_opts.json = json;
   if (cmd == "figure2") return cmd_figure2(out, threads);
+  if (cmd == "batch") {
+    if (rest.empty()) {
+      err << usage();
+      return ExitCode::kUsage;
+    }
+    batch_opts.json = json;
+    batch_opts.threads = threads;
+    return cmd_batch(rest, batch_opts, out, err);
+  }
   if (cmd == "analyze" || cmd == "optimize" || cmd == "lint" ||
       cmd == "distances" || cmd == "misscurve" || cmd == "series") {
     if (rest.empty()) {
       err << usage();
-      return 2;
+      return ExitCode::kUsage;
     }
     const std::string& path = rest[0];
     auto source = read_source(path, err);
-    if (!source) return 1;
+    if (!source) return ExitCode::kFailure;
     const std::string file = path == "-" ? "<stdin>" : path;
     try {
       if (cmd == "analyze") {
@@ -449,14 +603,14 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     } catch (const ParseError& e) {
       err << file << ':' << e.line() << ':' << e.column() << ": error: "
           << e.message() << '\n';
-      return 3;
+      return ExitCode::kDiagnostics;
     } catch (const OverflowError& e) {
       err << file << ": error: " << e.what() << '\n';
-      return 4;
+      return ExitCode::kOverflow;
     }
   }
   err << usage();
-  return 2;
+  return ExitCode::kUsage;
 }
 
 }  // namespace lmre::tools

@@ -11,76 +11,99 @@
 
 #include "linalg/mat.h"
 #include "support/checked.h"
+#include "support/error.h"
 
 namespace lmre::tools {
 
-// Exit-code convention (shared by every subcommand and run_cli):
-//   0  success / lint clean
-//   1  command failure (unreadable file, unsupported input shape)
-//   2  usage error
-//   3  input rejected with diagnostics (parse error or lint errors)
-//   4  arithmetic outside 64-bit range (OverflowError)
-// Parse errors propagate as ParseError out of the cmd_* functions; run_cli
-// formats them as "file:line:col: error: ..." on the error stream.
+// Exit codes follow the named ExitCode convention in support/error.h
+// (kSuccess/kFailure/kUsage/kDiagnostics/kOverflow = 0/1/2/3/4), shared by
+// every subcommand, run_cli, and the batch runtime.  Parse errors propagate
+// as ParseError out of the cmd_* functions; run_cli formats them as
+// "file:line:col: error: ..." on the error stream.
+//
+// Every `--json` emitter wraps its payload in the common versioned envelope
+// (json_envelope in support/json.h):
+//   {"schema_version": 1, "tool": "lmre", "command": ..., "result": ...}
 
 /// `lmre analyze <dsl>`: dependences + memory report (+ program handoffs
 /// for multi-phase sources).  Lints the input first: errors abort with
-/// diagnostics (exit 3), warnings are printed and analysis continues.
-/// `file` names the input in diagnostics.  Returns the process exit code.
-int cmd_analyze(const std::string& source, std::ostream& out,
-                const std::string& file = "<input>");
+/// diagnostics (exit kDiagnostics), warnings are printed and analysis
+/// continues.  `file` names the input in diagnostics.
+ExitCode cmd_analyze(const std::string& source, std::ostream& out,
+                     const std::string& file = "<input>");
 
 /// `lmre optimize <dsl>`: transformation search, transformed loop,
 /// before/after windows.  Lint-gated like cmd_analyze.  `threads` follows
-/// the MinimizerOptions convention (0 = hardware concurrency, 1 = serial);
+/// the RunOptions convention (0 = hardware concurrency, 1 = serial);
 /// results are identical either way.
-int cmd_optimize(const std::string& source, std::ostream& out, int threads = 1,
-                 const std::string& file = "<input>");
+ExitCode cmd_optimize(const std::string& source, std::ostream& out,
+                      int threads = 1, const std::string& file = "<input>");
 
 /// Options for `lmre lint`, parsed by run_cli.
 struct LintCliOptions {
-  bool json = false;        ///< emit a JSON diagnostics array instead of text
+  bool json = false;        ///< emit enveloped JSON diagnostics instead of text
   bool strict = false;      ///< warnings also make the exit code nonzero
   bool audit_plan = false;  ///< --plan: re-certify the plan optimize emits
   std::optional<IntMat> plan;  ///< --plan="a b; c d": explicit plan matrix
 };
 
 /// `lmre lint [--json] [--strict] [--plan[=MATRIX]] <file|->`: runs the
-/// static verifier (src/lint) and renders its diagnostics.  Exit 0 when no
-/// errors were found (--strict: no warnings either), 3 otherwise.
-int cmd_lint(const std::string& source, const LintCliOptions& opts,
-             std::ostream& out, const std::string& file = "<input>");
+/// static verifier (src/lint) and renders its diagnostics.  kSuccess when
+/// no errors were found (--strict: no warnings either), kDiagnostics
+/// otherwise.
+ExitCode cmd_lint(const std::string& source, const LintCliOptions& opts,
+                  std::ostream& out, const std::string& file = "<input>");
 
 /// `lmre distances <dsl>`: dependence distance/direction table.
-int cmd_distances(const std::string& source, std::ostream& out);
+ExitCode cmd_distances(const std::string& source, std::ostream& out);
 
 /// `lmre misscurve <dsl> [capacities...]`: LRU miss counts from the exact
 /// stack-distance profile; empty capacities = automatic sweep.
-int cmd_misscurve(const std::string& source, const std::vector<Int>& capacities,
-                  std::ostream& out);
+ExitCode cmd_misscurve(const std::string& source,
+                       const std::vector<Int>& capacities, std::ostream& out);
 
 /// `lmre series <dsl>`: CSV of the window-size time series (ordinal,
 /// live-element count) in original order -- for plotting.
-int cmd_series(const std::string& source, std::ostream& out);
+ExitCode cmd_series(const std::string& source, std::ostream& out);
 
 /// `lmre analyze --json <dsl>`: the same analysis as cmd_analyze, emitted
-/// as a JSON document (single-nest sources only).  Lint errors produce a
-/// JSON document with a "diagnostics" array (exit 3).
-int cmd_analyze_json(const std::string& source, std::ostream& out,
-                     const std::string& file = "<input>");
+/// as an enveloped JSON document (single-nest sources only).  Lint errors
+/// produce a document whose result carries a "diagnostics" array.
+ExitCode cmd_analyze_json(const std::string& source, std::ostream& out,
+                          const std::string& file = "<input>");
 
 /// `lmre optimize --json <dsl>`: machine-readable optimization result.
-int cmd_optimize_json(const std::string& source, std::ostream& out,
-                      int threads = 1, const std::string& file = "<input>");
+ExitCode cmd_optimize_json(const std::string& source, std::ostream& out,
+                           int threads = 1, const std::string& file = "<input>");
 
 /// `lmre figure2`: the paper's main table.
-int cmd_figure2(std::ostream& out, int threads = 1);
+ExitCode cmd_figure2(std::ostream& out, int threads = 1);
+
+/// Options for `lmre batch`, parsed by run_cli.
+struct BatchCliOptions {
+  bool json = false;         ///< enveloped JSON instead of the text table
+  int threads = 1;           ///< corpus fan-out workers (0 = all cores)
+  std::string cache_dir;     ///< --cache-dir=D: persistent result cache
+  std::string metrics_file;  ///< --metrics=F: write the metrics snapshot here
+};
+
+/// `lmre batch <dir|files...> [--json] [--threads=N] [--cache-dir=D]
+/// [--metrics=FILE]`: runs the full pipeline (parse, lint, estimate, exact
+/// MWS, optimize) over a corpus through an AnalysisSession.  Directories
+/// expand to their *.loop files, sorted; output order is the sorted input
+/// order at every thread count, and warm-cache re-runs are bit-identical
+/// to cold ones (cache state is reported via --metrics, never in the
+/// result document).  The exit code is the numerically largest per-file
+/// status (so one overflow outranks a lint rejection outranks success).
+ExitCode cmd_batch(const std::vector<std::string>& inputs,
+                   const BatchCliOptions& opts, std::ostream& out,
+                   std::ostream& err);
 
 /// Usage text for the dispatcher.
 std::string usage();
 
 /// Dispatcher used by main(): argv-style interface.
-int run_cli(const std::vector<std::string>& args, std::ostream& out,
-            std::ostream& err);
+ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
 
 }  // namespace lmre::tools

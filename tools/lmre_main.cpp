@@ -16,15 +16,15 @@ int main(int argc, char** argv) {
   // handlers are the backstop so no exception ever escapes as a crash, with
   // distinct exit codes per failure class (see tools/commands.h).
   try {
-    return lmre::tools::run_cli(args, std::cout, std::cerr);
+    return lmre::to_int(lmre::tools::run_cli(args, std::cout, std::cerr));
   } catch (const lmre::ParseError& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 3;
+    return lmre::to_int(lmre::ExitCode::kDiagnostics);
   } catch (const lmre::OverflowError& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 4;
+    return lmre::to_int(lmre::ExitCode::kOverflow);
   } catch (const lmre::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return lmre::to_int(lmre::ExitCode::kFailure);
   }
 }
