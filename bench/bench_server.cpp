@@ -1,0 +1,273 @@
+// Server bench: a socket load generator against the lmre serve subsystem.
+// For each worker-pool size (1, 4, 8) it drives the builder-kernel corpus
+// through a Unix-domain socket twice -- a cold pass (every request
+// computes) and a warm pass (every request is a cache hit) -- plus one
+// isolated warm request as the single-request latency baseline.  Prints a
+// table and writes BENCH_server.json (throughput, client-side p50/p95/p99
+// tail latency, cold/warm hit rates, and warm p99 as a multiple of the
+// single-request latency) into the current directory; scripts/tier1.sh
+// smoke-checks the file.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codes/extra_kernels.h"
+#include "codes/kernels.h"
+#include "ir/parser.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "support/json.h"
+#include "support/text.h"
+
+using namespace lmre;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+std::vector<std::string> corpus_lines() {
+  std::vector<std::string> lines;
+  auto add = [&](const std::string& name, const std::string& source) {
+    Json req = Json::object();
+    req.set("id", name);
+    req.set("kind", "full");
+    req.set("source", source);
+    lines.push_back(req.dump(0));
+  };
+  for (auto& e : codes::figure2_suite()) add(e.name, to_dsl(e.nest));
+  for (auto& [name, nest] : codes::extra_suite()) add(name, to_dsl(nest));
+  return lines;
+}
+
+// Persistent-connection client: one socket, one outstanding request at a
+// time.  Keeping the connection open measures server-side queueing rather
+// than per-request connect + reader-thread setup, which is how a real
+// latency-sensitive caller would drive the server.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  /// Sends `line`, blocks for the matching response line.
+  bool request(const std::string& line) {
+    if (fd_ < 0) return false;
+    std::string framed = line + '\n';
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    buffer_.erase(0, buffer_.find('\n') + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+struct PassStats {
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double hit_rate = 0.0;
+  long requests = 0;
+};
+
+Json pass_json(const PassStats& s) {
+  return Json::object()
+      .set("requests", static_cast<Int>(s.requests))
+      .set("wall_ms", s.wall_ms)
+      .set("throughput_rps", s.throughput_rps)
+      .set("p50_ms", s.p50)
+      .set("p95_ms", s.p95)
+      .set("p99_ms", s.p99)
+      .set("hit_rate", s.hit_rate);
+}
+
+// Drives `lines` (repeated `repeat` times) from `clients` threads, each
+// request a one-shot connection; latencies are client-side wall times.
+PassStats run_pass(const std::string& path, const std::vector<std::string>& lines,
+                   int clients, int repeat, const ResultCache& cache) {
+  const Int hits0 = cache.hits(), misses0 = cache.misses();
+  std::vector<std::string> work;
+  for (int r = 0; r < repeat; ++r) {
+    work.insert(work.end(), lines.begin(), lines.end());
+  }
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.connect(path)) return;
+      for (size_t i = static_cast<size_t>(c); i < work.size();
+           i += static_cast<size_t>(clients)) {
+        auto r0 = std::chrono::steady_clock::now();
+        if (client.request(work[i])) {
+          latencies[static_cast<size_t>(c)].push_back(ms_since(r0));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  PassStats s;
+  s.wall_ms = ms_since(t0);
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  s.requests = static_cast<long>(all.size());
+  s.throughput_rps =
+      s.wall_ms > 0 ? 1000.0 * static_cast<double>(all.size()) / s.wall_ms : 0.0;
+  s.p50 = quantile(all, 0.50);
+  s.p95 = quantile(all, 0.95);
+  s.p99 = quantile(all, 0.99);
+  const Int dh = (cache.hits() - hits0), dm = (cache.misses() - misses0);
+  s.hit_rate = dh + dm > 0 ? static_cast<double>(dh) / static_cast<double>(dh + dm) : 0.0;
+  return s;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::string> lines = corpus_lines();
+  const int kClients = 4;
+  const int kWarmRepeat = 24;  // hundreds of samples for a stable warm tail
+
+  TextTable t;
+  t.header({"workers", "pass", "req", "rps", "p50 ms", "p95 ms", "p99 ms",
+            "hit rate"});
+  Json configs = Json::array();
+  bool ok = true;
+
+  for (int workers : {1, 4, 8}) {
+    std::string path = "bench_server_" + std::to_string(workers) + ".sock";
+    ::unlink(path.c_str());
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.queue_depth = 64;
+    AnalysisServer server(opts);
+    std::thread serving([&] { server.serve_socket(path); });
+    // Wait for the listener (the probe also pre-computes lines[0]).
+    {
+      Client probe;
+      for (int i = 0; i < 500 && !probe.connect(path); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      probe.request(lines[0]);
+    }
+
+    PassStats cold = run_pass(path, lines, kClients, 1, server.cache());
+    PassStats warm = run_pass(path, lines, kClients, kWarmRepeat, server.cache());
+
+    // Unloaded warm single-request latency: p99 over a run of sequential
+    // requests on one idle connection -- the floor the loaded warm tail
+    // is compared against (acceptance: warm p99 < 10x single at 8
+    // workers).  A p99-vs-p99 comparison keeps one scheduler hiccup in
+    // either measurement from dominating the ratio.
+    double single_ms = 0.0;
+    {
+      Client solo;
+      if (solo.connect(path)) {
+        std::vector<double> singles;
+        for (int i = 0; i < 200; ++i) {
+          auto s0 = std::chrono::steady_clock::now();
+          if (solo.request(lines[static_cast<size_t>(i) % lines.size()])) {
+            singles.push_back(ms_since(s0));
+          }
+        }
+        single_ms = quantile(singles, 0.99);
+      }
+    }
+    double p99_over_single = single_ms > 0 ? warm.p99 / single_ms : 0.0;
+
+    server.request_stop();
+    serving.join();
+    ::unlink(path.c_str());
+
+    t.row({std::to_string(workers), "cold", std::to_string(cold.requests),
+           fmt(cold.throughput_rps), fmt(cold.p50), fmt(cold.p95),
+           fmt(cold.p99), fmt(cold.hit_rate)});
+    t.row({std::to_string(workers), "warm", std::to_string(warm.requests),
+           fmt(warm.throughput_rps), fmt(warm.p50), fmt(warm.p95),
+           fmt(warm.p99), fmt(warm.hit_rate)});
+
+    ok = ok && cold.requests == static_cast<long>(lines.size()) &&
+         warm.requests == static_cast<long>(lines.size()) * kWarmRepeat &&
+         warm.hit_rate == 1.0;
+
+    configs.push(Json::object()
+                     .set("workers", workers)
+                     .set("queue_depth", static_cast<Int>(opts.queue_depth))
+                     .set("clients", kClients)
+                     .set("cold", pass_json(cold))
+                     .set("warm", pass_json(warm))
+                     .set("warm_single_ms", single_ms)
+                     .set("p99_over_single", p99_over_single));
+  }
+
+  std::cout << "=== lmre serve: socket load generator ===\n"
+            << t.render() << "all passes complete: " << (ok ? "yes" : "NO")
+            << '\n';
+
+  Json doc = Json::object();
+  doc.set("corpus_files", static_cast<Int>(lines.size()));
+  doc.set("configs", std::move(configs));
+  std::ofstream out("BENCH_server.json", std::ios::trunc);
+  out << json_envelope("bench-server", std::move(doc)).dump(2) << '\n';
+  std::cout << "wrote BENCH_server.json\n";
+  return ok ? 0 : 1;
+}

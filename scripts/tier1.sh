@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the standard build + full ctest run, then two sanitizer
-# passes -- ThreadSanitizer over the parallel-search suites and
-# ASan+UBSan over the parser / lint / CLI suites (the layers that chew on
-# untrusted input).  Run from the repo root:
+# Tier-1 gate: the standard build + full ctest run, a batch smoke, a
+# serve smoke (socket round trips byte-identical to batch, overload
+# shedding, graceful SIGTERM drain), then two sanitizer passes --
+# ThreadSanitizer over the parallel-search + shared-cache/server suites
+# and ASan+UBSan over the parser / lint / CLI suites (the layers that
+# chew on untrusted input).  Run from the repo root:
 #
 #   scripts/tier1.sh
 #
@@ -38,12 +40,58 @@ grep -q '"schema_version"' BENCH_runtime.json \
 grep -q '"cache.hit_rate": 1' BENCH_runtime.json \
   || { echo "FAIL: warm batch did not hit the cache for every file"; exit 1; }
 
+echo "== tier 1: serve smoke (socket round trips, overload, graceful stop) =="
+# Start a server, prove a cold and a warm request return byte-identical
+# payloads that also appear verbatim in `lmre batch` output for the same
+# file, probe load-shedding at queue depth 1 over the stdio transport, and
+# check SIGTERM drains cleanly (exit 0) and flushes the metrics snapshot.
+SERVE_SOCK="$BATCH_CACHE/serve.sock"
+./build/tools/lmre serve "$SERVE_SOCK" --workers=2 \
+  --metrics="$BATCH_CACHE/serve_metrics.json" &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "FAIL: serve socket never appeared"; exit 1; }
+./build/tools/lmre request "$SERVE_SOCK" examples/loops/fir.loop --raw \
+  > "$BATCH_CACHE/serve_cold.json"
+./build/tools/lmre request "$SERVE_SOCK" examples/loops/fir.loop --raw \
+  > "$BATCH_CACHE/serve_warm.json"
+cmp "$BATCH_CACHE/serve_cold.json" "$BATCH_CACHE/serve_warm.json" \
+  || { echo "FAIL: warm serve response differs from cold"; exit 1; }
+./build/tools/lmre batch --json examples/loops/fir.loop \
+  > "$BATCH_CACHE/serve_batch.json"
+grep -qF "$(cat "$BATCH_CACHE/serve_cold.json")" "$BATCH_CACHE/serve_batch.json" \
+  || { echo "FAIL: serve payload not byte-identical to lmre batch"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: serve did not exit 0 on SIGTERM"; exit 1; }
+grep -q '"serve.completed": 2' "$BATCH_CACHE/serve_metrics.json" \
+  || { echo "FAIL: serve metrics snapshot missing request counts"; exit 1; }
+grep -q '"serve.latency_ms"' "$BATCH_CACHE/serve_metrics.json" \
+  || { echo "FAIL: serve metrics snapshot lacks the latency histogram"; exit 1; }
+# Overload probe: one worker, queue depth 1, three back-to-back requests
+# over stdio.  The single worker holds the first (heavy) request while the
+# later lines arrive, so the bounded queue must shed at least one of them
+# with "overloaded" -- and every line still gets a response.
+OVERLOAD_OUT="$BATCH_CACHE/serve_overload.out"
+OVERLOAD_SRC="$(grep -v '^#' examples/loops/matmult.loop | tr '\n' ' ')"
+{ for i in 1 2 3; do
+    printf '{"id":%d,"source":"%s"}\n' "$i" "$OVERLOAD_SRC"
+  done
+} | ./build/tools/lmre serve --stdio --workers=1 --queue=1 > "$OVERLOAD_OUT"
+[ "$(wc -l < "$OVERLOAD_OUT")" -eq 3 ] \
+  || { echo "FAIL: stdio serve did not answer every request line"; exit 1; }
+grep -q '"overloaded"' "$OVERLOAD_OUT" \
+  || { echo "FAIL: full queue did not shed with an overloaded response"; exit 1; }
+
 echo "== tier 1: ThreadSanitizer pass over the parallel suites =="
 cmake -B build-tsan -S . -DLMRE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target parallel_search_test property_parallel_test
+  --target parallel_search_test property_parallel_test cache_stress_test \
+  server_test
 ./build-tsan/tests/parallel_search_test
 ./build-tsan/tests/property_parallel_test
+./build-tsan/tests/cache_stress_test
+./build-tsan/tests/server_test
 
 echo "== tier 1: ASan+UBSan pass over the input-handling suites =="
 cmake -B build-asan -S . -DLMRE_SANITIZE=address,undefined >/dev/null

@@ -21,6 +21,8 @@
 //   batch runtime          runtime/session.h,               AnalysisSession,
 //                          runtime/metrics.h,               Metrics, ResultCache
 //                          runtime/cache.h
+//   analysis server        server/server.h, server/wire.h   AnalysisServer,
+//                                                           ServeStatus, parse_request
 //   shared support         support/error.h (ExitCode),      RunOptions, Json,
 //                          support/options.h,               json_envelope
 //                          support/json.h
@@ -41,6 +43,8 @@
 #include "runtime/cache.h"
 #include "runtime/metrics.h"
 #include "runtime/session.h"
+#include "server/server.h"
+#include "server/wire.h"
 #include "support/error.h"
 #include "support/json.h"
 #include "support/options.h"

@@ -1,5 +1,6 @@
 #include "runtime/cache.h"
 
+#include <charconv>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -29,19 +30,40 @@ std::string ResultCache::disk_path(std::uint64_t key) const {
   return dir_ + "/" + name;
 }
 
+namespace {
+
+// Strict header parse: exactly "lmre-cache v1 status=<non-negative int>",
+// nothing before, between, or after.  A permissive sscanf here once
+// accepted trailing garbage after the status field, silently trusting
+// half-corrupted files; any deviation is now a miss.
+std::optional<int> parse_cache_header(const std::string& header) {
+  constexpr std::string_view kPrefix = "lmre-cache v1 status=";
+  if (header.size() <= kPrefix.size() || header.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return std::nullopt;
+  }
+  const char* first = header.data() + kPrefix.size();
+  const char* last = header.data() + header.size();
+  int status = 0;
+  auto [ptr, ec] = std::from_chars(first, last, status);
+  if (ec != std::errc() || ptr != last || status < 0) return std::nullopt;
+  return status;
+}
+
+}  // namespace
+
 std::optional<CachedEntry> ResultCache::disk_load(std::uint64_t key) const {
   std::ifstream in(disk_path(key), std::ios::binary);
   if (!in) return std::nullopt;
   std::string header;
   if (!std::getline(in, header)) return std::nullopt;
-  int status = 0;
-  if (std::sscanf(header.c_str(), "lmre-cache v1 status=%d", &status) != 1) {
+  std::optional<int> status = parse_cache_header(header);
+  if (!status) {
     return std::nullopt;  // wrong version or corrupted: a miss, not an error
   }
   std::ostringstream payload;
   payload << in.rdbuf();
   if (in.bad()) return std::nullopt;
-  return CachedEntry{status, payload.str()};
+  return CachedEntry{*status, payload.str()};
 }
 
 void ResultCache::disk_store(std::uint64_t key, const CachedEntry& entry) {

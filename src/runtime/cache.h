@@ -20,7 +20,9 @@
 // round-trip without a JSON parser (lmre only emits JSON).
 //
 // Disk file format (versioned, self-describing):
-//   line 1:  "lmre-cache v1 status=<int>"
+//   line 1:  "lmre-cache v1 status=<int>"   (parsed strictly: any extra
+//            bytes on the header line, or a negative/non-numeric status,
+//            invalidate the file)
 //   rest:    the payload bytes, verbatim
 // Unreadable, truncated, or version-mismatched files are treated as
 // misses (never errors): the cache is an accelerator, not a source of

@@ -1,5 +1,8 @@
 #include "runtime/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/checked.h"
 
 namespace lmre {
@@ -19,6 +22,51 @@ void Metrics::observe_ms(const std::string& name, double ms) {
   TimerStat& t = timers_[name];
   t.total_ms += ms;
   t.count += 1;
+}
+
+void Metrics::observe_latency(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStat& h = histograms_[name];
+  size_t b = 0;
+  while (b < kLatencyBucketBoundsMs.size() && ms > kLatencyBucketBoundsMs[b]) {
+    ++b;
+  }
+  h.buckets[b] += 1;
+  h.count += 1;
+  h.total_ms += ms;
+  h.max_ms = std::max(h.max_ms, ms);
+}
+
+double Metrics::quantile_locked(const HistogramStat& h, double q) {
+  if (h.count == 0) return 0.0;
+  Int rank = static_cast<Int>(std::ceil(q * static_cast<double>(h.count)));
+  rank = std::clamp<Int>(rank, 1, h.count);
+  Int cum = 0;
+  double lo = 0.0;
+  for (size_t b = 0; b < kLatencyBucketBoundsMs.size(); ++b) {
+    const double hi = kLatencyBucketBoundsMs[b];
+    if (cum + h.buckets[b] >= rank) {
+      // Linear interpolation inside the owning bucket.
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(h.buckets[b]);
+      return lo + (hi - lo) * frac;
+    }
+    cum += h.buckets[b];
+    lo = hi;
+  }
+  return h.max_ms;  // overflow bucket: the best point estimate is the max
+}
+
+double Metrics::latency_quantile(const std::string& name, double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0.0 : quantile_locked(it->second, q);
+}
+
+Int Metrics::latency_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second.count;
 }
 
 Int Metrics::counter(const std::string& name) const {
@@ -44,10 +92,27 @@ Json Metrics::to_json() const {
     timers.set(name,
                Json::object().set("total_ms", t.total_ms).set("count", t.count));
   }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json bounds = Json::array();
+    for (double b : kLatencyBucketBoundsMs) bounds.push(Json::number(b));
+    Json buckets = Json::array();
+    for (Int c : h.buckets) buckets.push(c);
+    histograms.set(name, Json::object()
+                             .set("count", h.count)
+                             .set("total_ms", h.total_ms)
+                             .set("max_ms", h.max_ms)
+                             .set("p50", quantile_locked(h, 0.50))
+                             .set("p95", quantile_locked(h, 0.95))
+                             .set("p99", quantile_locked(h, 0.99))
+                             .set("bounds_ms", std::move(bounds))
+                             .set("buckets", std::move(buckets)));
+  }
   return Json::object()
       .set("counters", std::move(counters))
       .set("gauges", std::move(gauges))
-      .set("timers_ms", std::move(timers));
+      .set("timers_ms", std::move(timers))
+      .set("histograms_ms", std::move(histograms));
 }
 
 }  // namespace lmre

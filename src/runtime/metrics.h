@@ -1,13 +1,15 @@
 #pragma once
 
 // Lightweight instrumentation for the analysis runtime: named counters,
-// accumulated wall-clock timers, and gauges, rendered through
-// support/json.h.
+// accumulated wall-clock timers, gauges, and fixed-bucket latency
+// histograms, rendered through support/json.h.
 //
 // Every pipeline stage the session runs is bracketed by a ScopedTimer and
 // bumps counters (files seen, cache hits/misses, stage executions); `lmre
 // batch --metrics=FILE` snapshots the registry into the versioned JSON
 // envelope so perf trajectories (BENCH_runtime.json) are machine-readable.
+// The serve subsystem records per-request latencies into a histogram whose
+// snapshot carries p50/p95/p99 (BENCH_server.json, serve --metrics).
 //
 // All operations are thread-safe: batch fan-out updates one shared Metrics
 // from every worker.  Counters and gauges are exact; timer totals are
@@ -15,7 +17,9 @@
 // "stage.*_ms" can exceed elapsed time -- that is CPU-style accounting,
 // documented in DESIGN.md).
 
+#include <array>
 #include <chrono>
+#include <cstddef>
 #include <map>
 #include <mutex>
 #include <string>
@@ -36,6 +40,26 @@ class Metrics {
   /// Adds `ms` to the named timer's accumulated total and bumps its
   /// observation count.
   void observe_ms(const std::string& name, double ms);
+
+  /// Fixed bucket upper bounds (milliseconds) shared by every latency
+  /// histogram; observations above the last bound land in an overflow
+  /// bucket.  Fixed buckets keep concurrent recording lock-cheap and make
+  /// snapshots from different runs directly comparable.
+  static constexpr std::array<double, 17> kLatencyBucketBoundsMs = {
+      0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50,
+      100,  250, 500, 1000, 2500, 5000, 10000};
+
+  /// Records `ms` into the named fixed-bucket latency histogram (created
+  /// empty on first use).
+  void observe_latency(const std::string& name, double ms);
+
+  /// Quantile estimate for a latency histogram, q in (0, 1]: linear
+  /// interpolation inside the owning bucket; the overflow bucket reports
+  /// the observed maximum.  0.0 for an empty or unknown histogram.
+  double latency_quantile(const std::string& name, double q) const;
+
+  /// Observation count of the named latency histogram (0 when unknown).
+  Int latency_count(const std::string& name) const;
 
   /// RAII wall-clock scope: accumulates its lifetime into `name` via
   /// observe_ms on destruction.
@@ -70,7 +94,10 @@ class Metrics {
 
   /// Snapshot:
   ///   {"counters": {...}, "gauges": {...},
-  ///    "timers_ms": {"<name>": {"total_ms": t, "count": n}, ...}}
+  ///    "timers_ms": {"<name>": {"total_ms": t, "count": n}, ...},
+  ///    "histograms_ms": {"<name>": {"count": n, "total_ms": t,
+  ///       "max_ms": m, "p50": ..., "p95": ..., "p99": ...,
+  ///       "bounds_ms": [...], "buckets": [...]}, ...}}
   Json to_json() const;
 
  private:
@@ -78,11 +105,22 @@ class Metrics {
     double total_ms = 0.0;
     Int count = 0;
   };
+  /// buckets[i] counts observations <= kLatencyBucketBoundsMs[i]; the last
+  /// slot is the overflow bucket.
+  struct HistogramStat {
+    std::array<Int, kLatencyBucketBoundsMs.size() + 1> buckets{};
+    Int count = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  static double quantile_locked(const HistogramStat& h, double q);
 
   mutable std::mutex mu_;
   std::map<std::string, Int> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, TimerStat> timers_;
+  std::map<std::string, HistogramStat> histograms_;
 };
 
 }  // namespace lmre

@@ -113,7 +113,19 @@ Json analysis_json(const LoopNest& nest, const MemoryReport& rep,
 }  // namespace
 
 AnalysisSession::AnalysisSession(SessionOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_capacity, opts_.cache_dir) {}
+    : AnalysisSession(std::move(opts), nullptr, nullptr) {}
+
+AnalysisSession::AnalysisSession(SessionOptions opts,
+                                 std::shared_ptr<ResultCache> cache,
+                                 std::shared_ptr<Metrics> metrics)
+    : opts_(std::move(opts)),
+      cache_(std::move(cache)),
+      metrics_(std::move(metrics)) {
+  if (!cache_) {
+    cache_ = std::make_shared<ResultCache>(opts_.cache_capacity, opts_.cache_dir);
+  }
+  if (!metrics_) metrics_ = std::make_shared<Metrics>();
+}
 
 std::string AnalysisSession::canonicalize(const std::string& source) {
   std::string out;
@@ -161,14 +173,14 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
     ProgramSourceMap smap;
     Program program;
     {
-      Metrics::ScopedTimer t = metrics_.time("stage.parse");
+      Metrics::ScopedTimer t = metrics_->time("stage.parse");
       program = parse_program(req.source, &smap);
     }
     result.set("phases", static_cast<Int>(program.phase_count()));
 
     LintResult lint;
     {
-      Metrics::ScopedTimer t = metrics_.time("stage.lint");
+      Metrics::ScopedTimer t = metrics_->time("stage.lint");
       lint = lint_program(program, &smap);
     }
     result.set("lint", lint_json(lint));
@@ -187,12 +199,12 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
         const LoopNest& nest = program.phase_nest(0);
         MemoryReport rep;
         {
-          Metrics::ScopedTimer t = metrics_.time("stage.estimate");
+          Metrics::ScopedTimer t = metrics_->time("stage.estimate");
           rep = analyze_memory(nest, /*with_oracle=*/false);
         }
         std::optional<TraceStats> exact;
         if (nest.iteration_count() <= stage.verify_limit) {
-          Metrics::ScopedTimer t = metrics_.time("stage.mws");
+          Metrics::ScopedTimer t = metrics_->time("stage.mws");
           exact = simulate(nest, stage);
         }
         result.set("analysis", analysis_json(nest, rep, exact));
@@ -204,7 +216,7 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
         }
         prog.set("iterations", iterations);
         if (iterations <= stage.verify_limit) {
-          Metrics::ScopedTimer t = metrics_.time("stage.mws");
+          Metrics::ScopedTimer t = metrics_->time("stage.mws");
           ProgramStats stats = program.simulate();
           prog.set("default_memory", stats.default_memory);
           prog.set("distinct_exact", stats.distinct_total);
@@ -239,7 +251,7 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       const LoopNest& nest = program.phase_nest(0);
       OptimizeResult res;
       {
-        Metrics::ScopedTimer t = metrics_.time("stage.optimize");
+        Metrics::ScopedTimer t = metrics_->time("stage.optimize");
         res = optimize_locality(nest, stage);
       }
       Json opt = Json::object();
@@ -277,20 +289,20 @@ AnalysisResult AnalysisSession::run_with_threads(const AnalysisRequest& req,
                                                  int threads) {
   AnalysisResult res;
   res.key = request_key(req);
-  metrics_.count("runs.total");
-  if (std::optional<CachedEntry> hit = cache_.get(res.key)) {
-    metrics_.count("runs.cached");
+  metrics_->count("runs.total");
+  if (std::optional<CachedEntry> hit = cache_->get(res.key)) {
+    metrics_->count("runs.cached");
     res.status = static_cast<ExitCode>(hit->status);
     res.cache_hit = true;
     res.payload = std::move(hit->payload);
     return res;
   }
-  metrics_.count("runs.computed");
-  Metrics::ScopedTimer t = metrics_.time("stage.total");
+  metrics_->count("runs.computed");
+  Metrics::ScopedTimer t = metrics_->time("stage.total");
   ExitCode status = ExitCode::kSuccess;
   res.payload = compute_payload(req, threads, &status);
   res.status = status;
-  cache_.put(res.key, CachedEntry{to_int(status), res.payload});
+  cache_->put(res.key, CachedEntry{to_int(status), res.payload});
   return res;
 }
 
@@ -300,9 +312,9 @@ AnalysisResult AnalysisSession::run(const AnalysisRequest& req) {
 
 std::vector<AnalysisResult> AnalysisSession::run_batch(
     const std::vector<AnalysisRequest>& requests) {
-  metrics_.count("batch.calls");
-  metrics_.count("batch.files", static_cast<Int>(requests.size()));
-  Metrics::ScopedTimer t = metrics_.time("stage.batch");
+  metrics_->count("batch.calls");
+  metrics_->count("batch.files", static_cast<Int>(requests.size()));
+  Metrics::ScopedTimer t = metrics_->time("stage.batch");
   // The fan-out owns the thread budget; each request runs its stages
   // serially (threads=1) to avoid nested pools.  Results are positional,
   // so output order never depends on scheduling.
@@ -312,17 +324,17 @@ std::vector<AnalysisResult> AnalysisSession::run_batch(
 }
 
 Json AnalysisSession::metrics_json() {
-  const Int hits = cache_.hits(), misses = cache_.misses();
-  metrics_.gauge("cache.hits", static_cast<double>(hits));
-  metrics_.gauge("cache.misses", static_cast<double>(misses));
-  metrics_.gauge("cache.disk_hits", static_cast<double>(cache_.disk_hits()));
-  metrics_.gauge("cache.evictions", static_cast<double>(cache_.evictions()));
-  metrics_.gauge("cache.size", static_cast<double>(cache_.size()));
-  metrics_.gauge("cache.hit_rate",
+  const Int hits = cache_->hits(), misses = cache_->misses();
+  metrics_->gauge("cache.hits", static_cast<double>(hits));
+  metrics_->gauge("cache.misses", static_cast<double>(misses));
+  metrics_->gauge("cache.disk_hits", static_cast<double>(cache_->disk_hits()));
+  metrics_->gauge("cache.evictions", static_cast<double>(cache_->evictions()));
+  metrics_->gauge("cache.size", static_cast<double>(cache_->size()));
+  metrics_->gauge("cache.hit_rate",
                  hits + misses == 0
                      ? 0.0
                      : static_cast<double>(hits) / static_cast<double>(hits + misses));
-  return metrics_.to_json();
+  return metrics_->to_json();
 }
 
 }  // namespace lmre

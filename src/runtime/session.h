@@ -19,6 +19,7 @@
 // no file), so identical sources under different names share one cache
 // entry; callers attach the file name when rendering.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,14 @@ class AnalysisSession {
  public:
   explicit AnalysisSession(SessionOptions opts = {});
 
+  /// Shares a ResultCache and Metrics with other sessions -- the `lmre
+  /// serve` worker pool runs one session per worker over one warm cache
+  /// and one metrics registry.  A null handle falls back to a private
+  /// instance built from `opts`; when a shared cache is passed, its
+  /// capacity and disk dir win over opts.cache_capacity / opts.cache_dir.
+  AnalysisSession(SessionOptions opts, std::shared_ptr<ResultCache> cache,
+                  std::shared_ptr<Metrics> metrics);
+
   /// Runs (or recalls) one request.  Never throws for input-related
   /// failures -- parse errors, lint rejections, overflow all come back as
   /// a status + error payload, so batch drivers survive any corpus.
@@ -84,9 +93,13 @@ class AnalysisSession {
   /// runs collapsed -- formatting-only edits do not invalidate.
   static std::string canonicalize(const std::string& source);
 
-  Metrics& metrics() { return metrics_; }
+  Metrics& metrics() { return *metrics_; }
   const SessionOptions& options() const { return opts_; }
-  const ResultCache& cache() const { return cache_; }
+  const ResultCache& cache() const { return *cache_; }
+
+  /// The owning handles, for sharing with sibling sessions (serve pool).
+  const std::shared_ptr<ResultCache>& shared_cache() const { return cache_; }
+  const std::shared_ptr<Metrics>& shared_metrics() const { return metrics_; }
 
   /// Metrics snapshot with the cache counters folded in as gauges
   /// (cache.hits, cache.misses, cache.disk_hits, cache.evictions,
@@ -99,8 +112,8 @@ class AnalysisSession {
                               ExitCode* status);
 
   SessionOptions opts_;
-  ResultCache cache_;
-  Metrics metrics_;
+  std::shared_ptr<ResultCache> cache_;
+  std::shared_ptr<Metrics> metrics_;
 };
 
 }  // namespace lmre

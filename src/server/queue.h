@@ -1,0 +1,80 @@
+#pragma once
+
+// A bounded MPMC queue with explicit admission failure.
+//
+// The serve frontend calls try_push: when the queue is at capacity the
+// push FAILS immediately and the caller sheds the request with an
+// `overloaded` response.  There is deliberately no blocking push -- the
+// whole point of admission control is that backlog is bounded and excess
+// load is refused, never buffered (ISSUE: "never unbounded growth").
+// pop blocks, because workers idling on an empty queue is fine.
+//
+// close() wakes every blocked pop; pops then drain whatever is still
+// queued and finally return nullopt.  This is the graceful-drain
+// primitive: stop admitting, close, join workers.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lmre {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `depth`: max queued items (>= 1 enforced).
+  explicit BoundedQueue(size_t depth) : depth_(depth == 0 ? 1 : depth) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admits `item` unless the queue is full or closed; never blocks.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= depth_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND empty
+  /// (drain semantics: queued work survives close).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission and wakes all blocked pops.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t depth() const { return depth_; }
+
+ private:
+  const size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lmre

@@ -1,0 +1,288 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace lmre {
+
+namespace {
+
+/// Response sink over a std::ostream (stdio transport, tests).
+class StreamSink : public ResponseSink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(out) {}
+
+  void write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::mutex mu_;
+  std::ostream& out_;
+};
+
+/// Response sink over a connected socket; owns the fd (closed when the
+/// last job / reader reference is gone).
+class FdSink : public ResponseSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+  ~FdSink() override { ::close(fd_); }
+
+  int fd() const { return fd_; }
+
+  void write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string framed = line + '\n';
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      // MSG_NOSIGNAL: a client that hung up costs us an EPIPE errno, not
+      // a process-killing SIGPIPE.
+      ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return;  // client gone; drop the response
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  int fd_;
+};
+
+}  // namespace
+
+AnalysisServer::AnalysisServer(ServerOptions opts)
+    : opts_(std::move(opts)),
+      queue_(opts_.queue_depth == 0 ? 1 : opts_.queue_depth) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.queue_depth == 0) opts_.queue_depth = 1;
+  cache_ = std::make_shared<ResultCache>(opts_.session.cache_capacity,
+                                         opts_.session.cache_dir);
+  metrics_ = std::make_shared<Metrics>();
+  metrics_->gauge("serve.workers", static_cast<double>(opts_.workers));
+  metrics_->gauge("serve.queue_depth", static_cast<double>(opts_.queue_depth));
+  sessions_.reserve(static_cast<size_t>(opts_.workers));
+  workers_.reserve(static_cast<size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    // Workers always analyze with threads=1: one request never fans out
+    // inside the pool (concurrency comes from the pool itself), and
+    // threads is not part of the cache key, so single-threaded results
+    // are bit-identical to any batch run.
+    SessionOptions wopts = opts_.session;
+    wopts.run.threads = 1;
+    sessions_.push_back(
+        std::make_unique<AnalysisSession>(wopts, cache_, metrics_));
+  }
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(*sessions_[static_cast<size_t>(i)]); });
+  }
+}
+
+AnalysisServer::~AnalysisServer() { drain(); }
+
+void AnalysisServer::respond(const Job& job, const std::string& line) {
+  if (job.sink) job.sink->write_line(line);
+}
+
+void AnalysisServer::worker_loop(AnalysisSession& session) {
+  while (std::optional<Job> job = queue_.pop()) {
+    auto now = std::chrono::steady_clock::now();
+    if (job->has_deadline && now >= job->deadline) {
+      // Expired while queued: abandon before spending any work on it.
+      metrics_->count("serve.timeout");
+      metrics_->count("serve.abandoned");
+      respond(*job, serve_error(job->request.id_json, ServeStatus::kTimeout,
+                                "deadline expired before dispatch"));
+      continue;
+    }
+    AnalysisRequest areq;
+    areq.source = job->request.source;
+    areq.file = "<serve>";
+    areq.kind = job->request.kind;
+    AnalysisResult result = session.run(areq);
+    now = std::chrono::steady_clock::now();
+    if (job->has_deadline && now >= job->deadline) {
+      // Computed too late: the client gets `timeout`, but the result was
+      // cached, so the next request for this source is a warm hit.
+      metrics_->count("serve.timeout");
+      respond(*job, serve_error(job->request.id_json, ServeStatus::kTimeout,
+                                "deadline expired during analysis"));
+      continue;
+    }
+    std::chrono::duration<double, std::milli> latency = now - job->admitted;
+    metrics_->observe_latency("serve.latency_ms", latency.count());
+    metrics_->count("serve.completed");
+    respond(*job, serve_response(job->request.id_json,
+                                 serve_status(result.status), result.payload));
+  }
+}
+
+void AnalysisServer::admit_line(const std::string& line,
+                                const std::shared_ptr<ResponseSink>& sink) {
+  metrics_->count("serve.requests");
+  Job job;
+  job.sink = sink;
+  std::string error;
+  if (!parse_request(line, &job.request, &error)) {
+    metrics_->count("serve.bad_request");
+    if (sink) {
+      sink->write_line(
+          serve_error(job.request.id_json, ServeStatus::kBadRequest, error));
+    }
+    return;
+  }
+  job.admitted = std::chrono::steady_clock::now();
+  if (job.request.deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline =
+        job.admitted + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               job.request.deadline_ms));
+  }
+  std::string id_json = job.request.id_json;  // job is moved by try_push
+  if (!queue_.try_push(std::move(job))) {
+    metrics_->count("serve.overloaded");
+    if (sink) {
+      sink->write_line(serve_error(id_json, ServeStatus::kOverloaded,
+                                   "request queue full"));
+    }
+    return;
+  }
+  size_t depth = queue_.size();
+  size_t peak = queue_peak_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !queue_peak_.compare_exchange_weak(peak, depth,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void AnalysisServer::serve_streams(std::istream& in, std::ostream& out) {
+  auto sink = std::make_shared<StreamSink>(out);
+  std::string line;
+  while (!stopped() && std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keep-alive no-ops
+    admit_line(line, sink);
+  }
+  drain();
+}
+
+ExitCode AnalysisServer::serve_socket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return ExitCode::kFailure;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return ExitCode::kFailure;
+  ::unlink(path.c_str());  // replace a stale socket from a dead server
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 64) < 0) {
+    ::close(listen_fd);
+    return ExitCode::kFailure;
+  }
+
+  std::mutex conns_mu;
+  std::vector<std::weak_ptr<FdSink>> conns;
+  std::vector<std::thread> readers;
+
+  // Accept loop: poll with a short timeout so request_stop() (one atomic
+  // store, possibly from a signal handler) is noticed within ~100ms.
+  while (!stopped()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto sink = std::make_shared<FdSink>(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(sink);
+    }
+    readers.emplace_back([this, sink] {
+      // Per-connection reader: split the byte stream into lines, admit
+      // each.  The sink keeps the fd alive for any in-flight responses
+      // after this thread exits.
+      std::string buffer;
+      char chunk[4096];
+      while (true) {
+        ssize_t n = ::recv(sink->fd(), chunk, sizeof chunk, 0);
+        if (n <= 0) break;  // EOF, error, or shutdown(SHUT_RD) on drain
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
+        for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+             nl = buffer.find('\n', start)) {
+          std::string line = buffer.substr(start, nl - start);
+          start = nl + 1;
+          if (!line.empty()) admit_line(line, sink);
+        }
+        buffer.erase(0, start);
+      }
+    });
+  }
+
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  {
+    // Wake readers blocked in recv: half-close the read side only, so
+    // responses for in-flight requests still go out below.
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (auto& weak : conns) {
+      if (auto sink = weak.lock()) ::shutdown(sink->fd(), SHUT_RD);
+    }
+  }
+  for (std::thread& t : readers) t.join();
+  drain();  // finish everything admitted; every request gets its response
+  return ExitCode::kSuccess;
+}
+
+void AnalysisServer::drain() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (drained_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  drained_ = true;
+  if (!opts_.metrics_file.empty()) {
+    std::ofstream mf(opts_.metrics_file, std::ios::trunc);
+    if (mf) {
+      mf << json_envelope("serve-metrics", metrics_json()).dump(2) << '\n';
+    }
+  }
+}
+
+Json AnalysisServer::metrics_json() {
+  const Int hits = cache_->hits(), misses = cache_->misses();
+  metrics_->gauge("cache.hits", static_cast<double>(hits));
+  metrics_->gauge("cache.misses", static_cast<double>(misses));
+  metrics_->gauge("cache.disk_hits", static_cast<double>(cache_->disk_hits()));
+  metrics_->gauge("cache.evictions", static_cast<double>(cache_->evictions()));
+  metrics_->gauge("cache.size", static_cast<double>(cache_->size()));
+  metrics_->gauge("cache.hit_rate",
+                  hits + misses == 0
+                      ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(hits + misses));
+  metrics_->gauge("serve.queue_peak",
+                  static_cast<double>(queue_peak_.load(std::memory_order_relaxed)));
+  return metrics_->to_json();
+}
+
+}  // namespace lmre

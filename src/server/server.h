@@ -1,0 +1,138 @@
+#pragma once
+
+// lmre serve: a long-running concurrent analysis daemon.
+//
+// One AnalysisServer owns a fixed pool of worker threads, each running its
+// own AnalysisSession over ONE shared ResultCache and ONE shared Metrics
+// registry -- so every client warms the cache for every other client, and
+// one snapshot describes the whole process.  Requests arrive as
+// newline-delimited JSON (server/wire.h) over either transport:
+//
+//  * serve_socket(path): a Unix-domain stream socket; each accepted
+//    connection gets a reader thread, responses go back over the same
+//    connection (interleaved across requests, correlated by id), and
+//  * serve_streams(in, out): stdin/stdout framing for tests and scripts.
+//
+// Admission control: a BoundedQueue between the readers and the pool.  A
+// full queue sheds the request immediately with an `overloaded` error --
+// backlog is bounded by construction, never buffered.  Deadlines: a
+// request with options.deadline_ms is abandoned (without computing) if it
+// is still queued when the deadline passes, and reported `timeout` if the
+// deadline passed during computation; computation is never preempted
+// mid-stage, and a late result is still cached for the next client.
+//
+// Shutdown: request_stop() is async-signal-safe (one atomic store).  The
+// accept loop notices within its poll interval, stops admitting, wakes the
+// connection readers, drains in-flight work, flushes metrics, and exits
+// cleanly -- every admitted request gets a response.
+//
+// The determinism contract extends to the wire: a serve response's result
+// payload is byte-identical to what `lmre batch` embeds for the same
+// source and kind (workers run with threads=1, and the payload is spliced
+// verbatim -- never re-encoded).
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/session.h"
+#include "server/queue.h"
+#include "server/wire.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace lmre {
+
+struct ServerOptions {
+  int workers = 1;          ///< pool size (>= 1 enforced)
+  size_t queue_depth = 16;  ///< bounded backlog (>= 1 enforced)
+  SessionOptions session;   ///< cache capacity/dir + run options
+  std::string metrics_file; ///< snapshot written on drain; "" = none
+};
+
+/// Where a response line goes (one per client connection / stream).
+/// write_line is thread-safe per sink: workers and the reader interleave
+/// whole lines, never bytes.
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void write_line(const std::string& line) = 0;
+};
+
+class AnalysisServer {
+ public:
+  explicit AnalysisServer(ServerOptions opts);
+
+  /// Drains and joins the pool if still running.
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  /// Stdio transport: reads request lines from `in` until EOF or
+  /// request_stop, writes response lines to `out`, then drains (every
+  /// admitted request is answered before returning).
+  void serve_streams(std::istream& in, std::ostream& out);
+
+  /// Unix-domain socket transport: binds `path` (replacing a stale
+  /// socket file), accepts until request_stop(), then drains.  Returns
+  /// kFailure when the socket cannot be created/bound.
+  ExitCode serve_socket(const std::string& path);
+
+  /// Parses, admits, or sheds one request line; any immediate error
+  /// (bad_request / overloaded) is written to `sink` before returning.
+  /// Exposed for tests; transports call this per line.
+  void admit_line(const std::string& line,
+                  const std::shared_ptr<ResponseSink>& sink);
+
+  /// Stops accepting new work.  Async-signal-safe (atomic store only);
+  /// transports notice and begin the drain.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Closes the queue, finishes in-flight requests, joins the pool, and
+  /// writes options().metrics_file when set.  Idempotent.
+  void drain();
+
+  /// Metrics snapshot with shared-cache counters folded in as gauges
+  /// (same shape as AnalysisSession::metrics_json).
+  Json metrics_json();
+
+  Metrics& metrics() { return *metrics_; }
+  const ResultCache& cache() const { return *cache_; }
+  const ServerOptions& options() const { return opts_; }
+
+  /// Requests currently waiting in the bounded queue (not in-flight ones).
+  /// Tests use this to stage deterministic overload scenarios.
+  size_t queued() const { return queue_.size(); }
+
+ private:
+  struct Job {
+    ServerRequest request;
+    std::shared_ptr<ResponseSink> sink;
+    std::chrono::steady_clock::time_point admitted;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void worker_loop(AnalysisSession& session);
+  void respond(const Job& job, const std::string& line);
+
+  ServerOptions opts_;
+  std::shared_ptr<ResultCache> cache_;
+  std::shared_ptr<Metrics> metrics_;
+  std::vector<std::unique_ptr<AnalysisSession>> sessions_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> queue_peak_{0};  ///< high-water mark of queued jobs
+  bool drained_ = false;
+  std::mutex drain_mu_;  ///< serializes drain() callers
+};
+
+}  // namespace lmre

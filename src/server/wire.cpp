@@ -1,0 +1,444 @@
+#include "server/wire.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "support/json.h"
+
+namespace lmre {
+
+const WireValue* WireValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+// Recursive-descent reader over the input; every parsed value remembers
+// the exact byte range it was decoded from (WireValue::raw).
+class Reader {
+ public:
+  Reader(std::string_view input, std::string* error)
+      : input_(input), error_(error) {}
+
+  std::optional<WireValue> parse() {
+    skip_ws();
+    std::optional<WireValue> v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != input_.size()) {
+      return fail("trailing bytes after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  std::optional<WireValue> fail(const std::string& message) {
+    if (error_ && error_->empty()) {
+      *error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (input_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<WireValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= input_.size()) return fail("unexpected end of input");
+    size_t start = pos_;
+    std::optional<WireValue> v;
+    switch (input_[pos_]) {
+      case '{':
+        v = parse_object(depth);
+        break;
+      case '[':
+        v = parse_array(depth);
+        break;
+      case '"':
+        v = parse_string_value();
+        break;
+      case 't':
+      case 'f':
+        v = parse_bool();
+        break;
+      case 'n':
+        if (!literal("null")) return fail("invalid literal");
+        v = WireValue{};
+        break;
+      default:
+        v = parse_number();
+        break;
+    }
+    if (v) v->raw = std::string(input_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::optional<WireValue> parse_bool() {
+    WireValue v;
+    v.kind = WireValue::Kind::kBool;
+    if (literal("true")) {
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.boolean = false;
+      return v;
+    }
+    return fail("invalid literal");
+  }
+
+  std::optional<WireValue> parse_number() {
+    size_t start = pos_;
+    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+    size_t digits = pos_;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits) return fail("invalid number");
+    if (pos_ < input_.size() && input_[pos_] == '.') {
+      ++pos_;
+      size_t frac = pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac) return fail("invalid number");
+    }
+    if (pos_ < input_.size() && (input_[pos_] == 'e' || input_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < input_.size() && (input_[pos_] == '+' || input_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp) return fail("invalid number");
+    }
+    WireValue v;
+    v.kind = WireValue::Kind::kNumber;
+    std::string text(input_.substr(start, pos_ - start));
+    v.number = std::strtod(text.c_str(), nullptr);
+    if (!std::isfinite(v.number)) return fail("number out of range");
+    return v;
+  }
+
+  bool append_utf8(unsigned code, std::string* out) {
+    if (code <= 0x7f) {
+      out->push_back(static_cast<char>(code));
+    } else if (code <= 0x7ff) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code <= 0xffff) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > input_.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = input_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  std::optional<std::string> parse_string_body() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= input_.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      char c = input_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= input_.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      char e = input_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (!parse_hex4(&code)) {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!literal("\\u")) {
+              fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            unsigned low = 0;
+            if (!parse_hex4(&low) || low < 0xdc00 || low > 0xdfff) {
+              fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired surrogate");
+            return std::nullopt;
+          }
+          append_utf8(code, &out);
+          break;
+        }
+        default:
+          fail("invalid escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<WireValue> parse_string_value() {
+    std::optional<std::string> body = parse_string_body();
+    if (!body) return std::nullopt;
+    WireValue v;
+    v.kind = WireValue::Kind::kString;
+    v.text = std::move(*body);
+    return v;
+  }
+
+  std::optional<WireValue> parse_object(int depth) {
+    consume('{');
+    WireValue v;
+    v.kind = WireValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string_body();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      std::optional<WireValue> member = parse_value(depth + 1);
+      if (!member) return std::nullopt;
+      v.members.emplace_back(std::move(*key), std::move(*member));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<WireValue> parse_array(int depth) {
+    consume('[');
+    WireValue v;
+    v.kind = WireValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      skip_ws();
+      std::optional<WireValue> element = parse_value(depth + 1);
+      if (!element) return std::nullopt;
+      v.elements.push_back(std::move(*element));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<WireValue> parse_wire_json(std::string_view input,
+                                         std::string* error) {
+  if (error) error->clear();
+  Reader reader(input, error);
+  std::optional<WireValue> v = reader.parse();
+  if (!v && error && error->empty()) *error = "malformed JSON";
+  return v;
+}
+
+const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kSuccess: return "success";
+    case ServeStatus::kFailure: return "failure";
+    case ServeStatus::kUsage: return "usage";
+    case ServeStatus::kDiagnostics: return "diagnostics";
+    case ServeStatus::kOverflow: return "overflow";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kTimeout: return "timeout";
+    case ServeStatus::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+ServeStatus serve_status(ExitCode code) {
+  return static_cast<ServeStatus>(to_int(code));
+}
+
+namespace {
+
+bool parse_kind(const std::string& name, AnalysisRequest::Kind* kind) {
+  if (name == "lint") {
+    *kind = AnalysisRequest::Kind::kLint;
+  } else if (name == "analyze") {
+    *kind = AnalysisRequest::Kind::kAnalyze;
+  } else if (name == "optimize") {
+    *kind = AnalysisRequest::Kind::kOptimize;
+  } else if (name == "full") {
+    *kind = AnalysisRequest::Kind::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, ServerRequest* req,
+                   std::string* error) {
+  *req = ServerRequest{};
+  std::optional<WireValue> root = parse_wire_json(line, error);
+  if (!root) return false;
+  if (root->kind != WireValue::Kind::kObject) {
+    if (error) *error = "request must be a JSON object";
+    return false;
+  }
+  // Recover the id first so even schema errors can be correlated.
+  if (const WireValue* id = root->find("id")) {
+    switch (id->kind) {
+      case WireValue::Kind::kString:
+      case WireValue::Kind::kNumber:
+      case WireValue::Kind::kNull:
+        req->id_json = id->raw;
+        break;
+      default:
+        if (error) *error = "\"id\" must be a string, number, or null";
+        return false;
+    }
+  }
+  const WireValue* source = root->find("source");
+  if (!source || source->kind != WireValue::Kind::kString) {
+    if (error) *error = "missing string field \"source\"";
+    return false;
+  }
+  req->source = source->text;
+  if (const WireValue* kind = root->find("kind")) {
+    if (kind->kind != WireValue::Kind::kString ||
+        !parse_kind(kind->text, &req->kind)) {
+      if (error) {
+        *error = "\"kind\" must be one of lint|analyze|optimize|full";
+      }
+      return false;
+    }
+  }
+  if (const WireValue* options = root->find("options")) {
+    if (options->kind != WireValue::Kind::kObject) {
+      if (error) *error = "\"options\" must be an object";
+      return false;
+    }
+    if (const WireValue* deadline = options->find("deadline_ms")) {
+      if (deadline->kind != WireValue::Kind::kNumber ||
+          deadline->number < 0) {
+        if (error) *error = "\"deadline_ms\" must be a non-negative number";
+        return false;
+      }
+      req->deadline_ms = deadline->number;
+    }
+    // Other option keys are ignored for forward compatibility.
+  }
+  return true;
+}
+
+namespace {
+
+std::string serve_line(const std::string& id_json, ServeStatus status,
+                       const std::string& body_key,
+                       Json body_value) {
+  Json result = Json::object();
+  result.set("id", Json::raw(id_json));
+  result.set("status", static_cast<int>(status));
+  result.set("status_name", to_string(status));
+  result.set(body_key, std::move(body_value));
+  return json_envelope("serve", std::move(result)).dump(0);
+}
+
+}  // namespace
+
+std::string serve_response(const std::string& id_json, ServeStatus status,
+                           const std::string& payload_json) {
+  return serve_line(id_json, status, "result", Json::raw(payload_json));
+}
+
+std::string serve_error(const std::string& id_json, ServeStatus status,
+                        const std::string& message) {
+  return serve_line(id_json, status, "error", Json::string(message));
+}
+
+}  // namespace lmre

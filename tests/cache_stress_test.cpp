@@ -1,0 +1,97 @@
+// Concurrency stress for the shared ResultCache (satellite of the serve
+// subsystem): many threads hammering overlapping keys through one cache
+// with a live disk layer.  Designed to run under TSan (scripts/tier1.sh
+// stage 3) to catch torn reads and counter races.
+//
+// Invariants checked:
+//  * a get() either misses or returns a COMPLETE entry -- the payload is
+//    always the exact canonical text for that key, never a torn mix of
+//    two writers (each key has exactly one canonical value, so any
+//    deviation is a torn read);
+//  * hits() + misses() == total get() probes, exactly, across all threads;
+//  * the in-memory layer never exceeds its capacity.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cache.h"
+
+namespace lmre {
+namespace {
+
+// One canonical value per key: torn reads become content mismatches.
+std::string value_for(std::uint64_t key) {
+  std::string payload = "{\"key\":" + std::to_string(key) + ",\"pad\":\"";
+  payload.append(256 + static_cast<size_t>(key % 64),
+                 static_cast<char>('a' + key % 26));
+  payload += "\"}";
+  return payload;
+}
+
+int status_for(std::uint64_t key) { return static_cast<int>(key % 5); }
+
+TEST(ResultCacheStress, OverlappingKeysAcrossThreadsWithDiskLayer) {
+  const std::string dir = ::testing::TempDir() + "lmre_cache_stress";
+  std::filesystem::remove_all(dir);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+  constexpr std::uint64_t kKeys = 32;  // << capacity * threads: heavy overlap
+  constexpr size_t kCapacity = 16;     // < kKeys: eviction under contention
+
+  ResultCache cache(kCapacity, dir);
+
+  std::vector<long> probes(kThreads, 0);
+  std::vector<int> torn(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Thread-specific stride so threads collide on keys in different
+      // orders; every key is both read and written by several threads.
+      for (int r = 0; r < kRounds; ++r) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(r) * (2 * t + 1) + t) % kKeys;
+        if (auto entry = cache.get(key)) {
+          if (entry->payload != value_for(key) ||
+              entry->status != status_for(key)) {
+            torn[t] += 1;
+          }
+        } else {
+          cache.put(key, {status_for(key), value_for(key)});
+        }
+        probes[t] += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  long total_probes = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_probes += probes[t];
+    EXPECT_EQ(torn[t], 0) << "thread " << t << " saw torn/corrupt entries";
+  }
+  EXPECT_EQ(total_probes, static_cast<long>(kThreads) * kRounds);
+  // Every probe is accounted as exactly one hit or one miss.
+  EXPECT_EQ(cache.hits() + cache.misses(), total_probes);
+  EXPECT_GT(cache.hits(), 0);
+  EXPECT_GT(cache.misses(), 0);
+  EXPECT_LE(cache.size(), kCapacity);
+
+  // The disk layer holds only complete, strictly-parseable files: a fresh
+  // cache over the same dir serves every key back intact.
+  ResultCache reader(kKeys, dir);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    auto entry = reader.get(key);
+    ASSERT_TRUE(entry.has_value()) << "key " << key << " lost on disk";
+    EXPECT_EQ(entry->payload, value_for(key));
+    EXPECT_EQ(entry->status, status_for(key));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lmre

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 #include "cachesim/cache.h"
 #include "codes/examples.h"
 #include "codes/kernels.h"
 #include "exact/oracle.h"
 #include "layout/spatial.h"
+#include "runtime/cache.h"
 #include "support/error.h"
 #include "transform/minimizer.h"
 
@@ -61,6 +67,76 @@ TEST(Cache, NegativeAddressesWork) {
 TEST(Cache, RejectsBadConfig) {
   EXPECT_THROW(Cache(CacheConfig{0, 1, 0}), InvalidArgument);
   EXPECT_THROW(Cache(CacheConfig{4, 0, 0}), InvalidArgument);
+}
+
+// ---- ResultCache disk-header hardening (runtime/cache.h) -------------------
+
+// Writes a raw cache file for `key` under `dir` with exactly the given
+// bytes, bypassing ResultCache::put.
+void write_cache_file(const std::string& dir, std::uint64_t key,
+                      const std::string& bytes) {
+  std::filesystem::create_directories(dir);
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.lmre",
+                static_cast<unsigned long long>(key));
+  std::ofstream out(dir + "/" + name, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(ResultCacheDisk, WellFormedHeaderRoundTrips) {
+  const std::string dir = ::testing::TempDir() + "lmre_cache_header_ok";
+  std::filesystem::remove_all(dir);
+  write_cache_file(dir, 1, "lmre-cache v1 status=3\n{\"x\":1}");
+  ResultCache c(4, dir);
+  auto entry = c.get(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status, 3);
+  EXPECT_EQ(entry->payload, "{\"x\":1}");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheDisk, RejectsCorruptHeadersAsMisses) {
+  const std::string dir = ::testing::TempDir() + "lmre_cache_header_bad";
+  std::filesystem::remove_all(dir);
+  // Each deviation from "lmre-cache v1 status=<int>" must read as a miss:
+  // a permissive sscanf once accepted the trailing-garbage forms.
+  const std::string bad[] = {
+      "lmre-cache v1 status=0 trailing\n{}",   // bytes after the status
+      "lmre-cache v1 status=0x10\n{}",         // non-decimal suffix
+      "lmre-cache v1 status=\n{}",             // empty status
+      "lmre-cache v1 status=abc\n{}",          // non-numeric status
+      "lmre-cache v1 status=-2\n{}",           // negative status
+      "lmre-cache v2 status=0\n{}",            // wrong version
+      "lmre-cache v1\n{}",                     // missing field
+      "LMRE-CACHE v1 status=0\n{}",            // wrong case
+      "",                                      // empty file
+  };
+  std::uint64_t key = 10;
+  for (const std::string& bytes : bad) {
+    write_cache_file(dir, key, bytes);
+    ResultCache c(4, dir);
+    EXPECT_FALSE(c.get(key).has_value()) << "accepted: " << bytes;
+    EXPECT_EQ(c.misses(), 1) << bytes;
+    ++key;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheDisk, PutProducesStrictlyParseableFiles) {
+  // The writer and the hardened reader must agree on the format.
+  const std::string dir = ::testing::TempDir() + "lmre_cache_header_rt";
+  std::filesystem::remove_all(dir);
+  {
+    ResultCache writer(4, dir);
+    writer.put(42, {4, "payload with\nnewlines"});
+  }
+  ResultCache reader(4, dir);
+  auto entry = reader.get(42);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status, 4);
+  EXPECT_EQ(entry->payload, "payload with\nnewlines");
+  EXPECT_EQ(reader.disk_hits(), 1);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CacheSim, WindowSizedCacheCapturesAllReuse) {

@@ -327,5 +327,42 @@ TEST(CliBatch, JsonColdAndWarmRunsAreByteIdentical) {
   EXPECT_NE(ms.str().find("\"runs.cached\": 2"), std::string::npos);
 }
 
+TEST(CliVersion, TextReportsSchemaAndBuild) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"version"}, out, err), ExitCode::kSuccess);
+  EXPECT_NE(out.str().find("schema_version 1"), std::string::npos);
+  EXPECT_NE(out.str().find("build:"), std::string::npos);
+  EXPECT_NE(out.str().find("C++"), std::string::npos);
+
+  // `lmre --version` is the conventional spelling of the same command.
+  std::ostringstream dashed;
+  EXPECT_EQ(run_cli({"--version"}, dashed, err), ExitCode::kSuccess);
+  EXPECT_EQ(dashed.str(), out.str());
+}
+
+TEST(CliVersion, JsonUsesTheStandardEnvelope) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"version", "--json"}, out, err), ExitCode::kSuccess);
+  EXPECT_NE(out.str().find("\"command\": \"version\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(out.str().find("\"compiler\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"cxx_standard\""), std::string::npos);
+}
+
+TEST(CliServe, RejectsMissingTransport) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"serve"}, out, err), ExitCode::kUsage);
+  EXPECT_NE(err.str().find("socket path or --stdio"), std::string::npos);
+}
+
+TEST(CliRequest, UnreachableSocketFails) {
+  std::string missing = ::testing::TempDir() + "no_such_server.sock";
+  std::string file = ::testing::TempDir() + "request_input.loop";
+  std::ofstream(file) << kExample8;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"request", missing, file}, out, err), ExitCode::kFailure);
+  EXPECT_NE(err.str().find("cannot connect"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lmre::tools

@@ -51,6 +51,43 @@ TEST(Metrics, TimersObserveAndSnapshot) {
   EXPECT_NE(s.find("\"stage.b\""), std::string::npos);
 }
 
+TEST(Metrics, LatencyHistogramQuantiles) {
+  Metrics m;
+  EXPECT_EQ(m.latency_count("serve.latency_ms"), 0);
+  EXPECT_DOUBLE_EQ(m.latency_quantile("serve.latency_ms", 0.5), 0.0);
+
+  // 100 observations spread 1..100 ms: quantiles must land in the right
+  // buckets (bounds ...10, 25, 50, 100...) with interpolation inside.
+  for (int i = 1; i <= 100; ++i) {
+    m.observe_latency("serve.latency_ms", static_cast<double>(i));
+  }
+  EXPECT_EQ(m.latency_count("serve.latency_ms"), 100);
+  double p50 = m.latency_quantile("serve.latency_ms", 0.50);
+  double p95 = m.latency_quantile("serve.latency_ms", 0.95);
+  double p99 = m.latency_quantile("serve.latency_ms", 0.99);
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LE(p50, 50.0);
+  EXPECT_GT(p95, 50.0);
+  EXPECT_LE(p95, 100.0);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 100.0);
+
+  std::string s = m.to_json().dump();
+  EXPECT_NE(s.find("\"histograms_ms\""), std::string::npos);
+  EXPECT_NE(s.find("\"p50\""), std::string::npos);
+  EXPECT_NE(s.find("\"p95\""), std::string::npos);
+  EXPECT_NE(s.find("\"p99\""), std::string::npos);
+  EXPECT_NE(s.find("\"max_ms\":100"), std::string::npos);
+}
+
+TEST(Metrics, LatencyOverflowBucketReportsMax) {
+  Metrics m;
+  m.observe_latency("h", 99999.0);  // beyond the last bound (10000 ms)
+  m.observe_latency("h", 123456.0);
+  EXPECT_DOUBLE_EQ(m.latency_quantile("h", 0.99), 123456.0);
+  EXPECT_EQ(m.latency_count("h"), 2);
+}
+
 // ---- fnv / cache -----------------------------------------------------------
 
 TEST(Fnv, ChainingEqualsConcatenation) {

@@ -1,6 +1,13 @@
 #include "tools/commands.h"
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -17,6 +24,8 @@
 #include "ir/printer.h"
 #include "lint/lint.h"
 #include "runtime/session.h"
+#include "server/server.h"
+#include "server/wire.h"
 #include "support/json.h"
 #include "support/text.h"
 #include "transform/minimizer.h"
@@ -443,6 +452,169 @@ ExitCode cmd_batch(const std::vector<std::string>& inputs,
   return worst;
 }
 
+namespace {
+
+// The server a stop signal should reach.  Handlers only do the lock-free
+// atomic load + request_stop (an atomic store) -- both async-signal-safe.
+std::atomic<AnalysisServer*> g_active_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (AnalysisServer* server = g_active_server.load()) server->request_stop();
+}
+
+}  // namespace
+
+ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
+                   std::ostream& out, std::ostream& err) {
+  if (opts.socket.empty() && !opts.stdio) {
+    err << "serve: need a socket path or --stdio\n";
+    return ExitCode::kUsage;
+  }
+  ServerOptions sopts;
+  sopts.workers = opts.workers;
+  sopts.queue_depth = opts.queue_depth;
+  sopts.session.cache_dir = opts.cache_dir;
+  sopts.metrics_file = opts.metrics_file;
+  AnalysisServer server(sopts);
+
+  g_active_server.store(&server);
+  auto prev_int = std::signal(SIGINT, handle_stop_signal);
+  auto prev_term = std::signal(SIGTERM, handle_stop_signal);
+
+  ExitCode rc = ExitCode::kSuccess;
+  if (opts.stdio) {
+    server.serve_streams(in, out);
+  } else {
+    rc = server.serve_socket(opts.socket);
+    if (rc != ExitCode::kSuccess) {
+      err << "serve: cannot listen on " << opts.socket << '\n';
+    }
+  }
+
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+  g_active_server.store(nullptr);
+  return rc;
+}
+
+ExitCode cmd_request(const std::string& source, const std::string& file,
+                     const RequestCliOptions& opts, std::ostream& out,
+                     std::ostream& err) {
+  Json request = Json::object();
+  request.set("id", opts.id.empty() ? file : opts.id);
+  request.set("kind", opts.kind);
+  request.set("source", source);
+  if (opts.deadline_ms > 0) {
+    request.set("options",
+                Json::object().set("deadline_ms", opts.deadline_ms));
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts.socket.size() >= sizeof(addr.sun_path)) {
+    err << "request: socket path too long\n";
+    return ExitCode::kFailure;
+  }
+  std::strncpy(addr.sun_path, opts.socket.c_str(), sizeof(addr.sun_path) - 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (fd >= 0) ::close(fd);
+    err << "request: cannot connect to " << opts.socket << '\n';
+    return ExitCode::kFailure;
+  }
+
+  std::string line = request.dump(0) + '\n';
+  size_t sent = 0;
+  while (sent < line.size()) {
+    ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      err << "request: send failed\n";
+      return ExitCode::kFailure;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);  // one request per connection; signal EOF
+
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+    if (response.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  size_t nl = response.find('\n');
+  if (nl == std::string::npos) {
+    err << "request: no response (server gone?)\n";
+    return ExitCode::kFailure;
+  }
+  response.resize(nl);
+
+  std::string parse_error;
+  std::optional<WireValue> doc = parse_wire_json(response, &parse_error);
+  const WireValue* result = doc ? doc->find("result") : nullptr;
+  const WireValue* status = result ? result->find("status") : nullptr;
+  if (!status || status->kind != WireValue::Kind::kNumber) {
+    err << "request: malformed response: " << response << '\n';
+    return ExitCode::kFailure;
+  }
+  if (opts.raw) {
+    // Just the embedded analysis payload -- byte-identical to what `lmre
+    // batch` embeds for this source, or the error message for wire errors.
+    if (const WireValue* payload = result->find("result")) {
+      out << payload->raw << '\n';
+    } else if (const WireValue* error = result->find("error")) {
+      out << error->raw << '\n';
+    }
+  } else {
+    out << response << '\n';
+  }
+
+  auto wire = static_cast<ServeStatus>(static_cast<int>(status->number));
+  switch (wire) {
+    case ServeStatus::kOverloaded:
+    case ServeStatus::kTimeout:
+      return ExitCode::kFailure;
+    case ServeStatus::kBadRequest:
+      return ExitCode::kUsage;
+    default:
+      return static_cast<ExitCode>(static_cast<int>(wire));
+  }
+}
+
+namespace {
+
+// Build info for `lmre version`: which compiler produced this binary and
+// the language standard it targeted.
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+ExitCode cmd_version(bool json, std::ostream& out) {
+  const Int cxx_standard = static_cast<Int>(__cplusplus / 100 % 100);
+  if (json) {
+    Json doc = Json::object();
+    doc.set("schema_version", kJsonSchemaVersion);
+    doc.set("compiler", compiler_string());
+    doc.set("cxx_standard", cxx_standard);
+    out << json_envelope("version", std::move(doc)).dump(2) << '\n';
+  } else {
+    out << "lmre schema_version " << kJsonSchemaVersion << '\n'
+        << "build: " << compiler_string() << ", C++" << cxx_standard << '\n';
+  }
+  return ExitCode::kSuccess;
+}
+
 std::string usage() {
   return
       "usage: lmre <command> [args]\n"
@@ -457,6 +629,18 @@ std::string usage() {
       "            <dir|files...>      full pipeline over a corpus of .loop\n"
       "                                files with memoized results; --metrics\n"
       "                                writes counters/timers/cache stats\n"
+      "  serve     <socket>|--stdio [--workers=N] [--queue=N]\n"
+      "            [--cache-dir=D] [--metrics=FILE]\n"
+      "                                long-running analysis server over a\n"
+      "                                Unix socket (or stdin/stdout with\n"
+      "                                --stdio); newline-delimited JSON\n"
+      "                                requests, bounded queue (full =>\n"
+      "                                overloaded), per-request deadlines,\n"
+      "                                graceful drain on SIGINT/SIGTERM\n"
+      "  request   <socket> <file|-> [--kind=K] [--deadline=MS] [--id=S]\n"
+      "            [--raw]             send one request to a running server;\n"
+      "                                --raw prints just the result payload\n"
+      "  version                       schema version + build info\n"
       "  distances <file|->            dependence distance/direction table\n"
       "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
       "  series    <file|->            window-size time series as CSV\n"
@@ -514,6 +698,8 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
   int threads = 1;
   LintCliOptions lint_opts;
   BatchCliOptions batch_opts;
+  ServeCliOptions serve_opts;
+  RequestCliOptions request_opts;
   std::vector<std::string> rest(args.begin() + 1, args.end());
   for (auto it = rest.begin(); it != rest.end();) {
     if (*it == "--json") {
@@ -544,25 +730,97 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         return ExitCode::kUsage;
       }
       it = rest.erase(it);
-    } else if (cmd == "batch" && it->rfind("--cache-dir=", 0) == 0) {
-      batch_opts.cache_dir = it->substr(12);
+    } else if ((cmd == "batch" || cmd == "serve") &&
+               it->rfind("--cache-dir=", 0) == 0) {
+      batch_opts.cache_dir = serve_opts.cache_dir = it->substr(12);
       if (batch_opts.cache_dir.empty()) {
         err << "--cache-dir needs a directory\n";
         return ExitCode::kUsage;
       }
       it = rest.erase(it);
-    } else if (cmd == "batch" && it->rfind("--metrics=", 0) == 0) {
-      batch_opts.metrics_file = it->substr(10);
+    } else if ((cmd == "batch" || cmd == "serve") &&
+               it->rfind("--metrics=", 0) == 0) {
+      batch_opts.metrics_file = serve_opts.metrics_file = it->substr(10);
       if (batch_opts.metrics_file.empty()) {
         err << "--metrics needs a file name\n";
         return ExitCode::kUsage;
       }
+      it = rest.erase(it);
+    } else if (cmd == "serve" && *it == "--stdio") {
+      serve_opts.stdio = true;
+      it = rest.erase(it);
+    } else if (cmd == "serve" && it->rfind("--workers=", 0) == 0) {
+      try {
+        serve_opts.workers = std::stoi(it->substr(10));
+      } catch (const std::exception&) {
+        err << "bad --workers value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (serve_opts.workers < 1) {
+        err << "--workers must be >= 1\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "serve" && it->rfind("--queue=", 0) == 0) {
+      int depth = 0;
+      try {
+        depth = std::stoi(it->substr(8));
+      } catch (const std::exception&) {
+        err << "bad --queue value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (depth < 1) {
+        err << "--queue must be >= 1\n";
+        return ExitCode::kUsage;
+      }
+      serve_opts.queue_depth = static_cast<size_t>(depth);
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--kind=", 0) == 0) {
+      request_opts.kind = it->substr(7);
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--deadline=", 0) == 0) {
+      try {
+        request_opts.deadline_ms = std::stod(it->substr(11));
+      } catch (const std::exception&) {
+        err << "bad --deadline value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (request_opts.deadline_ms < 0) {
+        err << "--deadline must be >= 0\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--id=", 0) == 0) {
+      request_opts.id = it->substr(5);
+      it = rest.erase(it);
+    } else if (cmd == "request" && *it == "--raw") {
+      request_opts.raw = true;
       it = rest.erase(it);
     } else {
       ++it;
     }
   }
   lint_opts.json = json;
+  if (cmd == "version" || cmd == "--version") return cmd_version(json, out);
+  if (cmd == "serve") {
+    if (!rest.empty()) serve_opts.socket = rest[0];
+    if (rest.size() > 1 || (serve_opts.stdio && !serve_opts.socket.empty())) {
+      err << "serve: give exactly one transport (a socket path or --stdio)\n";
+      return ExitCode::kUsage;
+    }
+    return cmd_serve(serve_opts, std::cin, out, err);
+  }
+  if (cmd == "request") {
+    if (rest.size() != 2) {
+      err << usage();
+      return ExitCode::kUsage;
+    }
+    request_opts.socket = rest[0];
+    auto source = read_source(rest[1], err);
+    if (!source) return ExitCode::kFailure;
+    const std::string file = rest[1] == "-" ? "<stdin>" : rest[1];
+    return cmd_request(*source, file, request_opts, out, err);
+  }
   if (cmd == "figure2") return cmd_figure2(out, threads);
   if (cmd == "batch") {
     if (rest.empty()) {

@@ -99,6 +99,48 @@ ExitCode cmd_batch(const std::vector<std::string>& inputs,
                    const BatchCliOptions& opts, std::ostream& out,
                    std::ostream& err);
 
+/// Options for `lmre serve`, parsed by run_cli.
+struct ServeCliOptions {
+  std::string socket;        ///< Unix-domain socket path ("" with stdio)
+  bool stdio = false;        ///< --stdio: newline-JSON over stdin/stdout
+  int workers = 1;           ///< --workers=N: analysis pool size
+  size_t queue_depth = 16;   ///< --queue=N: bounded backlog before shedding
+  std::string cache_dir;     ///< --cache-dir=D: persistent result cache
+  std::string metrics_file;  ///< --metrics=F: snapshot written on drain
+};
+
+/// `lmre serve <socket>|--stdio [--workers=N] [--queue=N] [--cache-dir=D]
+/// [--metrics=FILE]`: runs the concurrent analysis server (src/server) until
+/// SIGINT/SIGTERM (socket mode) or stdin EOF (--stdio), then drains
+/// gracefully: in-flight requests finish, metrics flush, exit kSuccess.
+/// `in` feeds the --stdio transport (run_cli passes std::cin).
+ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
+                   std::ostream& out, std::ostream& err);
+
+/// Options for `lmre request`, parsed by run_cli.
+struct RequestCliOptions {
+  std::string socket;       ///< Unix-domain socket of a running server
+  std::string kind = "full";///< --kind=lint|analyze|optimize|full
+  double deadline_ms = 0;   ///< --deadline=MS (0 = none)
+  std::string id;           ///< --id=S (defaults to the file name)
+  bool raw = false;         ///< --raw: print only the result payload
+};
+
+/// `lmre request <socket> <file|-> [--kind=K] [--deadline=MS] [--id=S]
+/// [--raw]`: one-shot client -- sends `source` to a running server and
+/// prints the response line (--raw: just the embedded result payload,
+/// byte-identical to what `lmre batch` embeds).  The exit code follows the
+/// wire status: 0-4 map to ExitCode directly, overloaded/timeout exit
+/// kFailure, bad_request exits kUsage.
+ExitCode cmd_request(const std::string& source, const std::string& file,
+                     const RequestCliOptions& opts, std::ostream& out,
+                     std::ostream& err);
+
+/// `lmre version` / `lmre --version`: tool identity -- JSON schema version
+/// and build info (compiler, C++ standard).  --json wraps it in the
+/// standard envelope.
+ExitCode cmd_version(bool json, std::ostream& out);
+
 /// Usage text for the dispatcher.
 std::string usage();
 
