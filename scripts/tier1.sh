@@ -101,4 +101,14 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/tests/lint_test
 ./build-asan/tests/cli_tool_test
 
+echo "== tier 1: oracle smoke (dense vs reference differential + perf gate) =="
+# The dense-address trace engine must stay bit-identical to the retained
+# hash-map reference under ASan+UBSan (the differential property suite), and
+# bench_oracle --check fails if the dense engine is ever slower than 2x the
+# reference on any bench kernel or on the minimizer's verify loop.
+cmake --build build-asan -j "$JOBS" --target property_oracle_test
+./build-asan/tests/property_oracle_test
+./build/bench/bench_oracle --check \
+  || { echo "FAIL: dense oracle engine regressed past the perf gate"; exit 1; }
+
 echo "tier 1 OK"

@@ -1,68 +1,40 @@
 #include "exact/liveness.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <map>
 #include <vector>
 
-#include "exact/oracle.h"
+#include "exact/reference.h"
+#include "exact/trace_engine.h"
 #include "support/error.h"
 
 namespace lmre {
 
 namespace {
 
-struct ElementKey {
-  ArrayId array;
-  std::vector<Int> index;
-  bool operator==(const ElementKey& o) const {
-    return array == o.array && index == o.index;
-  }
-};
-
-struct ElementKeyHash {
-  size_t operator()(const ElementKey& k) const {
-    size_t h = std::hash<size_t>()(k.array);
-    for (Int v : k.index) {
-      h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-struct Access {
-  Int ordinal;
-  bool is_write;
-};
-
-}  // namespace
-
-LivenessStats min_memory_liveness(const LoopNest& nest, const IntMat* transform) {
-  std::unordered_map<ElementKey, std::vector<Access>, ElementKeyHash> history;
-  Int iterations = 0;
-  visit_iterations(nest, transform, [&](Int ordinal, const IntVec& iter) {
-    iterations = ordinal + 1;
-    for (const auto& stmt : nest.statements()) {
-      // Reads before writes within a statement: the RHS is consumed before
-      // the store happens, so "A[i] = A[i] + ..." reads the OLD value.
-      for (const auto& ref : stmt.refs) {
-        if (ref.is_write()) continue;
-        ElementKey key{ref.array, ref.index_at(iter).data()};
-        history[key].push_back(Access{ordinal, false});
-      }
-      for (const auto& ref : stmt.refs) {
-        if (!ref.is_write()) continue;
-        ElementKey key{ref.array, ref.index_at(iter).data()};
-        history[key].push_back(Access{ordinal, true});
-      }
-    }
-  });
-
-  // Live intervals (inclusive of the final use: the value must be present
-  // when it is read).  Events: +1 at birth, -1 at last_use + 1.
+// Streaming value-liveness over the dense engine: instead of buffering the
+// full per-element access history and segmenting it afterwards (the
+// reference engine), each element carries a 3-state machine
+//   0 = unseen, 1 = input value live (reads only so far), 2 = written
+// plus the open segment's [birth, last_read] in the store's first/last
+// slots.  Segments are emitted into the same delta arrays the reference's
+// add_interval fills, in a per-element order that only permutes commutative
+// +1/-1 events, so the sweep results are byte-identical.
+struct LivenessSweep {
+  const AddressPlan& plan;
+  TraceArena& arena;
   LivenessStats stats;
-  const size_t horizon = static_cast<size_t>(iterations) + 2;
-  std::vector<Int> delta_total(horizon, 0);
+  size_t horizon;
+  std::vector<Int> delta_total;
   std::map<ArrayId, std::vector<Int>> delta;
-  auto add_interval = [&](ArrayId array, Int birth, Int last_use) {
+
+  LivenessSweep(const AddressPlan& p, TraceArena& a, Int iterations)
+      : plan(p),
+        arena(a),
+        horizon(static_cast<size_t>(iterations) + 2),
+        delta_total(horizon, 0) {}
+
+  void add_interval(ArrayId array, Int birth, Int last_use) {
     if (last_use < birth) return;  // dead value
     auto& d = delta[array];
     if (d.empty()) d.assign(horizon, 0);
@@ -70,60 +42,144 @@ LivenessStats min_memory_liveness(const LoopNest& nest, const IntMat* transform)
     d[static_cast<size_t>(last_use) + 1] -= 1;
     delta_total[static_cast<size_t>(birth)] += 1;
     delta_total[static_cast<size_t>(last_use) + 1] -= 1;
-  };
+  }
 
-  for (auto& [key, accesses] : history) {
-    // Accesses arrive in execution order already (visit order), but within
-    // one iteration a write can precede reads in statement order; that
-    // granularity is below the iteration-level model, so ordering inside an
-    // ordinal follows statement order as recorded.
-    size_t i = 0;
-    const size_t n = accesses.size();
-    // Upward-exposed input value: staged just in time from the backing
-    // store, so live from its FIRST use to its last read before the first
-    // write.
-    if (!accesses[0].is_write) {
-      Int first_read = accesses[0].ordinal;
-      Int last_read = accesses[0].ordinal;
-      size_t j = 0;
-      while (j < n && !accesses[j].is_write) {
-        last_read = accesses[j].ordinal;
-        ++j;
-      }
-      stats.input_elements += 1;
-      add_interval(key.array, first_read, last_read);
-      i = j;
+  // One access to `addr` of store `s` (owned by `array`) at `ordinal`.
+  void touch(TraceArena::StoreBuf& s, ArrayId array, bool is_write, Int ordinal,
+             Int addr) {
+    Int* birth;
+    Int* last_read;
+    unsigned char* tag;
+    if (s.dense) {
+      const size_t i = static_cast<size_t>(addr);
+      birth = &s.first[i];
+      last_read = &s.last[i];
+      tag = &s.tag[i];
+      if (*tag == 0) ++s.touched;
+    } else {
+      bool inserted = false;
+      const size_t i = trace_detail::upsert_slot(s, addr, &inserted);
+      birth = &s.kfirst[i];
+      last_read = &s.klast[i];
+      tag = &s.ktag[i];
     }
-    // Each write starts a value; it lives until the last read before the
-    // next write.
-    while (i < n) {
-      ensure(accesses[i].is_write, "liveness walk must be at a write");
-      Int birth = accesses[i].ordinal;
-      Int last_read = birth - 1;  // empty unless a read follows
-      size_t j = i + 1;
-      while (j < n && !accesses[j].is_write) {
-        last_read = accesses[j].ordinal;
-        ++j;
-      }
-      add_interval(key.array, birth, last_read);
-      i = j;
+    switch (*tag) {
+      case 0:  // unseen
+        if (is_write) {
+          *tag = 2;
+          *birth = ordinal;
+          *last_read = ordinal - 1;  // empty unless a read follows
+        } else {
+          // Upward-exposed input value, staged just in time.
+          ++stats.input_elements;
+          *tag = 1;
+          *birth = ordinal;
+          *last_read = ordinal;
+        }
+        break;
+      case 1:  // input segment open
+        if (is_write) {
+          add_interval(array, *birth, *last_read);  // last_read >= birth
+          *tag = 2;
+          *birth = ordinal;
+          *last_read = ordinal - 1;
+        } else {
+          *last_read = ordinal;
+        }
+        break;
+      default:  // 2: write segment open
+        if (is_write) {
+          add_interval(array, *birth, *last_read);
+          *birth = ordinal;
+          *last_read = ordinal - 1;
+        } else {
+          *last_read = ordinal;
+        }
+        break;
     }
   }
 
-  for (auto& [array, d] : delta) {
-    Int cur = 0, best = 0;
-    for (Int v : d) {
+  // Emits every element's still-open segment.
+  void flush() {
+    for (size_t si = 0; si < plan.stores.size(); ++si) {
+      const ArrayId array = plan.stores[si].array;
+      const TraceArena::StoreBuf& s = arena.store(0, si);
+      if (s.dense) {
+        for (size_t a = 0; a < static_cast<size_t>(s.volume); ++a) {
+          if (s.tag[a] != 0) add_interval(array, s.first[a], s.last[a]);
+        }
+      } else {
+        for (size_t i = 0; i < s.keys.size(); ++i) {
+          if (s.keys[i] != 0 && s.ktag[i] != 0) {
+            add_interval(array, s.kfirst[i], s.klast[i]);
+          }
+        }
+      }
+    }
+  }
+
+  LivenessStats finish() {
+    flush();
+    for (auto& [array, d] : delta) {
+      Int cur = 0, best = 0;
+      for (Int v : d) {
+        cur += v;
+        best = std::max(best, cur);
+      }
+      stats.per_array[array] = best;
+    }
+    Int cur = 0;
+    for (Int v : delta_total) {
       cur += v;
-      best = std::max(best, cur);
+      stats.max_live = std::max(stats.max_live, cur);
     }
-    stats.per_array[array] = best;
+    return stats;
   }
-  Int cur = 0;
-  for (Int v : delta_total) {
-    cur += v;
-    stats.max_live = std::max(stats.max_live, cur);
+};
+
+}  // namespace
+
+LivenessStats min_memory_liveness(const LoopNest& nest, const IntMat* transform,
+                                  TraceArena& arena) {
+  std::optional<IntMat> t_inv;
+  if (transform != nullptr) {
+    require(transform->rows() == nest.depth() &&
+                transform->cols() == nest.depth(),
+            "simulate_transformed: transform shape mismatch");
+    require(transform->is_unimodular(),
+            "simulate_transformed: transform not unimodular");
+    t_inv = transform->inverse_unimodular();
   }
-  return stats;
+  auto plan = AddressPlan::build(nest, t_inv ? &*t_inv : nullptr,
+                                 /*liveness_order=*/true, 1);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    return reference::min_memory_liveness(nest, transform);
+  }
+  arena.prepare(*plan, 1, /*with_state=*/true);
+  std::vector<TraceArena::StoreBuf*> bufs(plan->refs.size());
+  std::vector<ArrayId> arrays(plan->refs.size());
+  for (size_t r = 0; r < plan->refs.size(); ++r) {
+    bufs[r] = &arena.store(0, plan->refs[r].store);
+    arrays[r] = plan->stores[plan->refs[r].store].array;
+  }
+  Int iterations = plan->iterations;
+  LivenessSweep sweep(*plan, arena, iterations);
+  auto touch = [&](size_t r, Int ordinal, Int addr) {
+    sweep.touch(*bufs[r], arrays[r], plan->refs[r].is_write, ordinal, addr);
+  };
+  if (t_inv) {
+    drive_transformed(*plan, nest, *t_inv, touch);
+  } else {
+    drive_box(*plan, nest.bounds(), /*ordinal0=*/0, touch);
+  }
+  arena.finish_run(*plan, 1);
+  return sweep.finish();
+}
+
+LivenessStats min_memory_liveness(const LoopNest& nest, const IntMat* transform) {
+  TraceArena arena;
+  return min_memory_liveness(nest, transform, arena);
 }
 
 }  // namespace lmre

@@ -20,6 +20,8 @@
 
 namespace lmre {
 
+class TraceArena;  // exact/trace_engine.h: reusable dense-engine storage
+
 struct LivenessStats {
   Int max_live = 0;                  ///< peak number of live values
   std::map<ArrayId, Int> per_array;  ///< independent per-array peaks
@@ -33,5 +35,11 @@ struct LivenessStats {
 /// of the same location.
 LivenessStats min_memory_liveness(const LoopNest& nest,
                                   const IntMat* transform = nullptr);
+
+/// min_memory_liveness reusing the caller's TraceArena (one allocation
+/// footprint across repeated sweeps); results identical to the overload
+/// above.
+LivenessStats min_memory_liveness(const LoopNest& nest, const IntMat* transform,
+                                  TraceArena& arena);
 
 }  // namespace lmre

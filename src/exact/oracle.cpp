@@ -1,41 +1,17 @@
 #include "exact/oracle.h"
 
+#include <algorithm>
 #include <functional>
-#include <unordered_map>
+#include <map>
+#include <vector>
 
+#include "exact/reference.h"
+#include "exact/trace_engine.h"
 #include "polyhedra/scanner.h"
 #include "support/error.h"
 #include "support/parallel_for.h"
 
 namespace lmre {
-
-namespace {
-
-// Key for one touched element: array id + full index vector.
-struct ElementKey {
-  ArrayId array;
-  std::vector<Int> index;
-  bool operator==(const ElementKey& o) const {
-    return array == o.array && index == o.index;
-  }
-};
-
-struct ElementKeyHash {
-  size_t operator()(const ElementKey& k) const {
-    size_t h = std::hash<size_t>()(k.array);
-    for (Int v : k.index) {
-      h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-struct FirstLast {
-  Int first;
-  Int last;
-};
-
-}  // namespace
 
 void visit_iterations(const LoopNest& nest, const IntMat* t,
                       const std::function<void(Int, const IntVec&)>& body) {
@@ -95,111 +71,64 @@ void visit_iterations_chunked(const LoopNest& nest, int threads,
 
 namespace {
 
-// Shared trace pass: computes first/last touch per element and the access
-// counters; window statistics are derived from the event sweep.
-struct Trace {
-  std::unordered_map<ElementKey, FirstLast, ElementKeyHash> touch;
-  Int iterations = 0;
-  Int total_accesses = 0;
-  std::map<ArrayId, Int> distinct;
-
-  void touch_iteration(const LoopNest& nest, Int ordinal, const IntVec& iter) {
-    if (ordinal + 1 > iterations) iterations = ordinal + 1;
-    for (const auto& stmt : nest.statements()) {
-      for (const auto& ref : stmt.refs) {
-        ++total_accesses;
-        IntVec idx = ref.index_at(iter);
-        ElementKey key{ref.array, idx.data()};
-        auto [it, inserted] = touch.try_emplace(key, FirstLast{ordinal, ordinal});
-        if (inserted) {
-          ++distinct[ref.array];
-        } else {
-          it->second.last = ordinal;
-        }
-      }
-    }
+// Per-ref pointers into one slab's store set, hoisted out of the touch
+// callback so the innermost loop is one add + one store update per access.
+std::vector<TraceArena::StoreBuf*> ref_bufs(const AddressPlan& plan,
+                                            TraceArena& arena, size_t slab) {
+  std::vector<TraceArena::StoreBuf*> bufs(plan.refs.size());
+  for (size_t r = 0; r < plan.refs.size(); ++r) {
+    bufs[r] = &arena.store(slab, plan.refs[r].store);
   }
+  return bufs;
+}
 
-  void run(const LoopNest& nest, const IntMat* t) {
-    visit_iterations(nest, t, [&](Int ordinal, const IntVec& iter) {
-      touch_iteration(nest, ordinal, iter);
-    });
-  }
-
-  /// Folds another trace (a later slab of the same execution) into this one.
-  /// first/last merge as min/max, so the merge is order-independent; the
-  /// distinct counters are recomputed by the caller once all slabs are in.
-  void absorb(Trace&& o) {
-    iterations = std::max(iterations, o.iterations);
-    total_accesses = checked_add(total_accesses, o.total_accesses);
-    for (auto& [key, fl] : o.touch) {
-      auto [it, inserted] = touch.try_emplace(key, fl);
-      if (!inserted) {
-        it->second.first = std::min(it->second.first, fl.first);
-        it->second.last = std::max(it->second.last, fl.last);
-      }
-    }
-  }
-
-  void recount_distinct() {
-    distinct.clear();
-    for (const auto& [key, fl] : touch) {
-      (void)fl;
-      ++distinct[key.array];
-    }
-  }
-};
-
-}  // namespace
-
-static TraceStats stats_from_trace(const LoopNest& nest, Trace& trace) {
+// Derives TraceStats from slab 0 of a finished first/last run.  The math
+// mirrors the reference engine's stats_from_trace exactly: same map keys,
+// same delta-sweep horizons, same counter arithmetic.
+TraceStats stats_from_stores(const AddressPlan& plan, TraceArena& arena,
+                             Int iterations) {
   TraceStats s;
-  s.iterations = trace.iterations;
-  s.total_accesses = trace.total_accesses;
-  s.distinct = trace.distinct;
-  for (const auto& [array, count] : s.distinct) {
-    s.distinct_total = checked_add(s.distinct_total, count);
+  s.iterations = iterations;
+  s.total_accesses =
+      checked_mul(iterations, static_cast<Int>(plan.refs.size()));
+
+  std::vector<Int> ref_count(plan.stores.size(), 0);
+  for (const auto& r : plan.refs) ++ref_count[r.store];
+
+  const size_t horizon = static_cast<size_t>(iterations) + 1;
+  std::vector<Int> delta_total(horizon, 0);
+  std::vector<Int> d;
+  for (size_t si = 0; si < plan.stores.size(); ++si) {
+    const ArrayId array = plan.stores[si].array;
+    const TraceArena::StoreBuf& b = arena.store(0, si);
+    if (b.touched > 0) {
+      s.distinct[array] = b.touched;
+      s.distinct_total = checked_add(s.distinct_total, b.touched);
+    }
+    s.reuse[array] =
+        checked_sub(checked_mul(ref_count[si], iterations), b.touched);
+    d.clear();
+    trace_detail::for_each_touched(b, [&](Int first, Int last) {
+      if (first == last) return;  // never live across iterations
+      if (d.empty()) d.assign(horizon, 0);
+      d[static_cast<size_t>(first)] += 1;
+      d[static_cast<size_t>(last)] -= 1;
+      delta_total[static_cast<size_t>(first)] += 1;
+      delta_total[static_cast<size_t>(last)] -= 1;
+    });
+    if (!d.empty()) {
+      Int cur = 0, best = 0;
+      for (Int v : d) {
+        cur += v;
+        best = std::max(best, cur);
+      }
+      s.mws[array] = best;
+    } else if (b.touched > 0) {
+      // Touched but never live across iterations still gets an entry.
+      s.mws[array] = 0;
+    }
   }
   s.reuse_total = checked_sub(s.total_accesses, s.distinct_total);
-
-  // Per-array access counts, to fill reuse per array.
-  std::map<ArrayId, Int> accesses;
-  for (const auto& stmt : nest.statements()) {
-    for (const auto& ref : stmt.refs) {
-      accesses[ref.array] = checked_add(accesses[ref.array], s.iterations);
-    }
-  }
-  for (const auto& [array, count] : accesses) {
-    s.reuse[array] = checked_sub(count, s.distinct.count(array) ? s.distinct[array] : 0);
-  }
-
-  // Window sweep: an element is in the window at ordinal t iff
-  // first <= t < last.  Delta events: +1 at `first`, -1 at `last`.
-  const size_t horizon = static_cast<size_t>(s.iterations) + 1;
-  std::map<ArrayId, std::vector<Int>> delta;
-  std::vector<Int> delta_total(horizon, 0);
-  for (const auto& [key, fl] : trace.touch) {
-    if (fl.first == fl.last) continue;  // never live across iterations
-    auto& d = delta[key.array];
-    if (d.empty()) d.assign(horizon, 0);
-    d[static_cast<size_t>(fl.first)] += 1;
-    d[static_cast<size_t>(fl.last)] -= 1;
-    delta_total[static_cast<size_t>(fl.first)] += 1;
-    delta_total[static_cast<size_t>(fl.last)] -= 1;
-  }
-  for (auto& [array, d] : delta) {
-    Int cur = 0, best = 0;
-    for (Int v : d) {
-      cur += v;
-      best = std::max(best, cur);
-    }
-    s.mws[array] = best;
-  }
-  // Arrays touched but never live across iterations still get an entry.
-  for (const auto& [array, count] : s.distinct) {
-    (void)count;
-    s.mws.try_emplace(array, 0);
-  }
   Int cur = 0;
   for (Int v : delta_total) {
     cur += v;
@@ -208,169 +137,207 @@ static TraceStats stats_from_trace(const LoopNest& nest, Trace& trace) {
   return s;
 }
 
+LifetimeReport lifetimes_from_stores(const AddressPlan& plan,
+                                     TraceArena& arena) {
+  LifetimeReport rep;
+  for (size_t si = 0; si < plan.stores.size(); ++si) {
+    const TraceArena::StoreBuf& b = arena.store(0, si);
+    if (b.touched == 0) continue;
+    LifetimeStats& per = rep.per_array[plan.stores[si].array];
+    trace_detail::for_each_touched(b, [&](Int first, Int last) {
+      Int life = last - first;
+      auto bump = [&](LifetimeStats& st) {
+        st.elements += 1;
+        if (life > 0) st.live_elements += 1;
+        st.max_lifetime = std::max(st.max_lifetime, life);
+        st.total_lifetime = checked_add(st.total_lifetime, life);
+      };
+      bump(per);
+      bump(rep.total);
+    });
+  }
+  return rep;
+}
+
+// Serial original-order first/last run into slab 0.
+void run_serial(const LoopNest& nest, const AddressPlan& plan,
+                TraceArena& arena) {
+  arena.prepare(plan, 1, /*with_state=*/false);
+  auto bufs = ref_bufs(plan, arena, 0);
+  drive_box(plan, nest.bounds(), /*ordinal0=*/0,
+            [&](size_t r, Int ordinal, Int addr) {
+    trace_detail::touch_first_last(*bufs[r], addr, ordinal);
+  });
+  arena.finish_run(plan, 1);
+}
+
+// Transformed-order first/last run into slab 0; returns iterations visited.
+Int run_transformed(const LoopNest& nest, const AddressPlan& plan,
+                    const IntMat& t_inv, TraceArena& arena) {
+  arena.prepare(plan, 1, /*with_state=*/false);
+  auto bufs = ref_bufs(plan, arena, 0);
+  Int iters = drive_transformed(plan, nest, t_inv,
+                                [&](size_t r, Int ordinal, Int addr) {
+    trace_detail::touch_first_last(*bufs[r], addr, ordinal);
+  });
+  arena.finish_run(plan, 1);
+  return iters;
+}
+
+}  // namespace
+
 TraceStats simulate(const LoopNest& nest) {
-  Trace trace;
-  trace.run(nest, nullptr);
-  return stats_from_trace(nest, trace);
+  TraceArena arena;
+  return simulate(nest, 1, arena);
+}
+
+TraceStats simulate(const LoopNest& nest, int threads, TraceArena& arena) {
+  const int workers = resolve_threads(threads);
+  const bool parallel = workers > 1 && nest.depth() > 0 &&
+                        nest.bounds().range(0).trip_count() >= 2;
+  const int slabs = parallel ? workers : 1;
+  auto plan = AddressPlan::build(nest, nullptr, /*liveness_order=*/false, slabs);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    return parallel ? reference::simulate(nest, threads)
+                    : reference::simulate(nest);
+  }
+  if (!parallel) {
+    run_serial(nest, *plan, arena);
+    return stats_from_stores(*plan, arena, plan->iterations);
+  }
+  // Outer-loop slabs with global ordinals (the visit_iterations_chunked
+  // contract): each slab drives its sub-box into its own store set; dense
+  // first/last merge as elementwise min/max afterwards.
+  arena.prepare(*plan, static_cast<size_t>(slabs), /*with_state=*/false);
+  const IntBox& box = nest.bounds();
+  const size_t n = nest.depth();
+  Int inner_volume = 1;
+  for (size_t k = 1; k < n; ++k) {
+    inner_volume = checked_mul(inner_volume, box.range(k).trip_count());
+  }
+  parallel_chunks(box.range(0).trip_count(), threads, /*grain=*/1,
+                  [&](size_t slab, Int begin, Int end) {
+    std::vector<Range> ranges = box.ranges();
+    ranges[0] = Range{box.range(0).lo + begin, box.range(0).lo + end - 1};
+    IntBox sub(std::move(ranges));
+    auto bufs = ref_bufs(*plan, arena, slab);
+    drive_box(*plan, sub, checked_mul(begin, inner_volume),
+              [&](size_t r, Int ordinal, Int addr) {
+      trace_detail::touch_first_last(*bufs[r], addr, ordinal);
+    });
+  });
+  arena.merge_slabs(*plan, static_cast<size_t>(slabs));
+  arena.finish_run(*plan, static_cast<size_t>(slabs));
+  return stats_from_stores(*plan, arena, plan->iterations);
 }
 
 TraceStats simulate(const LoopNest& nest, int threads) {
-  const int workers = resolve_threads(threads);
-  if (workers <= 1 || nest.depth() == 0 ||
-      nest.bounds().range(0).trip_count() < 2) {
-    return simulate(nest);
-  }
-  // One trace per possible slab; visit_iterations_chunked guarantees slab
-  // indices below the resolved worker count and gives each slab global
-  // ordinals, so merging in any order reproduces the serial trace.
-  std::vector<Trace> slabs(static_cast<size_t>(workers));
-  visit_iterations_chunked(nest, threads,
-                           [&](size_t slab, Int ordinal, const IntVec& iter) {
-    slabs[slab].touch_iteration(nest, ordinal, iter);
-  });
-  Trace merged = std::move(slabs[0]);
-  for (size_t s = 1; s < slabs.size(); ++s) merged.absorb(std::move(slabs[s]));
-  merged.recount_distinct();
-  return stats_from_trace(nest, merged);
+  TraceArena arena;
+  return simulate(nest, threads, arena);
 }
 
 TraceStats simulate(const LoopNest& nest, const RunOptions& run) {
   return simulate(nest, run.threads);
 }
 
+TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t,
+                                TraceArena& arena) {
+  require(t.rows() == nest.depth() && t.cols() == nest.depth(),
+          "simulate_transformed: transform shape mismatch");
+  require(t.is_unimodular(), "simulate_transformed: transform not unimodular");
+  IntMat t_inv = t.inverse_unimodular();
+  auto plan = AddressPlan::build(nest, &t_inv, /*liveness_order=*/false, 1);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    return reference::simulate_transformed(nest, t);
+  }
+  Int iters = run_transformed(nest, *plan, t_inv, arena);
+  return stats_from_stores(*plan, arena, iters);
+}
+
 TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t) {
-  Trace trace;
-  trace.run(nest, &t);
-  return stats_from_trace(nest, trace);
+  TraceArena arena;
+  return simulate_transformed(nest, t, arena);
 }
 
-TraceStats simulate_general(const GeneralNest& nest) {
-  Trace trace;
-  Int ordinal = 0;
-  scan(nest.space(), [&](const IntVec& iter) {
-    trace.iterations = ordinal + 1;
-    for (const auto& stmt : nest.statements()) {
-      for (const auto& ref : stmt.refs) {
-        ++trace.total_accesses;
-        ElementKey key{ref.array, ref.index_at(iter).data()};
-        auto [it, inserted] = trace.touch.try_emplace(key, FirstLast{ordinal, ordinal});
-        if (inserted) {
-          ++trace.distinct[ref.array];
-        } else {
-          it->second.last = ordinal;
-        }
-      }
-    }
-    ++ordinal;
-  });
-  // The window sweep is recomputed directly (stats_from_trace wants a
-  // rectangular LoopNest for its per-array reuse bookkeeping).
-  TraceStats s;
-  s.iterations = trace.iterations;
-  s.total_accesses = trace.total_accesses;
-  s.distinct = trace.distinct;
-  for (const auto& [array, count] : s.distinct) {
-    s.distinct_total = checked_add(s.distinct_total, count);
-  }
-  s.reuse_total = checked_sub(s.total_accesses, s.distinct_total);
-  const size_t horizon = static_cast<size_t>(s.iterations) + 1;
-  std::map<ArrayId, std::vector<Int>> delta;
-  std::vector<Int> delta_total(horizon, 0);
-  for (const auto& [key, fl] : trace.touch) {
-    if (fl.first == fl.last) continue;
-    auto& d = delta[key.array];
-    if (d.empty()) d.assign(horizon, 0);
-    d[static_cast<size_t>(fl.first)] += 1;
-    d[static_cast<size_t>(fl.last)] -= 1;
-    delta_total[static_cast<size_t>(fl.first)] += 1;
-    delta_total[static_cast<size_t>(fl.last)] -= 1;
-  }
-  for (auto& [array, d] : delta) {
-    Int cur = 0, best = 0;
-    for (Int v : d) {
-      cur += v;
-      best = std::max(best, cur);
-    }
-    s.mws[array] = best;
-  }
-  for (const auto& [array, count] : s.distinct) {
-    (void)count;
-    s.mws.try_emplace(array, 0);
-  }
-  Int cur = 0;
-  for (Int v : delta_total) {
-    cur += v;
-    s.mws_total = std::max(s.mws_total, cur);
-  }
-  return s;
-}
-
-TraceStats simulate_order(const LoopNest& nest, const std::vector<IntVec>& order) {
-  Trace trace;
+TraceStats simulate_order(const LoopNest& nest,
+                          const std::vector<IntVec>& order) {
+  auto plan = AddressPlan::build(nest, nullptr, /*liveness_order=*/false, 1);
+  if (!plan) return reference::simulate_order(nest, order);
+  TraceArena arena;
+  arena.prepare(*plan, 1, /*with_state=*/false);
+  auto bufs = ref_bufs(*plan, arena, 0);
   Int ordinal = 0;
   for (const IntVec& iter : order) {
     require(nest.bounds().contains(iter),
             "simulate_order: iteration outside the nest bounds");
-    trace.iterations = ordinal + 1;
-    for (const auto& stmt : nest.statements()) {
-      for (const auto& ref : stmt.refs) {
-        ++trace.total_accesses;
-        IntVec idx = ref.index_at(iter);
-        ElementKey key{ref.array, idx.data()};
-        auto [it, inserted] = trace.touch.try_emplace(key, FirstLast{ordinal, ordinal});
-        if (inserted) {
-          ++trace.distinct[ref.array];
-        } else {
-          it->second.last = ordinal;
-        }
-      }
+    for (size_t r = 0; r < plan->refs.size(); ++r) {
+      trace_detail::touch_first_last(
+          *bufs[r], trace_detail::plan_address(plan->refs[r], iter), ordinal);
     }
     ++ordinal;
   }
-  return stats_from_trace(nest, trace);
+  arena.finish_run(*plan, 1);
+  return stats_from_stores(*plan, arena, ordinal);
 }
 
-namespace {
-
-LifetimeReport lifetimes_from_trace(const Trace& trace) {
-  LifetimeReport rep;
-  for (const auto& [key, fl] : trace.touch) {
-    Int life = fl.last - fl.first;
-    auto bump = [&](LifetimeStats& s) {
-      s.elements += 1;
-      if (life > 0) s.live_elements += 1;
-      s.max_lifetime = std::max(s.max_lifetime, life);
-      s.total_lifetime = checked_add(s.total_lifetime, life);
-    };
-    bump(rep.per_array[key.array]);
-    bump(rep.total);
+LifetimeReport lifetime_report(const LoopNest& nest, TraceArena& arena) {
+  auto plan = AddressPlan::build(nest, nullptr, /*liveness_order=*/false, 1);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    return reference::lifetime_report(nest);
   }
-  return rep;
+  run_serial(nest, *plan, arena);
+  return lifetimes_from_stores(*plan, arena);
 }
-
-}  // namespace
 
 LifetimeReport lifetime_report(const LoopNest& nest) {
-  Trace trace;
-  trace.run(nest, nullptr);
-  return lifetimes_from_trace(trace);
+  TraceArena arena;
+  return lifetime_report(nest, arena);
 }
 
-LifetimeReport lifetime_report_transformed(const LoopNest& nest, const IntMat& t) {
-  Trace trace;
-  trace.run(nest, &t);
-  return lifetimes_from_trace(trace);
+LifetimeReport lifetime_report_transformed(const LoopNest& nest,
+                                           const IntMat& t,
+                                           TraceArena& arena) {
+  require(t.rows() == nest.depth() && t.cols() == nest.depth(),
+          "simulate_transformed: transform shape mismatch");
+  require(t.is_unimodular(), "simulate_transformed: transform not unimodular");
+  IntMat t_inv = t.inverse_unimodular();
+  auto plan = AddressPlan::build(nest, &t_inv, /*liveness_order=*/false, 1);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    return reference::lifetime_report_transformed(nest, t);
+  }
+  run_transformed(nest, *plan, t_inv, arena);
+  return lifetimes_from_stores(*plan, arena);
 }
 
-std::vector<Int> window_series(const LoopNest& nest, const IntMat& t) {
-  Trace trace;
-  trace.run(nest, &t);
-  std::vector<Int> delta(static_cast<size_t>(trace.iterations) + 1, 0);
-  for (const auto& [key, fl] : trace.touch) {
-    (void)key;
-    if (fl.first == fl.last) continue;
-    delta[static_cast<size_t>(fl.first)] += 1;
-    delta[static_cast<size_t>(fl.last)] -= 1;
+LifetimeReport lifetime_report_transformed(const LoopNest& nest,
+                                           const IntMat& t) {
+  TraceArena arena;
+  return lifetime_report_transformed(nest, t, arena);
+}
+
+std::vector<Int> window_series(const LoopNest& nest, const IntMat& t,
+                               TraceArena& arena) {
+  require(t.rows() == nest.depth() && t.cols() == nest.depth(),
+          "simulate_transformed: transform shape mismatch");
+  require(t.is_unimodular(), "simulate_transformed: transform not unimodular");
+  IntMat t_inv = t.inverse_unimodular();
+  auto plan = AddressPlan::build(nest, &t_inv, /*liveness_order=*/false, 1);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    return reference::window_series(nest, t);
+  }
+  Int iters = run_transformed(nest, *plan, t_inv, arena);
+  std::vector<Int> delta(static_cast<size_t>(iters) + 1, 0);
+  for (size_t si = 0; si < plan->stores.size(); ++si) {
+    trace_detail::for_each_touched(arena.store(0, si), [&](Int first, Int last) {
+      if (first == last) return;
+      delta[static_cast<size_t>(first)] += 1;
+      delta[static_cast<size_t>(last)] -= 1;
+    });
   }
   std::vector<Int> series;
   series.reserve(delta.size());
@@ -381,6 +348,11 @@ std::vector<Int> window_series(const LoopNest& nest, const IntMat& t) {
   }
   if (!series.empty()) series.pop_back();  // last entry is past the end
   return series;
+}
+
+std::vector<Int> window_series(const LoopNest& nest, const IntMat& t) {
+  TraceArena arena;
+  return window_series(nest, t, arena);
 }
 
 }  // namespace lmre

@@ -22,6 +22,8 @@
 
 namespace lmre {
 
+class TraceArena;  // exact/trace_engine.h: reusable dense-engine storage
+
 /// Visits every iteration of the nest in the chosen execution order
 /// (`transform == nullptr` means original lexicographic order), calling
 /// body(ordinal, iteration).  The building block under every simulation in
@@ -65,6 +67,12 @@ TraceStats simulate(const LoopNest& nest);
 /// takes the serial path.
 TraceStats simulate(const LoopNest& nest, int threads);
 
+/// simulate reusing the caller's TraceArena: repeated runs against the same
+/// nest (candidate scoring, verify loops) touch one allocation footprint
+/// instead of rebuilding storage per call.  Results are identical to the
+/// arena-free overloads.
+TraceStats simulate(const LoopNest& nest, int threads, TraceArena& arena);
+
 /// simulate under the shared pipeline options: worker count from
 /// run.threads (the result does not depend on it).  Callers are expected
 /// to gate on run.verify_limit themselves -- the oracle always runs when
@@ -75,6 +83,10 @@ TraceStats simulate(const LoopNest& nest, const RunOptions& run);
 /// visited in lexicographic order of u = t * i (the transformed loop), each
 /// mapped back through t^-1 to evaluate the body's references.
 TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t);
+
+/// simulate_transformed reusing the caller's TraceArena (see above).
+TraceStats simulate_transformed(const LoopNest& nest, const IntMat& t,
+                                TraceArena& arena);
 
 /// Executes a general (non-rectangular) nest in lexicographic order of its
 /// constraint space.
@@ -90,6 +102,10 @@ TraceStats simulate_order(const LoopNest& nest, const std::vector<IntVec>& order
 /// given execution order (identity transform = original order).  Useful for
 /// plotting/inspecting the dynamic behaviour of the window.
 std::vector<Int> window_series(const LoopNest& nest, const IntMat& t);
+
+/// window_series reusing the caller's TraceArena.
+std::vector<Int> window_series(const LoopNest& nest, const IntMat& t,
+                               TraceArena& arena);
 
 /// Exact per-element lifetime statistics.  The lifetime of an element is
 /// the number of iterations between its first and last access (0 when it is
@@ -116,7 +132,14 @@ struct LifetimeReport {
 /// Measures lifetimes in original order.
 LifetimeReport lifetime_report(const LoopNest& nest);
 
+/// lifetime_report reusing the caller's TraceArena.
+LifetimeReport lifetime_report(const LoopNest& nest, TraceArena& arena);
+
 /// Measures lifetimes in transformed execution order.
 LifetimeReport lifetime_report_transformed(const LoopNest& nest, const IntMat& t);
+
+/// lifetime_report_transformed reusing the caller's TraceArena.
+LifetimeReport lifetime_report_transformed(const LoopNest& nest,
+                                           const IntMat& t, TraceArena& arena);
 
 }  // namespace lmre

@@ -1,8 +1,10 @@
 #include "exact/stack_distance.h"
 
 #include <algorithm>
+#include <functional>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "exact/oracle.h"
 #include "support/error.h"

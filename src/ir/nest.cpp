@@ -16,6 +16,30 @@ IntVec ArrayRef::index_at(const IntVec& iter) const {
   return (access * iter) + offset;
 }
 
+void ArrayRef::linearize(const std::vector<Int>& lo,
+                         const std::vector<Int>& stride, IntVec* coef,
+                         Int* c0) const {
+  const size_t d = access.rows();
+  const size_t n = access.cols();
+  require(lo.size() == d && stride.size() == d,
+          "ArrayRef::linearize: box shape mismatch");
+  IntVec c(n);
+  for (size_t k = 0; k < n; ++k) {
+    Int v = 0;
+    for (size_t r = 0; r < d; ++r) {
+      v = checked_add(v, checked_mul(stride[r], access(r, k)));
+    }
+    c[k] = v;
+  }
+  Int base = 0;
+  for (size_t r = 0; r < d; ++r) {
+    base = checked_add(base,
+                       checked_mul(stride[r], checked_sub(offset[r], lo[r])));
+  }
+  *coef = std::move(c);
+  *c0 = base;
+}
+
 bool ArrayRef::uniformly_generated_with(const ArrayRef& o) const {
   return array == o.array && access == o.access;
 }

@@ -42,6 +42,14 @@ struct ArrayRef {
   /// The d-dimensional index touched at iteration `iter`.
   IntVec index_at(const IntVec& iter) const;
 
+  /// Linearizes the reference against a row-major element box: writes the
+  /// flat address sum_d stride[d] * (index_at(iter)[d] - lo[d]) as the
+  /// affine form coef . iter + c0.  `lo`/`stride` are per array dimension;
+  /// all arithmetic is overflow-checked (OverflowError on blow-up), which
+  /// is how the dense trace engine detects un-linearizable nests.
+  void linearize(const std::vector<Int>& lo, const std::vector<Int>& stride,
+                 IntVec* coef, Int* c0) const;
+
   bool is_write() const { return kind == AccessKind::kWrite; }
 
   /// True when `o` is uniformly generated with this reference: same array

@@ -23,6 +23,20 @@ void scan(const LoopBounds& bounds, const PointVisitor& visit);
 /// Convenience: extracts bounds from the system and scans.
 void scan(const ConstraintSystem& system, const PointVisitor& visit);
 
+/// Row visitor: invoked once per non-empty innermost row.  `point` has the
+/// outer levels set to the row's prefix and the innermost level set to
+/// `lo`; the innermost variable ranges over [lo, hi] inclusive.  Rows
+/// arrive in the same lexicographic order scan() would visit their points,
+/// letting callers step innermost-affine quantities incrementally instead
+/// of re-evaluating them per point (the dense trace engine's hot path).
+using RowVisitor = std::function<void(const IntVec& point, Int lo, Int hi)>;
+
+/// Scans per-level bounds one innermost row at a time.
+void scan_rows(const LoopBounds& bounds, const RowVisitor& visit);
+
+/// Convenience: extracts bounds from the system and scans rows.
+void scan_rows(const ConstraintSystem& system, const RowVisitor& visit);
+
 /// Number of integer points in the polyhedron (exact, by enumeration).
 Int count_points(const ConstraintSystem& system);
 

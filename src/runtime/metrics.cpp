@@ -17,6 +17,12 @@ void Metrics::gauge(const std::string& name, double value) {
   gauges_[name] = value;
 }
 
+void Metrics::gauge_max(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name, value);
+  if (!inserted && value > it->second) it->second = value;
+}
+
 void Metrics::observe_ms(const std::string& name, double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   TimerStat& t = timers_[name];

@@ -37,6 +37,11 @@ class Metrics {
   /// Sets the named gauge to `value` (last write wins).
   void gauge(const std::string& name, double value);
 
+  /// Raises the named gauge to `value` if larger (created at `value`);
+  /// peak-style gauges (arena high-water, table occupancy) merge with this
+  /// so concurrent sessions keep the true maximum.
+  void gauge_max(const std::string& name, double value);
+
   /// Adds `ms` to the named timer's accumulated total and bumps its
   /// observation count.
   void observe_ms(const std::string& name, double ms);

@@ -6,6 +6,7 @@
 #include "analysis/report.h"
 #include "diag/diagnostic.h"
 #include "exact/oracle.h"
+#include "exact/trace_engine.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "lint/lint.h"
@@ -110,6 +111,36 @@ Json analysis_json(const LoopNest& nest, const MemoryReport& rep,
   return doc;
 }
 
+// Folds a request's dense-engine instrumentation into the shared registry
+// as `oracle.*` counters and peak gauges (visible in `batch --metrics` and
+// the serve metrics snapshot).  Runs on scope exit so every compute path --
+// including the error returns -- reports.
+class OracleStatsExporter {
+ public:
+  OracleStatsExporter(Metrics& metrics, const TraceArena& arena)
+      : metrics_(metrics), arena_(arena) {}
+  ~OracleStatsExporter() {
+    const OracleStats& s = arena_.stats();
+    metrics_.count("oracle.runs", s.runs);
+    metrics_.count("oracle.fallback_runs", s.fallback_runs);
+    metrics_.count("oracle.dense_stores", s.dense_stores);
+    metrics_.count("oracle.sparse_stores", s.sparse_stores);
+    metrics_.count("oracle.elements", s.elements);
+    metrics_.count("oracle.accesses", s.accesses);
+    metrics_.count("oracle.sparse_probes", s.sparse_probes);
+    metrics_.count("oracle.sparse_ops", s.sparse_ops);
+    metrics_.gauge_max("oracle.table_occupancy_peak", s.table_occupancy_peak);
+    metrics_.gauge_max("oracle.arena_high_water_bytes",
+                       static_cast<double>(s.arena_high_water_bytes));
+  }
+  OracleStatsExporter(const OracleStatsExporter&) = delete;
+  OracleStatsExporter& operator=(const OracleStatsExporter&) = delete;
+
+ private:
+  Metrics& metrics_;
+  const TraceArena& arena_;
+};
+
 }  // namespace
 
 AnalysisSession::AnalysisSession(SessionOptions opts)
@@ -169,6 +200,11 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
   *status = ExitCode::kSuccess;
   Json result = Json::object();
   result.set("kind", to_string(req.kind));
+  // One reusable arena per request: every oracle call below (analysis
+  // simulate, optimize verify loop, before/after re-scoring) shares its
+  // allocation footprint, and the exporter publishes the instrumentation.
+  TraceArena arena;
+  OracleStatsExporter exporter(*metrics_, arena);
   try {
     ProgramSourceMap smap;
     Program program;
@@ -205,7 +241,7 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
         std::optional<TraceStats> exact;
         if (nest.iteration_count() <= stage.verify_limit) {
           Metrics::ScopedTimer t = metrics_->time("stage.mws");
-          exact = simulate(nest, stage);
+          exact = simulate(nest, stage.threads, arena);
         }
         result.set("analysis", analysis_json(nest, rep, exact));
       } else {
@@ -252,17 +288,18 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       OptimizeResult res;
       {
         Metrics::ScopedTimer t = metrics_->time("stage.optimize");
-        res = optimize_locality(nest, stage);
+        res = optimize_locality(nest, minimizer_options(stage), arena);
       }
       Json opt = Json::object();
       opt.set("method", res.method);
       opt.set("transform", transform_json(res.transform));
       opt.set("predicted_mws", res.predicted_mws);
       if (nest.iteration_count() <= stage.verify_limit) {
-        opt.set("mws_before", simulate(nest, stage).mws_total);
+        opt.set("mws_before", simulate(nest, stage.threads, arena).mws_total);
       }
       if (transformed_scan_volume(nest, res.transform) <= stage.verify_limit) {
-        opt.set("mws_after", simulate_transformed(nest, res.transform).mws_total);
+        opt.set("mws_after",
+                simulate_transformed(nest, res.transform, arena).mws_total);
       }
       result.set("optimize", std::move(opt));
     }

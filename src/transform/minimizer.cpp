@@ -7,6 +7,7 @@
 #include "analysis/distinct.h"
 #include "analysis/window.h"
 #include "exact/oracle.h"
+#include "exact/trace_engine.h"
 #include "dependence/dependence.h"
 #include "linalg/completion.h"
 #include "linalg/diophantine.h"
@@ -389,6 +390,13 @@ Int predicted_mws_after(const LoopNest& nest, const IntMat& t) {
 }
 
 OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& opts) {
+  TraceArena arena;
+  return optimize_locality(nest, opts, arena);
+}
+
+OptimizeResult optimize_locality(const LoopNest& nest,
+                                 const MinimizerOptions& opts,
+                                 TraceArena& arena) {
   const size_t n = nest.depth();
   DependenceInfo info = analyze_dependences(nest);
   std::vector<IntVec> memory = info.distance_vectors(/*include_input=*/false);
@@ -463,15 +471,25 @@ OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& o
       }
       unique.push_back(c);
     }
-    // Each simulation is independent (TraceStats is per-call state), so the
-    // re-scoring fans out across the pool; results come back in candidate
-    // order and the selection below is the serial scan.
-    std::vector<Int> exact = parallel_map<Int>(
-        static_cast<Int>(unique.size()), opts.threads,
-        [&](Int i) {
-          return simulate_transformed(nest, unique[static_cast<size_t>(i)]->t)
-              .mws_total;
-        });
+    // Re-scoring fans out across the pool in candidate order; every chunk
+    // reuses one TraceArena across its candidates (chunk 0 gets the
+    // caller's, so serial verify loops touch a single allocation
+    // footprint), and the selection below is the serial scan.
+    const int workers = resolve_threads(opts.threads);
+    std::vector<TraceArena> extra(workers > 1 ? static_cast<size_t>(workers - 1)
+                                              : 0);
+    std::vector<Int> exact(unique.size(), 0);
+    parallel_chunks(static_cast<Int>(unique.size()), opts.threads, /*grain=*/1,
+                    [&](size_t chunk, Int begin, Int end) {
+      TraceArena& chunk_arena = chunk == 0 ? arena : extra[chunk - 1];
+      for (Int i = begin; i < end; ++i) {
+        exact[static_cast<size_t>(i)] =
+            simulate_transformed(nest, unique[static_cast<size_t>(i)]->t,
+                                 chunk_arena)
+                .mws_total;
+      }
+    });
+    for (const TraceArena& e : extra) arena.stats().absorb(e.stats());
     const Scored* best = nullptr;
     Int best_exact = 0;
     for (size_t i = 0; i < unique.size(); ++i) {

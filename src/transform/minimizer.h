@@ -23,6 +23,8 @@
 
 namespace lmre {
 
+class TraceArena;  // exact/trace_engine.h: reusable dense-engine storage
+
 struct MinimizerOptions {
   /// Search bound on |a| and |b| for first-row enumeration.
   Int coeff_bound = 8;
@@ -103,6 +105,16 @@ struct OptimizeResult {
 /// identity, legal loop permutations, the depth-2 row minimizer, and
 /// per-array embeddings, scored by predicted_mws_after.
 OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& opts = {});
+
+/// optimize_locality reusing the caller's TraceArena for the exact
+/// verification loop: the k candidate simulations share (and grow) one
+/// allocation footprint instead of rebuilding per candidate.  With several
+/// worker threads each extra chunk gets a thread-local arena whose
+/// instrumentation is folded back into `arena` -- results are bit-identical
+/// to the arena-free overload for every thread count.
+OptimizeResult optimize_locality(const LoopNest& nest,
+                                 const MinimizerOptions& opts,
+                                 TraceArena& arena);
 
 /// Maps the shared pipeline options onto this stage's knobs: threads and
 /// verify_iteration_limit come from `run`, everything else keeps its
