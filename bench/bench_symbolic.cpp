@@ -1,0 +1,205 @@
+// Symbolic-path bench: closed-form analysis (src/symbolic) vs the trace
+// oracle on bound ladders of three paper kernels, through the same
+// AnalysisSession path `lmre analyze --symbolic` uses (parse + lint +
+// derive + eval).  The point of the table: the oracle's cost grows with
+// the iteration volume while the symbolic path is flat -- at N = 10^6 per
+// axis (10^12..10^18 iterations) only the symbolic column exists, and it
+// must answer in under 10 ms.  Writes BENCH_symbolic.json (enveloped)
+// into the current directory.
+//
+// With --check the bench exits nonzero if any symbolic request takes
+// 10 ms or longer, or if symbolic and oracle values disagree on any row
+// small enough for both to run.
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codes/examples.h"
+#include "codes/kernels.h"
+#include "exact/oracle.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "runtime/session.h"
+#include "support/json.h"
+#include "support/text.h"
+#include "symbolic/derive.h"
+
+using namespace lmre;
+
+namespace {
+
+constexpr int kReps = 3;                 // best-of timing, min over reps
+constexpr double kCheckBudgetMs = 10.0;  // --check: symbolic must stay under
+constexpr Int kOracleCap = 8'000'000;    // skip the oracle past this volume
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double ms = ms_since(t0);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  std::string bounds;
+  Int iterations = 0;
+  double symbolic_ms = 0.0;
+  double oracle_ms = -1.0;  // < 0: skipped (volume past kOracleCap)
+  Int symbolic_window = -1;
+  Int oracle_window = -1;
+};
+
+// The ladders: each kernel rebuilt at growing per-axis bounds.  The
+// shapes cover the single-pair window regime (2point), the Section 3.2
+// kernel regime (Example 5 / 10), and a three-array nest (matmult).
+LoopNest two_point(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId a = b.array("A", {n + 1, n + 1});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-1, 0});
+  return b.build();
+}
+
+LoopNest example5_scaled(Int s) {
+  NestBuilder b;
+  b.loop("i", 1, 10 * s).loop("j", 1, 20 * s).loop("k", 1, 30 * s);
+  ArrayId a = b.array("A", {3 * 10 * s + 30 * s + 1, 20 * s + 30 * s + 1});
+  b.statement().read(a, {{3, 0, 1}, {0, 1, 1}}, {0, 0});
+  return b.build();
+}
+
+std::string fmt_ms(double ms) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << ms;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+
+  std::vector<std::pair<std::string, std::vector<LoopNest>>> ladders;
+  ladders.emplace_back(
+      "2point", std::vector<LoopNest>{two_point(64), two_point(1024),
+                                      two_point(1'000'000)});
+  ladders.emplace_back(
+      "example10",
+      std::vector<LoopNest>{example5_scaled(1), example5_scaled(8),
+                            example5_scaled(50'000)});
+  ladders.emplace_back(
+      "matmult",
+      std::vector<LoopNest>{codes::kernel_matmult(16),
+                            codes::kernel_matmult(128),
+                            codes::kernel_matmult(1'000'000)});
+
+  bool ok = true;
+  std::vector<Row> rows;
+  AnalysisSession session;
+  int rep_serial = 0;  // appended as a comment so no rep is a cache hit
+
+  for (auto& [name, nests] : ladders) {
+    for (const LoopNest& nest : nests) {
+      Row row;
+      row.kernel = name;
+      {
+        std::ostringstream os;
+        for (size_t k = 0; k < nest.depth(); ++k) {
+          os << (k ? "x" : "") << nest.bounds().range(k).trip_count();
+        }
+        row.bounds = os.str();
+      }
+      row.iterations = nest.iteration_count();
+
+      // End-to-end symbolic request: DSL text through the session (parse,
+      // lint, derive, evaluate, serialize) -- what the CLI flag costs.
+      const std::string base_source = to_dsl(nest);
+      row.symbolic_ms = best_of([&] {
+        AnalysisRequest req;
+        req.source =
+            base_source + "# rep " + std::to_string(rep_serial++) + "\n";
+        req.kind = AnalysisRequest::Kind::kSymbolic;
+        AnalysisResult res = session.run(req);
+        if (res.status != ExitCode::kSuccess) {
+          std::cout << "symbolic request failed on " << name << '\n';
+          ok = false;
+        }
+      });
+      SymbolicResult sym = symbolic_analysis(nest);
+      if (sym.window_total) {
+        row.symbolic_window = sym.window_total->eval(sym.bound_values);
+      }
+
+      if (nest.iteration_count() <= kOracleCap) {
+        TraceStats st;
+        row.oracle_ms = best_of([&] { st = simulate(nest); });
+        row.oracle_window = st.mws_total;
+        if (row.symbolic_window >= 0 &&
+            row.symbolic_window != row.oracle_window) {
+          std::cout << "MISMATCH on " << name << " " << row.bounds << ": sym "
+                    << row.symbolic_window << " vs oracle " << row.oracle_window
+                    << '\n';
+          ok = false;
+        }
+      }
+      if (check && row.symbolic_ms >= kCheckBudgetMs) {
+        std::cout << "CHECK FAIL: symbolic " << fmt_ms(row.symbolic_ms)
+                  << "ms >= " << kCheckBudgetMs << "ms on " << name << " "
+                  << row.bounds << '\n';
+        ok = false;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  TextTable t;
+  t.header({"kernel", "bounds", "iterations", "symbolic (ms)", "oracle (ms)",
+            "window"});
+  Json jrows = Json::array();
+  for (const Row& r : rows) {
+    t.row({r.kernel, r.bounds, with_commas(r.iterations),
+           fmt_ms(r.symbolic_ms),
+           r.oracle_ms < 0 ? "-" : fmt_ms(r.oracle_ms),
+           r.symbolic_window < 0 ? "-" : with_commas(r.symbolic_window)});
+    Json jr = Json::object();
+    jr.set("kernel", r.kernel)
+        .set("bounds", r.bounds)
+        .set("iterations", r.iterations)
+        .set("symbolic_ms", r.symbolic_ms);
+    if (r.oracle_ms >= 0) jr.set("oracle_ms", r.oracle_ms);
+    if (r.symbolic_window >= 0) jr.set("symbolic_window", r.symbolic_window);
+    if (r.oracle_window >= 0) jr.set("oracle_window", r.oracle_window);
+    jrows.push(std::move(jr));
+  }
+  std::cout << "-- symbolic closed forms vs trace oracle --\n" << t.render();
+
+  Json doc = Json::object();
+  doc.set("budget_ms", kCheckBudgetMs);
+  doc.set("oracle_cap_iterations", kOracleCap);
+  doc.set("rows", std::move(jrows));
+  std::ofstream("BENCH_symbolic.json")
+      << json_envelope("bench-symbolic", std::move(doc)).dump(2) << '\n';
+  std::cout << "wrote BENCH_symbolic.json\n";
+
+  if (check) std::cout << (ok ? "CHECK OK\n" : "CHECK FAILED\n");
+  return ok ? 0 : 1;
+}

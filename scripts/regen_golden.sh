@@ -4,8 +4,10 @@
 #
 #   ./scripts/regen_golden.sh [build-dir]
 #
-# Currently covers tests/golden/batch_loops.json, the byte-exact document
-# `lmre batch --json examples/loops` must produce (golden_batch_test).
+# Covers tests/golden/batch_loops.json, the byte-exact document
+# `lmre batch --json examples/loops` must produce (golden_batch_test), and
+# tests/golden/symbolic_example{6,10}.json, the `lmre analyze --symbolic
+# --json` envelopes pinned by golden_symbolic_test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,3 +21,13 @@ fi
 mkdir -p tests/golden
 "$LMRE" batch --json examples/loops > tests/golden/batch_loops.json
 echo "wrote tests/golden/batch_loops.json"
+
+# Symbolic closed forms for the paper's Example 10 (Section 3.2 / 4.3
+# formulas) and Example 6 (non-uniform decline, exits 3 -- that is the
+# pinned behavior, not a regen failure).
+"$LMRE" analyze --symbolic --json tests/golden/example10.loop \
+  > tests/golden/symbolic_example10.json
+echo "wrote tests/golden/symbolic_example10.json"
+"$LMRE" analyze --symbolic --json tests/golden/example6.loop \
+  > tests/golden/symbolic_example6.json || true
+echo "wrote tests/golden/symbolic_example6.json"

@@ -4,7 +4,9 @@
 # shedding, graceful SIGTERM drain), then two sanitizer passes --
 # ThreadSanitizer over the parallel-search + shared-cache/server suites
 # and ASan+UBSan over the parser / lint / CLI suites (the layers that
-# chew on untrusted input).  Run from the repo root:
+# chew on untrusted input) -- plus a symbolic-smoke stage (closed forms
+# differential vs the oracle under ASan, golden + decline corpora) and
+# the oracle perf gate.  Run from the repo root:
 #
 #   scripts/tier1.sh
 #
@@ -100,6 +102,25 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/tests/parser_test
 ./build-asan/tests/lint_test
 ./build-asan/tests/cli_tool_test
+
+echo "== tier 1: symbolic-smoke (ASan differential subset + golden check) =="
+# The symbolic closed forms must stay oracle-exact under ASan+UBSan: run
+# the paper-kernel + clamping-edge differential subset (the full 300-nest
+# sweep stays in the plain ctest pass, where the `symbolic` ctest label
+# covers it at 1 and N threads), then re-pin the golden envelopes for the
+# paper's Example 6 (decline) and Example 10 (Sections 3.2 / 4.3).
+cmake --build build-asan -j "$JOBS" --target property_symbolic_test \
+  golden_symbolic_test symbolic_reject_test
+./build-asan/tests/property_symbolic_test \
+  --gtest_filter='PropertySymbolic.PaperKernels:PropertySymbolic.Example10ClampingEdges:PropertySymbolic.LoopCorpus'
+./build-asan/tests/golden_symbolic_test
+./build-asan/tests/symbolic_reject_test
+(cd build && ctest -L symbolic --output-on-failure -j "$JOBS") \
+  || { echo "FAIL: symbolic-labeled ctest subset"; exit 1; }
+# Latency gate: an lmre analyze --symbolic request must answer in under
+# 10 ms even at 10^18-iteration bounds (writes BENCH_symbolic.json).
+./build/bench/bench_symbolic --check \
+  || { echo "FAIL: symbolic path missed the 10 ms budget or the oracle"; exit 1; }
 
 echo "== tier 1: oracle smoke (dense vs reference differential + perf gate) =="
 # The dense-address trace engine must stay bit-identical to the retained

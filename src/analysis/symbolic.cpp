@@ -119,6 +119,13 @@ std::string Poly::str() const {
   return os.str();
 }
 
+std::vector<PolyTerm> Poly::terms() const {
+  std::vector<PolyTerm> out;
+  out.reserve(terms_.size());
+  for (const auto& [e, c] : terms_) out.push_back({e, c});
+  return out;
+}
+
 Poly symbolic_reuse(const IntVec& d) {
   const size_t n = d.size();
   Poly out = Poly::constant(n, 1);

@@ -16,6 +16,12 @@
 
 namespace lmre {
 
+/// One monomial of a Poly: coef * prod_k N_{k+1}^exps[k].
+struct PolyTerm {
+  std::vector<Int> exps;
+  Int coef = 0;
+};
+
 /// Sparse multivariate polynomial with integer coefficients over the
 /// variables N1..Nn (indices 0..n-1).
 class Poly {
@@ -46,6 +52,9 @@ class Poly {
   /// Human-readable form with the paper's variable names:
   /// "N1*N2 - 2*N1 - ..." (terms in graded-lex order, highest first).
   std::string str() const;
+
+  /// The monomials in the same graded-lex order str() renders them.
+  std::vector<PolyTerm> terms() const;
 
  private:
   // exponent vector -> coefficient; zero coefficients are never stored.

@@ -16,6 +16,8 @@
 //   diagnostics + lint     diag/diagnostic.h, lint/lint.h   lint_program, Diagnostic
 //   estimates + reports    analysis/report.h                analyze_memory
 //   exact oracle (MWS)     exact/oracle.h                   simulate, TraceStats
+//   symbolic formulas      symbolic/expr.h,                 symbolic_analysis,
+//                          symbolic/derive.h                SymbolicResult
 //   transform search       transform/minimizer.h,           optimize_locality,
 //                          transform/transformed.h          minimize_mws_2d
 //   batch runtime          runtime/session.h,               AnalysisSession,
@@ -48,5 +50,7 @@
 #include "support/error.h"
 #include "support/json.h"
 #include "support/options.h"
+#include "symbolic/derive.h"
+#include "symbolic/expr.h"
 #include "transform/minimizer.h"
 #include "transform/transformed.h"

@@ -50,6 +50,12 @@ const std::vector<LintCheckInfo>& lint_checks() {
       {"LMRE-N015", "negative-base",
        "subscripts below 0 use the relocatable-window idiom"},
       {"LMRE-N016", "plan-certified", "positive plan re-certification verdict"},
+      {"LMRE-E017", "symbolic-unsupported",
+       "symbolic closed forms apply to no array of the nest; the request"
+       " is declined instead of emitting a wrong formula"},
+      {"LMRE-N018", "symbolic-partial",
+       "a per-array quantity has no symbolic closed form; the trace oracle"
+       " remains exact for it"},
   };
   return infos;
 }

@@ -49,6 +49,13 @@
 //                                 arrays as relocatable index windows
 //   LMRE-N016 plan-certified      positive verdict of an LMRE-E013 plan
 //                                 re-certification (emitted for audit logs)
+//   LMRE-E017 symbolic-unsupported  the symbolic analysis path (src/
+//                                 symbolic) found no array with a closed
+//                                 form; emitted by that path, not by
+//                                 lint_nest
+//   LMRE-N018 symbolic-partial    a specific per-array quantity was
+//                                 declined by the symbolic path (the trace
+//                                 oracle remains exact for it)
 //   LMRE-E000 check-failure       a check itself failed with an internal
 //                                 error (never expected; reported, not thrown)
 

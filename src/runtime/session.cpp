@@ -12,6 +12,7 @@
 #include "lint/lint.h"
 #include "program/program.h"
 #include "support/parallel_for.h"
+#include "symbolic/derive.h"
 #include "transform/minimizer.h"
 #include "transform/transformed.h"
 
@@ -23,6 +24,7 @@ const char* to_string(AnalysisRequest::Kind kind) {
     case AnalysisRequest::Kind::kAnalyze: return "analyze";
     case AnalysisRequest::Kind::kOptimize: return "optimize";
     case AnalysisRequest::Kind::kFull: return "full";
+    case AnalysisRequest::Kind::kSymbolic: return "symbolic";
   }
   return "unknown";
 }
@@ -226,6 +228,24 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
     }
     if (req.kind == Kind::kLint) return result.dump();
 
+    if (req.kind == Kind::kSymbolic) {
+      // Closed-form path: O(1) in the iteration volume, no oracle run.
+      if (program.phase_count() != 1) {
+        *status = ExitCode::kFailure;
+        return error_json("unsupported", "symbolic analysis works on single-nest sources")
+            .set("kind", to_string(req.kind))
+            .dump();
+      }
+      SymbolicResult sym;
+      {
+        Metrics::ScopedTimer t = metrics_->time("stage.symbolic");
+        sym = symbolic_analysis(program.phase_nest(0));
+      }
+      result.set("symbolic", symbolic_json(sym));
+      if (!sym.usable()) *status = ExitCode::kDiagnostics;
+      return result.dump();
+    }
+
     RunOptions stage = opts_.run;
     stage.threads = threads;
     const bool single = program.phase_count() == 1;
@@ -294,6 +314,21 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       opt.set("method", res.method);
       opt.set("transform", transform_json(res.transform));
       opt.set("predicted_mws", res.predicted_mws);
+      // Symbolic window formula for the winning plan: exact through signed
+      // permutations, the paper's eq. (2) estimate for other 2-D plans.
+      // Best-effort -- a decline or eval overflow just omits the field, and
+      // the numeric results above stay authoritative.
+      try {
+        SymbolicResult sym = symbolic_analysis_transformed(nest, res.transform);
+        if (sym.window_total) {
+          opt.set("symbolic_window", sym.window_total->str());
+          opt.set("symbolic_window_value",
+                  sym.window_total->eval(sym.bound_values));
+        } else if (sym.window_estimate) {
+          opt.set("symbolic_window_estimate", *sym.window_estimate);
+        }
+      } catch (const Error&) {
+      }
       if (nest.iteration_count() <= stage.verify_limit) {
         opt.set("mws_before", simulate(nest, stage.threads, arena).mws_total);
       }

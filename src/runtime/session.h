@@ -34,15 +34,18 @@ namespace lmre {
 struct AnalysisRequest {
   /// How deep to run the pipeline.  Every kind parses and lints; kAnalyze
   /// adds estimates + exact measurements, kOptimize adds the transform
-  /// search, kFull runs everything.
-  enum class Kind { kLint, kAnalyze, kOptimize, kFull };
+  /// search, kFull runs everything.  kSymbolic derives closed-form
+  /// bound-parametric formulas (src/symbolic) and never touches the trace
+  /// engine, so its cost is independent of the iteration volume.
+  enum class Kind { kLint, kAnalyze, kOptimize, kFull, kSymbolic };
 
   std::string source;             ///< DSL text (see ir/parser.h)
   std::string file = "<input>";   ///< display name only; never hashed
   Kind kind = Kind::kFull;
 };
 
-/// Stable lower-case name ("lint", "analyze", "optimize", "full").
+/// Stable lower-case name ("lint", "analyze", "optimize", "full",
+/// "symbolic").
 const char* to_string(AnalysisRequest::Kind kind);
 
 struct AnalysisResult {

@@ -353,6 +353,8 @@ bool parse_kind(const std::string& name, AnalysisRequest::Kind* kind) {
     *kind = AnalysisRequest::Kind::kOptimize;
   } else if (name == "full") {
     *kind = AnalysisRequest::Kind::kFull;
+  } else if (name == "symbolic") {
+    *kind = AnalysisRequest::Kind::kSymbolic;
   } else {
     return false;
   }
@@ -393,7 +395,7 @@ bool parse_request(const std::string& line, ServerRequest* req,
     if (kind->kind != WireValue::Kind::kString ||
         !parse_kind(kind->text, &req->kind)) {
       if (error) {
-        *error = "\"kind\" must be one of lint|analyze|optimize|full";
+        *error = "\"kind\" must be one of lint|analyze|optimize|full|symbolic";
       }
       return false;
     }

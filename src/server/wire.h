@@ -3,7 +3,7 @@
 // The serve wire protocol: newline-delimited JSON.
 //
 // Each request is one line holding a JSON object
-//   {"id": <string|number>, "kind": "lint|analyze|optimize|full",
+//   {"id": <string|number>, "kind": "lint|analyze|optimize|full|symbolic",
 //    "source": "<DSL text>", "options": {"deadline_ms": <number>}}
 // and each response is one line holding the common versioned envelope
 // ({schema_version, tool, command: "serve", result: ...}) whose result

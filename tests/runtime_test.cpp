@@ -204,6 +204,32 @@ TEST(SessionKey, KindAndOptionsInvalidateThreadsDoNot) {
   AnalysisRequest lint_only = req;
   lint_only.kind = AnalysisRequest::Kind::kLint;
   EXPECT_NE(base.request_key(req), base.request_key(lint_only));
+
+  AnalysisRequest symbolic = req;
+  symbolic.kind = AnalysisRequest::Kind::kSymbolic;
+  EXPECT_NE(base.request_key(req), base.request_key(symbolic));
+  EXPECT_NE(base.request_key(lint_only), base.request_key(symbolic));
+}
+
+TEST(Session, SymbolicRunsAreCachedWithSymbolicPayload) {
+  const char* source =
+      "array A[11][11];\n"
+      "for i = 1 to 10\n  for j = 1 to 10\n"
+      "    A[i][j] = A[i][j - 1];\n";
+  AnalysisSession s;
+  AnalysisRequest req{source, "x.loop", AnalysisRequest::Kind::kSymbolic};
+  AnalysisResult cold = s.run(req);
+  AnalysisResult warm = s.run(req);
+  EXPECT_EQ(cold.status, ExitCode::kSuccess);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cold.payload, warm.payload);
+  EXPECT_NE(cold.payload.find("\"symbolic\""), std::string::npos);
+  // The symbolic payload is a different document from the full pipeline's.
+  AnalysisResult full =
+      s.run({source, "x.loop", AnalysisRequest::Kind::kFull});
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_NE(full.payload, cold.payload);
 }
 
 TEST(Session, SecondRunIsACacheHitWithIdenticalPayload) {

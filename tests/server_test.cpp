@@ -226,6 +226,34 @@ TEST(Server, StreamsResponseIsByteIdenticalToSessionPayload) {
   EXPECT_EQ(server.metrics().counter("serve.completed"), 1);
 }
 
+TEST(Server, StreamsSymbolicKindReturnsSymbolicDocument) {
+  // A nest squarely inside the symbolic engine's supported regime, so the
+  // response must be a success whose payload embeds the closed forms.
+  const char* source =
+      "array A[11][11];\n"
+      "for i = 1 to 10\n  for j = 1 to 10\n"
+      "    A[i][j] = A[i][j - 1];\n";
+  AnalysisSession direct;
+  std::string expected =
+      direct.run({source, "<serve>", AnalysisRequest::Kind::kSymbolic})
+          .payload;
+
+  AnalysisServer server(ServerOptions{});
+  std::istringstream in(request_line("42", source, "symbolic") + "\n");
+  std::ostringstream out;
+  server.serve_streams(in, out);
+
+  auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  auto doc = response_for(lines, "42");
+  ASSERT_TRUE(doc.has_value()) << out.str();
+  EXPECT_EQ(wire_status(*doc), 0);
+  const WireValue* payload = doc->find("result")->find("result");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->raw, expected);
+  EXPECT_NE(payload->raw.find("\"symbolic\""), std::string::npos);
+}
+
 TEST(Server, StreamsAnswersEveryRequestOnDrain) {
   ServerOptions opts;
   opts.workers = 4;

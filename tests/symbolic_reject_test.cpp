@@ -1,0 +1,102 @@
+// Decline-path tests for the symbolic analysis kind: every file in
+// tests/bad_loops/symbolic/ is VALID DSL (the parser corpus in
+// tests/bad_loops/ itself stays parse-error-only) that the symbolic path
+// must refuse with stable diagnostics instead of emitting a formula it
+// cannot prove.  Each file declares its own contract in "# expect:"
+// header lines:
+//
+//   # expect: LMRE-E017 <substring of the diagnostic message>
+//
+// The requests run through AnalysisSession with Kind::kSymbolic -- the
+// same path `lmre serve` and `lmre batch` use -- asserting exit
+// kDiagnostics and that every expected id + message substring appears in
+// the JSON payload.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/session.h"
+
+namespace lmre {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The test binary runs from <build>/tests; probe plausible source roots.
+fs::path corpus_dir() {
+  for (const char* base : {"", "../", "../../", "../../../"}) {
+    fs::path dir = fs::path(base) / "tests" / "bad_loops" / "symbolic";
+    if (fs::is_directory(dir)) return dir;
+  }
+  return {};
+}
+
+// "# expect: LMRE-E017 some message text" -> {"LMRE-E017", "some message
+// text"}; collected from the file's leading comment block.
+std::vector<std::pair<std::string, std::string>> expectations(
+    const std::string& source) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream lines(source);
+  std::string line;
+  const std::string tag = "# expect: ";
+  while (std::getline(lines, line)) {
+    if (line.rfind(tag, 0) != 0) continue;
+    std::string rest = line.substr(tag.size());
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "malformed expect line: " << line;
+      continue;
+    }
+    out.emplace_back(rest.substr(0, space), rest.substr(space + 1));
+  }
+  return out;
+}
+
+TEST(SymbolicReject, CorpusDeclinesWithStableDiagnostics) {
+  fs::path dir = corpus_dir();
+  ASSERT_FALSE(dir.empty()) << "tests/bad_loops/symbolic not found from cwd";
+
+  AnalysisSession session;
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".loop") continue;
+    ++files;
+    std::string source = read_file(entry.path());
+    ASSERT_FALSE(source.empty()) << entry.path();
+    std::vector<std::pair<std::string, std::string>> want = expectations(source);
+    ASSERT_FALSE(want.empty())
+        << entry.path() << " has no '# expect:' header lines";
+
+    AnalysisRequest req;
+    req.source = source;
+    req.file = entry.path().filename().string();
+    req.kind = AnalysisRequest::Kind::kSymbolic;
+    AnalysisResult res = session.run(req);
+
+    EXPECT_EQ(res.status, ExitCode::kDiagnostics) << entry.path();
+    for (const auto& [id, message] : want) {
+      EXPECT_NE(res.payload.find(id), std::string::npos)
+          << entry.path() << ": payload lacks " << id << "\n" << res.payload;
+      EXPECT_NE(res.payload.find(message), std::string::npos)
+          << entry.path() << ": payload lacks \"" << message << "\"\n"
+          << res.payload;
+    }
+  }
+  EXPECT_GE(files, 4u) << "symbolic decline corpus shrank unexpectedly";
+}
+
+}  // namespace
+}  // namespace lmre

@@ -28,6 +28,7 @@
 #include "server/wire.h"
 #include "support/json.h"
 #include "support/text.h"
+#include "symbolic/derive.h"
 #include "transform/minimizer.h"
 #include "transform/transformed.h"
 
@@ -112,6 +113,16 @@ ExitCode cmd_optimize(const std::string& source, std::ostream& out, int threads,
   TransformedNest tn(nest, res.transform);
   out << tn.print() << "\nexact window: " << simulate(nest).mws_total << " -> "
       << tn.simulate().mws_total << '\n';
+  try {
+    SymbolicResult sym = symbolic_analysis_transformed(nest, res.transform);
+    if (sym.window_total) {
+      out << "symbolic window: " << sym.window_total->str() << '\n';
+    } else if (sym.window_estimate) {
+      out << "symbolic window: " << *sym.window_estimate << '\n';
+    }
+  } catch (const Error&) {
+    // Best-effort: the exact numbers above stay authoritative.
+  }
   return ExitCode::kSuccess;
 }
 
@@ -247,6 +258,85 @@ ExitCode cmd_analyze_json(const std::string& source, std::ostream& out,
   return ExitCode::kSuccess;
 }
 
+ExitCode cmd_symbolic(const std::string& source, std::ostream& out,
+                      const std::string& file) {
+  ProgramSourceMap smap;
+  Program parsed = parse_program(source, &smap);
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, "analyze", out)) {
+    return *rc;
+  }
+  if (parsed.phase_count() > 1) {
+    out << "symbolic analysis works on single-nest sources\n";
+    return ExitCode::kFailure;
+  }
+  SymbolicResult sym = symbolic_analysis(parsed.phase_nest(0));
+
+  out << "symbolic bounds:";
+  for (size_t k = 0; k < sym.vars; ++k) {
+    out << (k == 0 ? " " : ", ") << sym.bound_names[k] << " = "
+        << sym.bound_values[k];
+  }
+  out << '\n';
+
+  TextTable t;
+  t.header({"array", "quantity", "closed form", "value here"});
+  for (const auto& a : sym.arrays) {
+    if (a.distinct) {
+      t.row({a.name, "distinct", a.distinct->str(),
+             with_commas(a.distinct->eval(sym.bound_values))});
+    }
+    if (a.reuse) {
+      t.row({a.name, "reuse", a.reuse->str(),
+             with_commas(a.reuse->eval(sym.bound_values))});
+    }
+    for (const auto& d : a.dependences) {
+      t.row({a.name, "volume d=" + d.distance.str(), d.volume.str(),
+             with_commas(d.volume.eval(sym.bound_values))});
+    }
+    if (a.window) {
+      t.row({a.name, "window", a.window->str(),
+             with_commas(a.window->eval(sym.bound_values))});
+    }
+  }
+  out << t.render();
+  if (sym.distinct_total) {
+    out << "distinct total: " << sym.distinct_total->str() << " = "
+        << with_commas(sym.distinct_total->eval(sym.bound_values)) << '\n';
+  }
+  if (sym.reuse_total) {
+    out << "reuse total:    " << sym.reuse_total->str() << " = "
+        << with_commas(sym.reuse_total->eval(sym.bound_values)) << '\n';
+  }
+  if (sym.window_total) {
+    out << "window total:   " << sym.window_total->str() << " = "
+        << with_commas(sym.window_total->eval(sym.bound_values)) << '\n';
+  }
+  if (!sym.diagnostics.empty()) {
+    out << render_text(sym.diagnostics, file, Severity::kNote);
+  }
+  return sym.usable() ? ExitCode::kSuccess : ExitCode::kDiagnostics;
+}
+
+ExitCode cmd_symbolic_json(const std::string& source, std::ostream& out,
+                           const std::string& file) {
+  ProgramSourceMap smap;
+  Program parsed = parse_program(source, &smap);
+  if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, "analyze", out)) {
+    return *rc;
+  }
+  if (parsed.phase_count() > 1) {
+    Json doc = Json::object().set("error",
+                                  "symbolic analysis works on single-nest sources");
+    out << json_envelope("analyze", std::move(doc)).dump(2) << '\n';
+    return ExitCode::kFailure;
+  }
+  SymbolicResult sym = symbolic_analysis(parsed.phase_nest(0));
+  Json doc = Json::object();
+  doc.set("symbolic", symbolic_json(sym));
+  out << json_envelope("analyze", std::move(doc)).dump(2) << '\n';
+  return sym.usable() ? ExitCode::kSuccess : ExitCode::kDiagnostics;
+}
+
 ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int threads,
                            const std::string& file) {
   ProgramSourceMap smap;
@@ -280,6 +370,17 @@ ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int thr
   doc.set("mws_after", simulate_transformed(nest, res.transform).mws_total);
   TransformedNest tn(nest, res.transform);
   doc.set("transformed_loop", tn.print());
+  try {
+    SymbolicResult sym = symbolic_analysis_transformed(nest, res.transform);
+    if (sym.window_total) {
+      doc.set("symbolic_window", sym.window_total->str());
+      doc.set("symbolic_window_value", sym.window_total->eval(sym.bound_values));
+    } else if (sym.window_estimate) {
+      doc.set("symbolic_window_estimate", *sym.window_estimate);
+    }
+  } catch (const Error&) {
+    // Best-effort: a decline just omits the fields.
+  }
   out << json_envelope("optimize", std::move(doc)).dump(2) << '\n';
   return ExitCode::kSuccess;
 }
@@ -618,7 +719,12 @@ ExitCode cmd_version(bool json, std::ostream& out) {
 std::string usage() {
   return
       "usage: lmre <command> [args]\n"
-      "  analyze   [--json] <file|->   dependences + memory report\n"
+      "  analyze   [--json] [--symbolic] <file|->\n"
+      "                                dependences + memory report;\n"
+      "                                --symbolic: closed-form formulas in\n"
+      "                                the bounds N1..Nn (O(1) in the trip\n"
+      "                                counts, declines with LMRE-E017\n"
+      "                                rather than guessing)\n"
       "  optimize  [--json] [--threads=N] <file|->\n"
       "                                window-minimizing transformation\n"
       "  lint      [--json] [--strict] [--plan[=\"a b; c d\"]] <file|->\n"
@@ -695,6 +801,7 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
   // Shared flag extraction: --json, --threads=N and the per-command flags
   // are recognized anywhere after the command name.
   bool json = false;
+  bool symbolic = false;
   int threads = 1;
   LintCliOptions lint_opts;
   BatchCliOptions batch_opts;
@@ -716,6 +823,9 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         err << "--threads must be >= 0\n";
         return ExitCode::kUsage;
       }
+      it = rest.erase(it);
+    } else if (cmd == "analyze" && *it == "--symbolic") {
+      symbolic = true;
       it = rest.erase(it);
     } else if (cmd == "lint" && *it == "--strict") {
       lint_opts.strict = true;
@@ -842,6 +952,10 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (!source) return ExitCode::kFailure;
     const std::string file = path == "-" ? "<stdin>" : path;
     try {
+      if (cmd == "analyze" && symbolic) {
+        return json ? cmd_symbolic_json(*source, out, file)
+                    : cmd_symbolic(*source, out, file);
+      }
       if (cmd == "analyze") {
         return json ? cmd_analyze_json(*source, out, file)
                     : cmd_analyze(*source, out, file);

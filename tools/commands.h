@@ -72,6 +72,23 @@ ExitCode cmd_series(const std::string& source, std::ostream& out);
 ExitCode cmd_analyze_json(const std::string& source, std::ostream& out,
                           const std::string& file = "<input>");
 
+/// `lmre analyze --symbolic <dsl>`: closed-form analysis (src/symbolic) --
+/// per-array distinct/reuse/window formulas in the symbolic bounds N1..Nn,
+/// evaluated once at the nest's own trip counts.  Never runs the trace
+/// oracle, so the cost is independent of the bounds.  Exits kDiagnostics
+/// when no array admits a closed form (LMRE-E017); partial coverage is
+/// reported with per-quantity notes and exits kSuccess.
+ExitCode cmd_symbolic(const std::string& source, std::ostream& out,
+                      const std::string& file = "<input>");
+
+/// `lmre analyze --symbolic --json <dsl>`: the symbolic result as an
+/// enveloped JSON document whose result carries a "symbolic" object
+/// (bounds, per-array formulas with rendered strings + polynomial terms,
+/// totals, diagnostics) -- the same document the runtime embeds for
+/// batch/serve "symbolic" requests.
+ExitCode cmd_symbolic_json(const std::string& source, std::ostream& out,
+                           const std::string& file = "<input>");
+
 /// `lmre optimize --json <dsl>`: machine-readable optimization result.
 ExitCode cmd_optimize_json(const std::string& source, std::ostream& out,
                            int threads = 1, const std::string& file = "<input>");
@@ -120,7 +137,7 @@ ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
 /// Options for `lmre request`, parsed by run_cli.
 struct RequestCliOptions {
   std::string socket;       ///< Unix-domain socket of a running server
-  std::string kind = "full";///< --kind=lint|analyze|optimize|full
+  std::string kind = "full";///< --kind=lint|analyze|optimize|full|symbolic
   double deadline_ms = 0;   ///< --deadline=MS (0 = none)
   std::string id;           ///< --id=S (defaults to the file name)
   bool raw = false;         ///< --raw: print only the result payload
