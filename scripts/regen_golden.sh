@@ -5,9 +5,11 @@
 #   ./scripts/regen_golden.sh [build-dir]
 #
 # Covers tests/golden/batch_loops.json, the byte-exact document
-# `lmre batch --json examples/loops` must produce (golden_batch_test), and
+# `lmre batch --json examples/loops` must produce (golden_batch_test);
 # tests/golden/symbolic_example{6,10}.json, the `lmre analyze --symbolic
-# --json` envelopes pinned by golden_symbolic_test.
+# --json` envelopes pinned by golden_symbolic_test; and
+# tests/golden/verify_example{10,6,8_witness}.json, the `lmre verify
+# --json` certificates pinned by golden_verify_test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,3 +33,18 @@ echo "wrote tests/golden/symbolic_example10.json"
 "$LMRE" analyze --symbolic --json tests/golden/example6.loop \
   > tests/golden/symbolic_example6.json || true
 echo "wrote tests/golden/symbolic_example6.json"
+
+# Legality certificates (src/verify).  Example 10: the optimizer's own plan,
+# certified in audit mode.  Example 6: non-uniform references force the
+# direction-vector path (LMRE-W020).  Example 8 with a hand-built i-reversal
+# plan: refuted with concrete iteration-pair witnesses (LMRE-E019, exits 3
+# -- pinned behavior, not a regen failure).
+"$LMRE" verify --json tests/golden/example10.loop \
+  > tests/golden/verify_example10.json
+echo "wrote tests/golden/verify_example10.json"
+"$LMRE" verify --json --plan="0 1; 1 0" tests/golden/example6.loop \
+  > tests/golden/verify_example6.json
+echo "wrote tests/golden/verify_example6.json"
+"$LMRE" verify --json --plan="-1 0; 0 1" examples/loops/example8.loop \
+  > tests/golden/verify_example8_witness.json || true
+echo "wrote tests/golden/verify_example8_witness.json"

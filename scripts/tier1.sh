@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the standard build + full ctest run, a batch smoke, a
-# serve smoke (socket round trips byte-identical to batch, overload
-# shedding, graceful SIGTERM drain), then two sanitizer passes --
+# Tier-1 gate: the standard build + full ctest run, a static-analysis
+# stage (clang-tidy when available + -Werror strict rebuild with a verify
+# smoke), a batch smoke, a serve smoke (socket round trips byte-identical
+# to batch, overload shedding, graceful SIGTERM drain), then two
+# sanitizer passes --
 # ThreadSanitizer over the parallel-search + shared-cache/server suites
 # and ASan+UBSan over the parser / lint / CLI suites (the layers that
 # chew on untrusted input) -- plus a symbolic-smoke stage (closed forms
@@ -21,6 +23,28 @@ echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== tier 1: static analysis (clang-tidy + -Werror strict build) =="
+# Full rebuild with warnings promoted to errors and clang-tidy running
+# alongside the compiler (profile in .clang-tidy, WarningsAsErrors there
+# too).  When the container lacks a clang-tidy binary the CMake option
+# degrades to a -Werror-only gate with a warning -- still a hard stop for
+# any compiler diagnostic.  Builds into build-strict/ so the primary tree
+# keeps its plain flags, then runs the verify smoke against the strict
+# binary: the prover must certify the optimizer's Example 8 plan and
+# refute the hand-built reversal with a checker-validated witness.
+cmake -B build-strict -S . -DLMRE_WERROR=ON -DLMRE_CLANG_TIDY=ON >/dev/null
+cmake --build build-strict -j "$JOBS"
+./build-strict/tools/lmre verify examples/loops/example8.loop >/dev/null \
+  || { echo "FAIL: strict-build verify audit of example8 did not certify"; exit 1; }
+if ./build-strict/tools/lmre verify --plan="-1 0; 0 1" \
+    examples/loops/example8.loop > /tmp/lmre_strict_verify.out; then
+  echo "FAIL: strict-build verify certified an illegal reversal plan"; exit 1
+fi
+grep -q 'LMRE-E019' /tmp/lmre_strict_verify.out \
+  || { echo "FAIL: refuted plan carried no LMRE-E019 witness"; exit 1; }
+grep -q 'checker: ok' /tmp/lmre_strict_verify.out \
+  || { echo "FAIL: independent checker rejected the verify certificate"; exit 1; }
 
 echo "== tier 1: batch smoke (cold + warm cache, metrics emission) =="
 # Run the batch verb twice against one cache dir: the cold run populates

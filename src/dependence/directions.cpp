@@ -129,4 +129,18 @@ std::vector<std::vector<Dir>> feasible_direction_vectors(const ArrayRef& a,
   return out;
 }
 
+std::vector<std::vector<Dir>> source_first_directions(const ArrayRef& a,
+                                                      const ArrayRef& b,
+                                                      const IntBox& box) {
+  std::vector<std::vector<Dir>> out;
+  for (std::vector<Dir>& dirs : feasible_direction_vectors(a, b, box)) {
+    for (Dir d : dirs) {
+      if (d == Dir::kEq) continue;
+      if (d == Dir::kLt) out.push_back(std::move(dirs));
+      break;  // first non-'=' decides the orientation
+    }
+  }
+  return out;
+}
+
 }  // namespace lmre

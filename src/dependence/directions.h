@@ -34,4 +34,14 @@ std::vector<std::vector<Dir>> feasible_direction_vectors(const ArrayRef& a,
                                                          const ArrayRef& b,
                                                          const IntBox& box);
 
+/// Feasible direction vectors restricted to source-first order: exactly
+/// those whose first non-'=' entry is '<' (the instance of `a` executes
+/// before the instance of `b` it shares an element with).  The reverse
+/// orientation is obtained by calling with the arguments swapped; the
+/// all-'=' vector (loop-independent) is excluded because statement order
+/// within the body is never changed by an iteration-space transform.
+std::vector<std::vector<Dir>> source_first_directions(const ArrayRef& a,
+                                                      const ArrayRef& b,
+                                                      const IntBox& box);
+
 }  // namespace lmre

@@ -4,13 +4,12 @@
 #include <sstream>
 
 #include "analysis/nonuniform.h"
-#include "dependence/dependence.h"
 #include "linalg/kernel.h"
 #include "polyhedra/affine.h"
 #include "support/checked.h"
 #include "support/text.h"
 #include "transform/minimizer.h"
-#include "transform/unimodular.h"
+#include "verify/verify.h"
 
 namespace lmre::lint_detail {
 
@@ -67,15 +66,6 @@ bool uniformly_generated(const std::vector<ArrayRef>& refs) {
     if (!refs[i].uniformly_generated_with(refs[0])) return false;
   }
   return true;
-}
-
-// Lexicographic sign of a vector: +1, 0, or -1 by its first nonzero entry.
-int lex_sign(const IntVec& v) {
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (v[i] > 0) return 1;
-    if (v[i] < 0) return -1;
-  }
-  return 0;
 }
 
 }  // namespace
@@ -315,82 +305,33 @@ void check_duplicate_refs(const CheckContext& ctx, DiagnosticEngine& out) {
   }
 }
 
-// LMRE-E013 / LMRE-W014 / LMRE-N016: independent re-certification of a
-// transform plan.  The dependence set is RE-DERIVED here (not taken from
-// the optimizer), so `lmre lint --plan` audits optimize output against the
-// nest's own facts: lexicographic legality over the memory dependences
-// (Section 4), tiling legality (component-wise non-negativity, Section 4.1)
-// over the full set including input reuse -- the constraint the minimizer
-// itself searches under.
+// LMRE-E013 / LMRE-E019 / LMRE-W014 / LMRE-W020 / LMRE-N016: independent
+// re-certification of a transform plan, delegated to the legality prover
+// (src/verify) so the logic lives in exactly one place.  The dependence set
+// is RE-DERIVED by the engine (not taken from the optimizer), so `lmre lint
+// --plan` audits optimize output against the nest's own facts: exact
+// lexicographic legality over the memory dependences (Section 4, with a
+// concrete reversal witness on failure), tiling legality (component-wise
+// non-negativity, Section 4.1) over the full set including input reuse --
+// the constraint the minimizer itself searches under.  The N021/N022
+// parallelism notes stay with the `verify` verb; lint keeps its legacy
+// output surface.
 void check_transform_plan(const CheckContext& ctx, DiagnosticEngine& out) {
   if (ctx.opts.plan == nullptr && !ctx.opts.audit_plan) return;
   const LoopNest& nest = ctx.nest;
 
-  IntMat t;
+  VerifyPlan plan;
   std::string origin;
   if (ctx.opts.plan != nullptr) {
-    t = *ctx.opts.plan;
+    plan.steps.push_back(*ctx.opts.plan);
     origin = "supplied plan";
   } else {
     OptimizeResult res = optimize_locality(nest);
-    t = res.transform;
+    plan.steps.push_back(res.transform);
     origin = "optimize plan (method '" + res.method + "')";
   }
-
-  const size_t n = nest.depth();
-  if (t.rows() != n || t.cols() != n) {
-    std::ostringstream msg;
-    msg << origin << " is " << t.rows() << " x " << t.cols()
-        << " but the nest has depth " << n;
-    out.error("LMRE-E013", msg.str());
-    return;
-  }
-  if (!t.is_unimodular()) {
-    std::ostringstream msg;
-    msg << origin << " " << t.str()
-        << " is not unimodular (determinant != +/-1); it does not map the"
-           " iteration lattice bijectively";
-    out.error("LMRE-E013", msg.str());
-    return;
-  }
-
-  DependenceInfo info = analyze_dependences(nest);
-  std::vector<IntVec> memory_deps = info.distance_vectors(/*include_input=*/false);
-  std::vector<IntVec> full_deps = info.distance_vectors(/*include_input=*/true);
-
-  for (const IntVec& d : memory_deps) {
-    IntVec td = t * d;
-    if (lex_sign(td) < 0) {
-      std::ostringstream msg;
-      msg << origin << " " << t.str() << " reorders dependence " << d.str()
-          << ": transformed distance " << td.str()
-          << " is lexicographically negative (Section 4 legality)";
-      out.error("LMRE-E013", msg.str());
-      return;
-    }
-  }
-
-  bool tileable = is_tileable(t, full_deps);
-  if (!tileable) {
-    for (const IntVec& d : full_deps) {
-      IntVec td = t * d;
-      bool neg = false;
-      for (size_t k = 0; k < td.size(); ++k) neg = neg || td[k] < 0;
-      if (!neg) continue;
-      std::ostringstream msg;
-      msg << origin << " " << t.str() << " is legal but not tileable: "
-          << d.str() << " transforms to " << td.str()
-          << " with a negative component (Irigoin/Triolet, Section 4.1)";
-      out.warning("LMRE-W014", msg.str());
-      break;
-    }
-  }
-
-  std::ostringstream msg;
-  msg << origin << " " << t.str() << " re-certified legal"
-      << (tileable ? " and tileable" : "") << " against " << memory_deps.size()
-      << " memory / " << full_deps.size() << " total dependence vectors";
-  out.note("LMRE-N016", msg.str());
+  VerifyResult verdict = verify_plan(nest, plan);
+  emit_verify_diagnostics(nest, verdict, origin, /*parallel_notes=*/false, out);
 }
 
 const std::vector<RegisteredCheck>& check_registry() {

@@ -56,6 +56,18 @@ const std::vector<LintCheckInfo>& lint_checks() {
       {"LMRE-N018", "symbolic-partial",
        "a per-array quantity has no symbolic closed form; the trace oracle"
        " remains exact for it"},
+      {"LMRE-E019", "dependence-reversal",
+       "transform plans must not reverse the execution order of any memory"
+       " dependence; refutations carry a concrete iteration-pair witness"},
+      {"LMRE-W020", "direction-only",
+       "non-uniform reference pairs are judged at direction-vector"
+       " granularity; the cone argument is sound but not distance-exact"},
+      {"LMRE-N021", "doall-certified",
+       "transformed loop levels carrying no memory dependence are"
+       " DOALL-parallel"},
+      {"LMRE-N022", "wavefront-race-free",
+       "all memory dependences carried by the outermost transformed loop;"
+       " wavefront inner levels are race-free"},
   };
   return infos;
 }

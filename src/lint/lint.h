@@ -56,6 +56,20 @@
 //   LMRE-N018 symbolic-partial    a specific per-array quantity was
 //                                 declined by the symbolic path (the trace
 //                                 oracle remains exact for it)
+//   LMRE-E019 dependence-reversal the legality prover (src/verify) found a
+//                                 concrete iteration pair whose execution
+//                                 order the plan reverses; the witness is
+//                                 attached and machine-checkable
+//   LMRE-W020 direction-only      a verdict rests on direction-vector
+//                                 granularity (non-uniform references); the
+//                                 cone argument is sound but approximate
+//   LMRE-N021 doall-certified     loop levels of the transformed nest that
+//                                 carry no memory dependence (DOALL); from
+//                                 the verify verb, not lint_nest
+//   LMRE-N022 wavefront-race-free every memory dependence is carried by the
+//                                 outermost transformed loop, so wavefront
+//                                 inner levels run race-free; from the
+//                                 verify verb, not lint_nest
 //   LMRE-E000 check-failure       a check itself failed with an internal
 //                                 error (never expected; reported, not thrown)
 

@@ -1,5 +1,7 @@
 #include "polyhedra/fourier_motzkin.h"
 
+#include <string>
+
 #include "support/error.h"
 
 namespace lmre {
@@ -58,7 +60,24 @@ ConstraintSystem eliminate_variable(const ConstraintSystem& system, size_t var) 
   return out;
 }
 
-LoopBounds extract_loop_bounds(const ConstraintSystem& system) {
+namespace {
+
+// Shared growth guard: FM combination can square the constraint count per
+// eliminated variable, so pathological systems explode long before any
+// per-point search budget applies.  Refusing loudly lets callers degrade
+// to "undecided" instead of stalling.
+void check_growth(const ConstraintSystem& cur, size_t max_constraints) {
+  if (max_constraints != 0 && cur.size() > max_constraints) {
+    throw UnsupportedError(
+        "fourier-motzkin elimination grew past " +
+        std::to_string(max_constraints) + " constraints");
+  }
+}
+
+}  // namespace
+
+LoopBounds extract_loop_bounds(const ConstraintSystem& system,
+                               size_t max_constraints) {
   const size_t n = system.dims();
   LoopBounds lb;
   lb.lowers.resize(n);
@@ -91,16 +110,19 @@ LoopBounds extract_loop_bounds(const ConstraintSystem& system) {
       lb.known_empty = true;
       return lb;
     }
+    check_growth(cur, max_constraints);
   }
   return lb;
 }
 
-bool rationally_feasible(const ConstraintSystem& system) {
+bool rationally_feasible(const ConstraintSystem& system,
+                         size_t max_constraints) {
   ConstraintSystem cur = system;
   if (cur.trivially_empty()) return false;
   for (size_t k = cur.dims(); k-- > 0;) {
     cur = eliminate_variable(cur, k);
     if (cur.trivially_empty()) return false;
+    check_growth(cur, max_constraints);
   }
   // All variables eliminated: only constant constraints remain and none is
   // negative (trivially_empty checked after each round).

@@ -50,12 +50,19 @@ ConstraintSystem eliminate_variable(const ConstraintSystem& system, size_t var);
 
 /// Extracts per-level scanning bounds by eliminating variables innermost
 /// first.  Throws UnsupportedError when some variable has no lower or no
-/// upper bound (unbounded polyhedron).
-LoopBounds extract_loop_bounds(const ConstraintSystem& system);
+/// upper bound (unbounded polyhedron), or -- with a nonzero
+/// `max_constraints` -- when an elimination round grows past that many
+/// constraints (each round can square the count; the cap turns the
+/// worst-case doubly-exponential blow-up into a reported refusal that
+/// budget-aware callers such as src/verify treat as "undecided").
+LoopBounds extract_loop_bounds(const ConstraintSystem& system,
+                               size_t max_constraints = 0);
 
 /// True when the system has a RATIONAL solution (Fourier-Motzkin is exact
 /// over the rationals).  A "false" answer also proves integer emptiness.
-bool rationally_feasible(const ConstraintSystem& system);
+/// Nonzero `max_constraints` caps elimination growth as above.
+bool rationally_feasible(const ConstraintSystem& system,
+                         size_t max_constraints = 0);
 
 /// Removes constraints that are implied by the others (rational redundancy:
 /// c is redundant iff (system \ c) && !c is infeasible).  The result

@@ -43,4 +43,28 @@ Int count_points(const ConstraintSystem& system);
 /// Lexicographically smallest integer point, if any.
 std::optional<IntVec> lexicographic_min(const ConstraintSystem& system);
 
+/// Result of a budget-capped point search (see first_point).
+struct FirstPointResult {
+  /// Lexicographically smallest integer point, when one was found.
+  std::optional<IntVec> point;
+
+  /// True when the search is authoritative: either a point was found or the
+  /// whole polyhedron was exhausted within budget.  False means the budget
+  /// ran out first -- absence of a point proves nothing.
+  bool complete = true;
+};
+
+/// Lexicographically smallest integer point with an early exit and a step
+/// budget (each candidate value tried at any level costs one step).  Unlike
+/// lexicographic_min, this never enumerates past the first point found, and
+/// it abandons pathological scans -- rationally feasible but integer-empty
+/// systems can force exponentially many blind alleys -- once `step_budget`
+/// is spent.  A nonzero `max_constraints` additionally caps the internal
+/// Fourier-Motzkin bound extraction (see extract_loop_bounds): elimination
+/// growth past the cap throws UnsupportedError instead of stalling.  The
+/// legality prover (src/verify) runs all witness searches through this
+/// entry point.
+FirstPointResult first_point(const ConstraintSystem& system, Int step_budget,
+                             size_t max_constraints = 0);
+
 }  // namespace lmre

@@ -15,6 +15,8 @@
 #include "symbolic/derive.h"
 #include "transform/minimizer.h"
 #include "transform/transformed.h"
+#include "verify/certificate.h"
+#include "verify/verify.h"
 
 namespace lmre {
 
@@ -25,6 +27,7 @@ const char* to_string(AnalysisRequest::Kind kind) {
     case AnalysisRequest::Kind::kOptimize: return "optimize";
     case AnalysisRequest::Kind::kFull: return "full";
     case AnalysisRequest::Kind::kSymbolic: return "symbolic";
+    case AnalysisRequest::Kind::kVerify: return "verify";
   }
   return "unknown";
 }
@@ -33,7 +36,7 @@ namespace {
 
 // Version tag mixed into every content hash: bump when the payload schema
 // changes so stale disk caches invalidate themselves.
-constexpr const char* kHashSalt = "lmre-result-v1";
+constexpr const char* kHashSalt = "lmre-result-v2";
 
 Json error_json(const char* kind, const std::string& message, int line = 0,
                 int column = 0) {
@@ -190,6 +193,8 @@ std::uint64_t AnalysisSession::request_key(const AnalysisRequest& req) const {
   h = fnv1a(canonicalize(req.source), h);
   h = fnv1a("|kind=", h);
   h = fnv1a(to_string(req.kind), h);
+  h = fnv1a("|plan=", h);
+  h = fnv1a(req.plan, h);
   h = fnv1a("|verify=", h);
   h = fnv1a(std::to_string(opts_.run.verify_limit), h);
   h = fnv1a(opts_.run.strict ? "|strict" : "|lax", h);
@@ -249,6 +254,52 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
     RunOptions stage = opts_.run;
     stage.threads = threads;
     const bool single = program.phase_count() == 1;
+
+    if (req.kind == Kind::kVerify) {
+      if (!single) {
+        *status = ExitCode::kFailure;
+        return error_json("unsupported", "verify works on single-nest sources")
+            .set("kind", to_string(req.kind))
+            .dump();
+      }
+      const LoopNest& nest = program.phase_nest(0);
+      VerifyPlan plan;
+      std::string origin = "supplied plan";
+      if (!req.plan.empty()) {
+        std::string perr;
+        std::optional<VerifyPlan> parsed = parse_plan_spec(req.plan, &perr);
+        if (!parsed) {
+          *status = ExitCode::kUsage;
+          return error_json("bad_plan", "bad plan spec: " + perr)
+              .set("kind", to_string(req.kind))
+              .dump();
+        }
+        plan = std::move(*parsed);
+      } else {
+        // Audit mode: certify the plan the optimizer itself would emit.
+        OptimizeResult opt;
+        {
+          Metrics::ScopedTimer t = metrics_->time("stage.optimize");
+          opt = optimize_locality(nest, minimizer_options(stage), arena);
+        }
+        plan.steps = {opt.transform};
+        origin = "optimize plan (method '" + opt.method + "')";
+      }
+      VerifyResult verdict;
+      {
+        Metrics::ScopedTimer t = metrics_->time("stage.verify");
+        verdict = verify_plan(nest, plan);
+      }
+      DiagnosticEngine engine;
+      emit_verify_diagnostics(nest, verdict, origin, /*parallel_notes=*/true,
+                              engine);
+      Json diags = Json::array();
+      for (const auto& d : engine.diagnostics()) diags.push(diag_json(d));
+      result.set("verify", certificate_json(nest, verdict));
+      result.set("verify_diagnostics", std::move(diags));
+      if (!verdict.certified) *status = ExitCode::kDiagnostics;
+      return result.dump();
+    }
 
     if (req.kind == Kind::kAnalyze || req.kind == Kind::kFull) {
       if (single) {
@@ -310,7 +361,33 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
         Metrics::ScopedTimer t = metrics_->time("stage.optimize");
         res = optimize_locality(nest, minimizer_options(stage), arena);
       }
+      // Independent legality audit of the winning plan: the minimizer only
+      // searches legal transforms, but the prover's verdict is recorded
+      // regardless, and an uncertifiable plan is never shipped -- it is
+      // refused under --strict, downgraded to the identity otherwise.
+      VerifyPlan vplan;
+      vplan.steps = {res.transform};
+      VerifyResult verdict;
+      {
+        Metrics::ScopedTimer t = metrics_->time("stage.verify");
+        verdict = verify_plan(nest, vplan);
+      }
       Json opt = Json::object();
+      opt.set("certified", verdict.certified);
+      if (!verdict.certified) {
+        if (stage.strict) {
+          *status = ExitCode::kDiagnostics;
+          return error_json("uncertified",
+                            "optimize plan " + res.transform.str() +
+                                " cannot be certified; refused under --strict")
+              .set("kind", to_string(req.kind))
+              .dump();
+        }
+        opt.set("downgraded", true);
+        opt.set("uncertified_transform", transform_json(res.transform));
+        res.transform = IntMat::identity(nest.depth());
+        res.method = "identity (uncertified plan downgraded)";
+      }
       opt.set("method", res.method);
       opt.set("transform", transform_json(res.transform));
       opt.set("predicted_mws", res.predicted_mws);

@@ -36,16 +36,26 @@ struct AnalysisRequest {
   /// adds estimates + exact measurements, kOptimize adds the transform
   /// search, kFull runs everything.  kSymbolic derives closed-form
   /// bound-parametric formulas (src/symbolic) and never touches the trace
-  /// engine, so its cost is independent of the iteration volume.
-  enum class Kind { kLint, kAnalyze, kOptimize, kFull, kSymbolic };
+  /// engine, so its cost is independent of the iteration volume.  kVerify
+  /// runs the dependence-preservation prover (src/verify) over `plan` (or,
+  /// when `plan` is empty, over the plan optimize_locality would emit) and
+  /// embeds the machine-checkable certificate.
+  enum class Kind { kLint, kAnalyze, kOptimize, kFull, kSymbolic, kVerify };
 
   std::string source;             ///< DSL text (see ir/parser.h)
   std::string file = "<input>";   ///< display name only; never hashed
   Kind kind = Kind::kFull;
+
+  /// kVerify only: transform-plan spec in the verify grammar ("0 1; 1 0",
+  /// "[..] | [..] | tile:4,4").  Empty = audit the optimizer's own plan.
+  /// Result-affecting, so request_key() hashes it.  The default member
+  /// initializer keeps pre-verify aggregate inits ({source, file, kind})
+  /// valid under -Wmissing-field-initializers.
+  std::string plan{};
 };
 
 /// Stable lower-case name ("lint", "analyze", "optimize", "full",
-/// "symbolic").
+/// "symbolic", "verify").
 const char* to_string(AnalysisRequest::Kind kind);
 
 struct AnalysisResult {

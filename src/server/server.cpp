@@ -111,6 +111,7 @@ void AnalysisServer::worker_loop(AnalysisSession& session) {
     areq.source = job->request.source;
     areq.file = "<serve>";
     areq.kind = job->request.kind;
+    areq.plan = job->request.plan;
     AnalysisResult result = session.run(areq);
     now = std::chrono::steady_clock::now();
     if (job->has_deadline && now >= job->deadline) {

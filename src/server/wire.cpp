@@ -355,6 +355,8 @@ bool parse_kind(const std::string& name, AnalysisRequest::Kind* kind) {
     *kind = AnalysisRequest::Kind::kFull;
   } else if (name == "symbolic") {
     *kind = AnalysisRequest::Kind::kSymbolic;
+  } else if (name == "verify") {
+    *kind = AnalysisRequest::Kind::kVerify;
   } else {
     return false;
   }
@@ -395,10 +397,18 @@ bool parse_request(const std::string& line, ServerRequest* req,
     if (kind->kind != WireValue::Kind::kString ||
         !parse_kind(kind->text, &req->kind)) {
       if (error) {
-        *error = "\"kind\" must be one of lint|analyze|optimize|full|symbolic";
+        *error =
+            "\"kind\" must be one of lint|analyze|optimize|full|symbolic|verify";
       }
       return false;
     }
+  }
+  if (const WireValue* plan = root->find("plan")) {
+    if (plan->kind != WireValue::Kind::kString) {
+      if (error) *error = "\"plan\" must be a string";
+      return false;
+    }
+    req->plan = plan->text;
   }
   if (const WireValue* options = root->find("options")) {
     if (options->kind != WireValue::Kind::kObject) {

@@ -3,8 +3,12 @@
 // The serve wire protocol: newline-delimited JSON.
 //
 // Each request is one line holding a JSON object
-//   {"id": <string|number>, "kind": "lint|analyze|optimize|full|symbolic",
-//    "source": "<DSL text>", "options": {"deadline_ms": <number>}}
+//   {"id": <string|number>,
+//    "kind": "lint|analyze|optimize|full|symbolic|verify",
+//    "source": "<DSL text>", "plan": "<verify plan spec>",
+//    "options": {"deadline_ms": <number>}}
+// ("plan" applies to kind "verify" only: the transform-plan spec to
+// certify; omitted or empty = audit the plan optimize would emit.)
 // and each response is one line holding the common versioned envelope
 // ({schema_version, tool, command: "serve", result: ...}) whose result
 // carries the echoed id, a wire status, and -- for computed requests --
@@ -78,6 +82,7 @@ struct ServerRequest {
   std::string id_json = "null";  ///< raw JSON scalar, echoed verbatim
   AnalysisRequest::Kind kind = AnalysisRequest::Kind::kFull;
   std::string source;
+  std::string plan;          ///< verify-kind plan spec ("" = audit mode)
   double deadline_ms = 0.0;  ///< <= 0 means no deadline
 };
 

@@ -45,6 +45,16 @@ bool is_tileable(const IntMat& t, const std::vector<IntVec>& deps) {
   return true;
 }
 
+IntMat compose_transforms(const std::vector<IntMat>& steps, size_t n) {
+  IntMat combined = IntMat::identity(n);
+  for (const IntMat& step : steps) {
+    require(step.rows() == n && step.cols() == n,
+            "compose_transforms: step dimensions do not match the nest depth");
+    combined = step * combined;  // later steps act on already-transformed space
+  }
+  return combined;
+}
+
 std::vector<IntVec> transform_dependences(const IntMat& t, const std::vector<IntVec>& deps) {
   std::vector<IntVec> out;
   out.reserve(deps.size());

@@ -30,4 +30,9 @@ bool is_tileable(const IntMat& t, const std::vector<IntVec>& deps);
 /// Transformed dependence set { T d }.
 std::vector<IntVec> transform_dependences(const IntMat& t, const std::vector<IntVec>& deps);
 
+/// Combined matrix of a transform sequence applied steps[0] first:
+/// steps[k-1] * ... * steps[0], or the n x n identity for an empty
+/// sequence.  Every step must be n x n (InvalidArgument otherwise).
+IntMat compose_transforms(const std::vector<IntMat>& steps, size_t n);
+
 }  // namespace lmre

@@ -1,0 +1,152 @@
+#include "verify/certificate.h"
+
+namespace lmre {
+
+namespace {
+
+Json vec_json(const IntVec& v) {
+  Json a = Json::array();
+  for (size_t i = 0; i < v.size(); ++i) a.push(v[i]);
+  return a;
+}
+
+Json mat_json(const IntMat& m) {
+  Json rows = Json::array();
+  for (size_t r = 0; r < m.rows(); ++r) rows.push(vec_json(m.row(r)));
+  return rows;
+}
+
+const char* status_str(DepStatus s) {
+  switch (s) {
+    case DepStatus::kPreserved: return "preserved";
+    case DepStatus::kReversed: return "reversed";
+    case DepStatus::kUnproven: return "unproven";
+  }
+  return "?";
+}
+
+const char* proof_str(ProofKind p) {
+  switch (p) {
+    case ProofKind::kNone: return "none";
+    case ProofKind::kPivot: return "pivot";
+    case ProofKind::kCone: return "cone";
+    case ProofKind::kExhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+Json witness_json(const IterationWitness& w) {
+  Json j = Json::object();
+  j.set("src_iter", vec_json(w.src_iter));
+  j.set("dst_iter", vec_json(w.dst_iter));
+  j.set("element", vec_json(w.element));
+  j.set("src_time", vec_json(w.src_time));
+  j.set("dst_time", vec_json(w.dst_time));
+  j.set("tiled", w.tiled);
+  return j;
+}
+
+Json levels_json(const std::vector<LevelClass>& levels) {
+  Json arr = Json::array();
+  for (const LevelClass& lc : levels) {
+    Json j = Json::object();
+    j.set("level", static_cast<Int>(lc.level));
+    j.set("doall", lc.doall);
+    j.set("exact", lc.exact);
+    Json carriers = Json::array();
+    for (Int c : lc.carriers) carriers.push(c);
+    j.set("carriers", std::move(carriers));
+    arr.push(std::move(j));
+  }
+  return arr;
+}
+
+}  // namespace
+
+Json certificate_json(const LoopNest& nest, const VerifyResult& res) {
+  Json cert = Json::object();
+
+  Json plan = Json::object();
+  Json steps = Json::array();
+  for (const IntMat& s : res.plan.steps) steps.push(mat_json(s));
+  plan.set("steps", std::move(steps));
+  if (res.plan.has_tiling()) {
+    Json tiles = Json::array();
+    for (Int s : res.plan.tile_sizes) tiles.push(s);
+    plan.set("tile", std::move(tiles));
+  }
+  plan.set("spec", res.plan.str());
+  if (res.structure_error.empty()) plan.set("combined", mat_json(res.combined));
+  cert.set("plan", std::move(plan));
+
+  cert.set("depth", static_cast<Int>(nest.depth()));
+  Json bounds = Json::array();
+  for (size_t k = 0; k < nest.depth(); ++k) {
+    Json r = Json::array();
+    r.push(nest.bounds().range(k).lo);
+    r.push(nest.bounds().range(k).hi);
+    bounds.push(std::move(r));
+  }
+  cert.set("bounds", std::move(bounds));
+
+  if (!res.structure_error.empty()) {
+    cert.set("structure_error", res.structure_error);
+    cert.set("certified", false);
+    return cert;
+  }
+
+  cert.set("certified", res.certified);
+  cert.set("legal", res.legal);
+  cert.set("tileable", res.tileable);
+  cert.set("exact", res.exact);
+  cert.set("direction_only", res.direction_only);
+
+  Json deps = Json::array();
+  for (const DepVerdict& v : res.verdicts) {
+    Json j = Json::object();
+    j.set("src_ref", static_cast<Int>(v.src_ref));
+    j.set("dst_ref", static_cast<Int>(v.dst_ref));
+    j.set("array", nest.array(v.array).name);
+    j.set("kind", to_string(v.kind));
+    j.set("basis", v.basis == DepBasis::kDistance ? "distance" : "direction");
+    if (v.basis == DepBasis::kDistance) {
+      j.set("distance", vec_json(v.distance));
+      j.set("transformed", vec_json(v.transformed));
+    } else {
+      j.set("direction", direction_vector_string(v.directions));
+    }
+    j.set("status", status_str(v.status));
+    if (v.status == DepStatus::kPreserved && v.proof != ProofKind::kNone) {
+      Json proof = Json::object();
+      proof.set("kind", proof_str(v.proof));
+      if (v.proof == ProofKind::kPivot) {
+        proof.set("level", static_cast<Int>(v.proof_level));
+      }
+      j.set("proof", std::move(proof));
+    }
+    if (v.witness.has_value()) j.set("witness", witness_json(*v.witness));
+    j.set("tileable", v.tileable);
+    if (!v.tileable) {
+      j.set("negative_component", static_cast<Int>(v.negative_component));
+      if (v.tile_witness.has_value()) {
+        j.set("tile_witness", witness_json(*v.tile_witness));
+      }
+    }
+    deps.push(std::move(j));
+  }
+  cert.set("dependences", std::move(deps));
+
+  Json levels = Json::object();
+  levels.set("original", levels_json(res.original_levels));
+  levels.set("transformed", levels_json(res.transformed_levels));
+  cert.set("levels", std::move(levels));
+  cert.set("wavefront_race_free", res.wavefront_race_free);
+
+  Json counts = Json::object();
+  counts.set("memory", static_cast<Int>(res.memory_deps));
+  counts.set("total", static_cast<Int>(res.total_deps));
+  cert.set("counts", std::move(counts));
+  return cert;
+}
+
+}  // namespace lmre

@@ -1,0 +1,55 @@
+#pragma once
+
+// Independent re-validation of a legality certificate.
+//
+// The checker is deliberately dumber than the prover: it never touches
+// Fourier-Motzkin or the dependence analyzer, only elementary integer
+// arithmetic over facts the certificate itself states --
+//
+//   * plan structure: steps square, unimodular, product equal to `combined`;
+//   * every distance edge: lexicographically positive, realizable in the
+//     box, consistent with the two references' access functions, kind
+//     matching the endpoint access kinds, transformed vector equal to
+//     combined * distance, pivot proof term correct;
+//   * every direction edge: source-first shape, cone proofs recomputed by
+//     interval arithmetic;
+//   * every witness: both iterations in the box, same element touched, the
+//     original order forward and the transformed order reversed;
+//   * level claims: each preserved memory distance edge's carry level must
+//     not be marked DOALL (original and transformed), and the wavefront
+//     race-free claim requires every such edge carried at level 1;
+//   * verdict roll-up consistency (certified/legal/tileable flags vs edges).
+//
+// Soundness of "legal" verdicts is what the checker can establish from
+// proof terms; COMPLETENESS of the dependence list (nothing was omitted)
+// rests on the prover's exhaustive search and is differential-tested
+// against the exact oracle (property_verify_test), not re-proved here.
+// Exhaustive-search proof terms are therefore counted as `trusted` rather
+// than validated.
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+#include "verify/verify.h"
+
+namespace lmre {
+
+struct CertificateCheck {
+  bool ok = true;
+  std::vector<std::string> failures;
+
+  size_t checked_proofs = 0;     ///< pivot/cone terms re-validated
+  size_t checked_witnesses = 0;  ///< violation witnesses re-validated
+  size_t trusted = 0;            ///< exhaustive-search terms taken on trust
+
+  void fail(std::string why) {
+    ok = false;
+    failures.push_back(std::move(why));
+  }
+};
+
+/// Re-validates `res` against the nest with elementary arithmetic only.
+CertificateCheck check_certificate(const LoopNest& nest, const VerifyResult& res);
+
+}  // namespace lmre

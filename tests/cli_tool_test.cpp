@@ -241,6 +241,65 @@ TEST(CliDispatcher, LintJsonVerb) {
   EXPECT_NE(out.str().find("\"id\": \"LMRE-E001\""), std::string::npos);
 }
 
+// The verify verb's exit-code contract: 0 certified, 2 bad plan spec,
+// 3 refuted/unproven, 1 structurally unsupported input.
+
+TEST(CliVerify, AuditModeCertifiesOptimizerPlan) {
+  VerifyCliOptions opts;
+  std::ostringstream out;
+  EXPECT_EQ(cmd_verify(kExample8, opts, out), ExitCode::kSuccess);
+  std::string s = out.str();
+  EXPECT_NE(s.find("optimize plan (method"), std::string::npos);
+  EXPECT_NE(s.find("certified: yes"), std::string::npos);
+  EXPECT_NE(s.find("[LMRE-N016]"), std::string::npos);
+  EXPECT_NE(s.find("checker: ok"), std::string::npos);
+}
+
+TEST(CliVerify, ReversalRefutedWithWitnessExitsDiagnostics) {
+  std::string path = write_temp(
+      "skew_verify.loop",
+      "for i = 1 to 6\n  for j = 1 to 6\n    A[i][j] = A[i-1][j+1];\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"verify", "--plan=0 1; 1 0", path}, out, err),
+            ExitCode::kDiagnostics);
+  EXPECT_NE(out.str().find("[LMRE-E013]"), std::string::npos);
+  EXPECT_NE(out.str().find("[LMRE-E019]"), std::string::npos);
+  EXPECT_NE(out.str().find("certified: no"), std::string::npos);
+}
+
+TEST(CliVerify, BadPlanSpecExitsUsage) {
+  std::string path = write_temp("plain_verify.loop", kExample8);
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"verify", "--plan=banana", path}, out, err),
+            ExitCode::kUsage);
+}
+
+TEST(CliVerify, MultiPhaseSourceExitsFailure) {
+  VerifyCliOptions opts;
+  std::ostringstream out;
+  ExitCode rc = cmd_verify(R"(
+    array A[8];
+    phase p { for i = 1 to 8  A[i] = 0; }
+    phase c { for i = 1 to 8  B[i] = A[i]; }
+  )",
+                           opts, out);
+  EXPECT_EQ(rc, ExitCode::kFailure);
+  EXPECT_NE(out.str().find("single-nest"), std::string::npos);
+}
+
+TEST(CliVerify, JsonEmitsCertificateAndCheckerVerdict) {
+  std::string path = write_temp("plain_verify.loop", kExample8);
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"verify", "--json", "--plan=1 0; 0 1", path}, out, err),
+            ExitCode::kSuccess);
+  std::string s = out.str();
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_NE(s.find("\"command\": \"verify\""), std::string::npos);
+  EXPECT_NE(s.find("\"certified\": true"), std::string::npos);
+  EXPECT_NE(s.find("\"checker\""), std::string::npos);
+  EXPECT_NE(s.find("\"ok\": true"), std::string::npos);
+}
+
 TEST(CliAnalyzeJson, EnvelopeWrapsResult) {
   std::ostringstream out;
   EXPECT_EQ(cmd_analyze_json(kExample8, out), ExitCode::kSuccess);

@@ -31,6 +31,9 @@
 #include "symbolic/derive.h"
 #include "transform/minimizer.h"
 #include "transform/transformed.h"
+#include "verify/certificate.h"
+#include "verify/checker.h"
+#include "verify/verify.h"
 
 namespace lmre::tools {
 
@@ -109,7 +112,20 @@ ExitCode cmd_optimize(const std::string& source, std::ostream& out, int threads,
   MinimizerOptions opts;
   opts.threads = threads;
   OptimizeResult res = optimize_locality(nest, opts);
-  out << "method: " << res.method << "\nT = " << res.transform.str() << "\n\n";
+  // Independent legality audit (src/verify): an uncertifiable winner is
+  // never shipped -- it is downgraded to the identity with a notice.
+  VerifyPlan vplan;
+  vplan.steps = {res.transform};
+  VerifyResult verdict = verify_plan(nest, vplan);
+  if (!verdict.certified) {
+    out << "plan " << res.transform.str()
+        << " cannot be certified; downgraded to identity\n";
+    res.transform = IntMat::identity(nest.depth());
+    res.method = "identity (uncertified plan downgraded)";
+  }
+  out << "method: " << res.method << "\nT = " << res.transform.str()
+      << "\ncertified: " << (verdict.certified ? "yes" : "no") << " ("
+      << verdict.memory_deps << " memory dependences)\n\n";
   TransformedNest tn(nest, res.transform);
   out << tn.print() << "\nexact window: " << simulate(nest).mws_total << " -> "
       << tn.simulate().mws_total << '\n';
@@ -356,6 +372,26 @@ ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int thr
   OptimizeResult res = optimize_locality(nest, opts);
 
   Json doc = Json::object();
+  // Same certification gate as the runtime's optimize path: record the
+  // prover's verdict, never emit an uncertified transform.
+  VerifyPlan vplan;
+  vplan.steps = {res.transform};
+  VerifyResult verdict = verify_plan(nest, vplan);
+  doc.set("certified", verdict.certified);
+  if (!verdict.certified) {
+    Json bad = Json::array();
+    for (size_t r = 0; r < res.transform.rows(); ++r) {
+      Json row = Json::array();
+      for (size_t c = 0; c < res.transform.cols(); ++c) {
+        row.push(res.transform(r, c));
+      }
+      bad.push(std::move(row));
+    }
+    doc.set("downgraded", true);
+    doc.set("uncertified_transform", std::move(bad));
+    res.transform = IntMat::identity(nest.depth());
+    res.method = "identity (uncertified plan downgraded)";
+  }
   doc.set("method", res.method);
   Json rows = Json::array();
   for (size_t r = 0; r < res.transform.rows(); ++r) {
@@ -412,6 +448,99 @@ ExitCode cmd_lint(const std::string& source, const LintCliOptions& cli,
   }
   bool fail = res.has_errors() || (cli.strict && res.has_warnings());
   return fail ? ExitCode::kDiagnostics : ExitCode::kSuccess;
+}
+
+ExitCode cmd_verify(const std::string& source, const VerifyCliOptions& cli,
+                    std::ostream& out, const std::string& file) {
+  ProgramSourceMap smap;
+  Program program = parse_program(source, &smap);
+  if (auto rc = lint_gate(program, smap, file, cli.json, "verify", out)) {
+    return *rc;
+  }
+  if (program.phase_count() > 1) {
+    if (cli.json) {
+      Json doc = Json::object().set("error", "verify works on single-nest sources");
+      out << json_envelope("verify", std::move(doc)).dump(2) << '\n';
+    } else {
+      out << "verify works on single-nest sources\n";
+    }
+    return ExitCode::kFailure;
+  }
+  const LoopNest& nest = program.phase_nest(0);
+
+  VerifyPlan plan;
+  std::string origin = "supplied plan";
+  if (!cli.plan.empty()) {
+    std::string perr;
+    std::optional<VerifyPlan> parsed = parse_plan_spec(cli.plan, &perr);
+    if (!parsed) {
+      out << "bad --plan spec: " << perr << '\n';
+      return ExitCode::kUsage;
+    }
+    plan = std::move(*parsed);
+  } else {
+    // Audit mode: certify the plan `lmre optimize` itself would emit.
+    MinimizerOptions mopts;
+    mopts.threads = cli.threads;
+    OptimizeResult res = optimize_locality(nest, mopts);
+    plan.steps = {res.transform};
+    origin = "optimize plan (method '" + res.method + "')";
+  }
+
+  VerifyResult verdict = verify_plan(nest, plan);
+  DiagnosticEngine engine;
+  emit_verify_diagnostics(nest, verdict, origin, /*parallel_notes=*/true, engine);
+  CertificateCheck check = check_certificate(nest, verdict);
+
+  if (cli.json) {
+    Json doc = Json::object();
+    doc.set("verify", certificate_json(nest, verdict));
+    doc.set("diagnostics", render_json(engine.diagnostics(), file));
+    Json jc = Json::object();
+    jc.set("ok", check.ok)
+        .set("proofs", static_cast<Int>(check.checked_proofs))
+        .set("witnesses", static_cast<Int>(check.checked_witnesses))
+        .set("trusted", static_cast<Int>(check.trusted));
+    if (!check.failures.empty()) {
+      Json fails = Json::array();
+      for (const std::string& f : check.failures) fails.push(f);
+      jc.set("failures", std::move(fails));
+    }
+    doc.set("checker", std::move(jc));
+    out << json_envelope("verify", std::move(doc)).dump(2) << '\n';
+  } else {
+    out << "plan: " << verdict.plan.str() << " (" << origin << ")\n";
+    if (verdict.structure_error.empty()) {
+      out << "combined T = " << verdict.combined.str() << '\n'
+          << "legal: " << (verdict.legal ? "yes" : "no")
+          << ", tileable: " << (verdict.tileable ? "yes" : "no")
+          << ", certified: " << (verdict.certified ? "yes" : "no")
+          << ", exact: " << (verdict.exact ? "yes" : "no") << '\n'
+          << "dependences: " << verdict.memory_deps << " memory / "
+          << verdict.total_deps << " total\n";
+      TextTable t;
+      t.header({"nest", "level", "class"});
+      for (const LevelClass& lc : verdict.original_levels) {
+        t.row({"original", std::to_string(lc.level),
+               lc.doall ? "DOALL" : (lc.exact ? "carries deps" : "unproven")});
+      }
+      for (const LevelClass& lc : verdict.transformed_levels) {
+        t.row({"transformed", std::to_string(lc.level),
+               lc.doall ? "DOALL" : (lc.exact ? "carries deps" : "unproven")});
+      }
+      out << t.render();
+    }
+    out << render_text(engine.diagnostics(), file)
+        << render_summary(engine.diagnostics()) << '\n';
+    out << "checker: " << (check.ok ? "ok" : "FAILED") << " ("
+        << check.checked_proofs << " proofs, " << check.checked_witnesses
+        << " witnesses re-validated, " << check.trusted << " trusted)\n";
+    for (const std::string& f : check.failures) {
+      out << "checker: " << f << '\n';
+    }
+  }
+  if (!check.ok) return ExitCode::kFailure;
+  return verdict.certified ? ExitCode::kSuccess : ExitCode::kDiagnostics;
 }
 
 ExitCode cmd_figure2(std::ostream& out, int threads) {
@@ -502,7 +631,8 @@ ExitCode cmd_batch(const std::vector<std::string>& inputs,
     auto source = read_source(path, err);
     if (!source) return ExitCode::kFailure;
     requests.push_back(AnalysisRequest{std::move(*source), path,
-                                       AnalysisRequest::Kind::kFull});
+                                       AnalysisRequest::Kind::kFull,
+                                       /*plan=*/{}});
   }
 
   std::vector<AnalysisResult> results = session.run_batch(requests);
@@ -605,6 +735,7 @@ ExitCode cmd_request(const std::string& source, const std::string& file,
   request.set("id", opts.id.empty() ? file : opts.id);
   request.set("kind", opts.kind);
   request.set("source", source);
+  if (!opts.plan.empty()) request.set("plan", opts.plan);
   if (opts.deadline_ms > 0) {
     request.set("options",
                 Json::object().set("deadline_ms", opts.deadline_ms));
@@ -731,6 +862,15 @@ std::string usage() {
       "                                static diagnostics (check IDs LMRE-*);\n"
       "                                --plan re-certifies a transform plan\n"
       "                                (default: the one optimize emits)\n"
+      "  verify    [--json] [--plan[=SPEC]] <file|->\n"
+      "                                dependence-preservation prover: exact\n"
+      "                                legality + DOALL/wavefront analysis\n"
+      "                                with a machine-checkable certificate;\n"
+      "                                SPEC = '|'-separated unimodular steps\n"
+      "                                (rows ';', entries space/comma) plus\n"
+      "                                an optional trailing tile:4,4 chunk,\n"
+      "                                e.g. --plan=\"0 1; 1 0 | tile:8,8\";\n"
+      "                                no --plan audits the optimizer's plan\n"
       "  batch     [--json] [--threads=N] [--cache-dir=D] [--metrics=FILE]\n"
       "            <dir|files...>      full pipeline over a corpus of .loop\n"
       "                                files with memoized results; --metrics\n"
@@ -743,8 +883,11 @@ std::string usage() {
       "                                requests, bounded queue (full =>\n"
       "                                overloaded), per-request deadlines,\n"
       "                                graceful drain on SIGINT/SIGTERM\n"
-      "  request   <socket> <file|-> [--kind=K] [--deadline=MS] [--id=S]\n"
-      "            [--raw]             send one request to a running server;\n"
+      "  request   <socket> <file|-> [--kind=K] [--plan=SPEC]\n"
+      "            [--deadline=MS] [--id=S] [--raw]\n"
+      "                                send one request to a running server;\n"
+      "                                --kind adds verify to the batch kinds,\n"
+      "                                --plan forwards a verify plan spec,\n"
       "                                --raw prints just the result payload\n"
       "  version                       schema version + build info\n"
       "  distances <file|->            dependence distance/direction table\n"
@@ -804,6 +947,7 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
   bool symbolic = false;
   int threads = 1;
   LintCliOptions lint_opts;
+  VerifyCliOptions verify_opts;
   BatchCliOptions batch_opts;
   ServeCliOptions serve_opts;
   RequestCliOptions request_opts;
@@ -888,6 +1032,21 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
     } else if (cmd == "request" && it->rfind("--kind=", 0) == 0) {
       request_opts.kind = it->substr(7);
       it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--plan=", 0) == 0) {
+      request_opts.plan = it->substr(7);
+      it = rest.erase(it);
+    } else if (cmd == "verify" && *it == "--plan") {
+      // Bare --plan is the default audit mode; accepted for symmetry with
+      // `lmre lint --plan`.
+      it = rest.erase(it);
+    } else if (cmd == "verify" && it->rfind("--plan=", 0) == 0) {
+      verify_opts.plan = it->substr(7);
+      std::string perr;
+      if (!parse_plan_spec(verify_opts.plan, &perr)) {
+        err << "bad --plan spec: " << perr << '\n';
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
     } else if (cmd == "request" && it->rfind("--deadline=", 0) == 0) {
       try {
         request_opts.deadline_ms = std::stod(it->substr(11));
@@ -942,7 +1101,8 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
     return cmd_batch(rest, batch_opts, out, err);
   }
   if (cmd == "analyze" || cmd == "optimize" || cmd == "lint" ||
-      cmd == "distances" || cmd == "misscurve" || cmd == "series") {
+      cmd == "verify" || cmd == "distances" || cmd == "misscurve" ||
+      cmd == "series") {
     if (rest.empty()) {
       err << usage();
       return ExitCode::kUsage;
@@ -965,6 +1125,11 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
       }
       if (cmd == "optimize") return cmd_optimize(*source, out, threads, file);
       if (cmd == "lint") return cmd_lint(*source, lint_opts, out, file);
+      if (cmd == "verify") {
+        verify_opts.json = json;
+        verify_opts.threads = threads;
+        return cmd_verify(*source, verify_opts, out, file);
+      }
       if (cmd == "distances") return cmd_distances(*source, out);
       if (cmd == "series") return cmd_series(*source, out);
       std::vector<Int> caps;

@@ -93,6 +93,26 @@ ExitCode cmd_symbolic_json(const std::string& source, std::ostream& out,
 ExitCode cmd_optimize_json(const std::string& source, std::ostream& out,
                            int threads = 1, const std::string& file = "<input>");
 
+/// Options for `lmre verify`, parsed by run_cli.
+struct VerifyCliOptions {
+  bool json = false;  ///< emit the certificate in the JSON envelope
+  /// --plan=SPEC: the transform plan to certify, in the verify grammar
+  /// ('|'-separated unimodular steps, optional trailing "tile:4,4").
+  /// Empty (or bare --plan) = audit the plan `lmre optimize` emits.
+  std::string plan;
+  int threads = 1;  ///< audit-mode optimizer workers
+};
+
+/// `lmre verify [--json] [--plan[=SPEC]] <file|->`: runs the
+/// dependence-preservation prover (src/verify) over the plan, renders its
+/// diagnostics (LMRE-E013/E019/W014/W020/N016/N021/N022), and re-validates
+/// the certificate with the independent checker.  kSuccess when the plan is
+/// certified, kDiagnostics when it is refuted or unproven, kFailure when
+/// the checker rejects the prover's own certificate (never expected),
+/// kUsage on a malformed plan spec.
+ExitCode cmd_verify(const std::string& source, const VerifyCliOptions& opts,
+                    std::ostream& out, const std::string& file = "<input>");
+
 /// `lmre figure2`: the paper's main table.
 ExitCode cmd_figure2(std::ostream& out, int threads = 1);
 
@@ -137,7 +157,8 @@ ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
 /// Options for `lmre request`, parsed by run_cli.
 struct RequestCliOptions {
   std::string socket;       ///< Unix-domain socket of a running server
-  std::string kind = "full";///< --kind=lint|analyze|optimize|full|symbolic
+  std::string kind = "full";///< --kind=lint|analyze|optimize|full|symbolic|verify
+  std::string plan;         ///< --plan=SPEC (kind=verify; "" = audit mode)
   double deadline_ms = 0;   ///< --deadline=MS (0 = none)
   std::string id;           ///< --id=S (defaults to the file name)
   bool raw = false;         ///< --raw: print only the result payload
