@@ -1,0 +1,247 @@
+// Codegen bench: emit latency, compile+run wall clock and footprint
+// ratios for the C backend (src/codegen) across the paper's Figure-2
+// suite and the examples/loops corpus, each lowered in identity order
+// plus -- for the Figure-2 rows -- under the optimizer's certified plan.
+// Prints a table and writes BENCH_codegen.json (enveloped) into the
+// current directory so the footprint trajectory is machine-readable.
+//
+// With --check the bench exits nonzero if any emission takes 100 ms or
+// longer, any footprint ratio leaves (0, 1], or -- when a system C
+// compiler exists -- any compiled kernel fails its embedded self-check
+// (bit-identity, window, traffic).  Without a compiler the run columns
+// print "-" and the check degrades to the emission gates.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "codegen/driver.h"
+#include "codes/kernels.h"
+#include "ir/parser.h"
+#include "linalg/mat.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/text.h"
+#include "transform/minimizer.h"
+#include "verify/verify.h"
+
+using namespace lmre;
+
+namespace {
+
+constexpr int kReps = 3;                  // best-of timing, min over reps
+constexpr double kEmitBudgetMs = 100.0;   // --check: emission must stay under
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double ms = ms_since(t0);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  std::string plan;  // "identity" or the optimizer's transform
+  Int iterations = 0;
+  double emit_ms = 0.0;
+  double compile_ms = -1.0;  // < 0: no compiler on PATH
+  double run_ms = -1.0;
+  Int declared_cells = 0;
+  Int window_cells = 0;
+  double ratio = 0.0;
+  bool identical = false;  // meaningful only when run_ms >= 0
+};
+
+std::string fmt_ms(double ms) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << ms;
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << r;
+  return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The bench runs from <build>/bench (ctest smoke) or the repo root
+// (tier1.sh); probe plausible source roots for the .loop corpus.
+std::string corpus_root() {
+  namespace fs = std::filesystem;
+  for (const char* base : {"", "../", "../../", "../../../"}) {
+    std::error_code ec;
+    if (fs::is_directory(std::string(base) + "examples/loops", ec)) {
+      return base;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+  const std::string cc = find_cc();
+  bool ok = true;
+
+  struct Job {
+    std::string name;
+    LoopNest nest;
+    bool try_optimizer = false;
+  };
+  std::vector<Job> jobs;
+  for (auto& entry : codes::figure2_suite()) {
+    jobs.push_back({entry.name, entry.nest, /*try_optimizer=*/true});
+  }
+  std::string root = corpus_root();
+  size_t corpus_files = 0, corpus_skipped = 0;
+  if (root != "?") {
+    namespace fs = std::filesystem;
+    std::vector<fs::path> paths;
+    for (const auto& e : fs::directory_iterator(root + "examples/loops")) {
+      if (e.path().extension() == ".loop") paths.push_back(e.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      Program program = parse_program(read_file(p.string()));
+      if (program.phase_count() != 1) {
+        ++corpus_skipped;  // multi-phase sources sit outside the fragment
+        continue;
+      }
+      jobs.push_back({p.filename().string(), program.phase_nest(0), false});
+      ++corpus_files;
+    }
+  } else {
+    std::cout << "note: examples/loops not found from cwd; corpus rows "
+                 "skipped\n";
+  }
+
+  std::vector<Row> rows;
+  auto bench_one = [&](const std::string& name, const LoopNest& nest,
+                       const VerifyPlan& plan, const std::string& plan_name) {
+    Row row;
+    row.kernel = name;
+    row.plan = plan_name;
+    row.iterations = nest.iteration_count();
+    CodegenResult cg;
+    try {
+      row.emit_ms = best_of([&] { cg = emit_c(nest, plan); });
+    } catch (const Error& err) {
+      std::cout << "EMIT FAIL on " << name << ": " << err.what() << '\n';
+      ok = false;
+      return;
+    }
+    row.declared_cells = cg.original_cells;
+    row.window_cells = cg.window_cells;
+    row.ratio = cg.footprint_ratio();
+    if (!(row.ratio > 0.0) || row.ratio > 1.0) {
+      std::cout << "CHECK FAIL: footprint ratio " << fmt_ratio(row.ratio)
+                << " outside (0, 1] on " << name << '\n';
+      ok = false;
+    }
+    if (check && row.emit_ms >= kEmitBudgetMs) {
+      std::cout << "CHECK FAIL: emit " << fmt_ms(row.emit_ms)
+                << "ms >= " << kEmitBudgetMs << "ms on " << name << '\n';
+      ok = false;
+    }
+    if (!cc.empty()) {
+      RunVerdict v = compile_and_run(cg.c_source, cc, name);
+      row.compile_ms = v.compile_ms;
+      row.run_ms = v.run_ms;
+      row.identical = v.identical;
+      if (!v.ok()) {
+        std::cout << "RUN FAIL on " << name << " (status " << v.status
+                  << "): " << v.detail << '\n';
+        ok = false;
+      }
+    }
+    rows.push_back(std::move(row));
+  };
+
+  for (const Job& job : jobs) {
+    bench_one(job.name, job.nest, VerifyPlan{}, "identity");
+    if (!job.try_optimizer) continue;
+    // The optimizer's own plan, certified-gated exactly like `lmre
+    // codegen --plan`; skip the row when the winner is the identity.
+    OptimizeResult res = optimize_locality(job.nest);
+    if (res.transform == IntMat::identity(job.nest.depth())) continue;
+    VerifyPlan plan;
+    plan.steps = {res.transform};
+    if (!verify_plan(job.nest, plan).certified) continue;
+    bench_one(job.name, job.nest, plan, plan.str());
+  }
+
+  TextTable t;
+  t.header({"kernel", "plan", "emit (ms)", "compile (ms)", "run (ms)",
+            "declared", "window", "ratio"});
+  Json jrows = Json::array();
+  for (const Row& r : rows) {
+    t.row({r.kernel, r.plan, fmt_ms(r.emit_ms),
+           r.compile_ms < 0 ? "-" : fmt_ms(r.compile_ms),
+           r.run_ms < 0 ? "-" : fmt_ms(r.run_ms),
+           with_commas(r.declared_cells), with_commas(r.window_cells),
+           fmt_ratio(r.ratio)});
+    Json jr = Json::object();
+    jr.set("kernel", r.kernel)
+        .set("plan", r.plan)
+        .set("iterations", r.iterations)
+        .set("emit_ms", r.emit_ms)
+        .set("declared_cells", r.declared_cells)
+        .set("window_cells", r.window_cells)
+        .set("footprint_ratio", r.ratio);
+    if (r.compile_ms >= 0) {
+      jr.set("compile_ms", r.compile_ms)
+          .set("run_ms", r.run_ms)
+          .set("identical", r.identical);
+    }
+    jrows.push(std::move(jr));
+  }
+  std::cout << "-- C backend: emit latency + footprint vs declared --\n"
+            << t.render();
+  if (cc.empty()) {
+    std::cout << "note: no system C compiler on PATH; compile/run columns "
+                 "skipped\n";
+  }
+
+  Json doc = Json::object();
+  doc.set("emit_budget_ms", kEmitBudgetMs);
+  doc.set("cc", cc.empty() ? "none" : cc);
+  doc.set("corpus_files", static_cast<Int>(corpus_files));
+  doc.set("corpus_skipped", static_cast<Int>(corpus_skipped));
+  doc.set("rows", std::move(jrows));
+  std::ofstream("BENCH_codegen.json")
+      << json_envelope("bench-codegen", std::move(doc)).dump(2) << '\n';
+  std::cout << "wrote BENCH_codegen.json\n";
+
+  if (check) std::cout << (ok ? "CHECK OK\n" : "CHECK FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
         AnalysisRequest req;
         req.source =
             base_source + "# rep " + std::to_string(rep_serial++) + "\n";
-        req.kind = AnalysisRequest::Kind::kSymbolic;
+        req.set_kind(AnalysisRequest::Kind::kSymbolic);
         AnalysisResult res = session.run(req);
         if (res.status != ExitCode::kSuccess) {
           std::cout << "symbolic request failed on " << name << '\n';

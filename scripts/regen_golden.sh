@@ -48,3 +48,17 @@ echo "wrote tests/golden/verify_example6.json"
 "$LMRE" verify --json --plan="-1 0; 0 1" examples/loops/example8.loop \
   > tests/golden/verify_example8_witness.json || true
 echo "wrote tests/golden/verify_example8_witness.json"
+
+# Codegen documents (src/codegen): identity-order lowering of the paper's
+# Examples 6, 8 and 10 -- window accounting, buffer plans, and the full
+# generated C unit.  Deterministic, so the whole envelope is pinned
+# (golden_codegen_test).
+"$LMRE" codegen --json tests/golden/example6.loop \
+  > tests/golden/codegen_example6.json
+echo "wrote tests/golden/codegen_example6.json"
+"$LMRE" codegen --json examples/loops/example8.loop \
+  > tests/golden/codegen_example8.json
+echo "wrote tests/golden/codegen_example8.json"
+"$LMRE" codegen --json tests/golden/example10.loop \
+  > tests/golden/codegen_example10.json
+echo "wrote tests/golden/codegen_example10.json"

@@ -7,8 +7,10 @@
 # ThreadSanitizer over the parallel-search + shared-cache/server suites
 # and ASan+UBSan over the parser / lint / CLI suites (the layers that
 # chew on untrusted input) -- plus a symbolic-smoke stage (closed forms
-# differential vs the oracle under ASan, golden + decline corpora) and
-# the oracle perf gate.  Run from the repo root:
+# differential vs the oracle under ASan, golden + decline corpora), the
+# oracle perf gate, and a codegen smoke (ASan emission, system-cc compile
+# + execute round trip, bench_codegen --check latency gate).  Run from
+# the repo root:
 #
 #   scripts/tier1.sh
 #
@@ -155,5 +157,35 @@ cmake --build build-asan -j "$JOBS" --target property_oracle_test
 ./build-asan/tests/property_oracle_test
 ./build/bench/bench_oracle --check \
   || { echo "FAIL: dense oracle engine regressed past the perf gate"; exit 1; }
+
+echo "== tier 1: codegen smoke (ASan emission + system-cc round trip) =="
+# The C backend under ASan+UBSan emits two paper kernels end to end --
+# fir.loop under the optimizer's plan and example8.loop in identity order
+# -- and the system cc compiles and executes each generated unit, whose
+# embedded self-check must report bit-identity, the predicted window and
+# clean traffic (status 0).  When the container has no C compiler the
+# round trip is skipped VISIBLY; emission still runs.  bench_codegen
+# --check then gates emit latency (< 100 ms per kernel) and re-runs the
+# whole Figure-2 + corpus table against the plain build.
+cmake --build build-asan -j "$JOBS" --target lmre_cli codegen_test
+./build-asan/tests/codegen_test
+if command -v cc >/dev/null; then
+  for KERNEL in "examples/loops/fir.loop --plan" "examples/loops/example8.loop"; do
+    # shellcheck disable=SC2086  # intentional word split: file + flags
+    ./build-asan/tools/lmre codegen --run --json $KERNEL \
+      > "$BATCH_CACHE/codegen_smoke.json" \
+      || { echo "FAIL: codegen --run exited nonzero on $KERNEL"; exit 1; }
+    grep -q '"identical": true' "$BATCH_CACHE/codegen_smoke.json" \
+      || { echo "FAIL: generated code not bit-identical on $KERNEL"; exit 1; }
+    grep -q '"status": 0' "$BATCH_CACHE/codegen_smoke.json" \
+      || { echo "FAIL: generated self-check failed on $KERNEL"; exit 1; }
+  done
+else
+  echo "SKIP: no system C compiler on PATH; codegen round trip not run"
+  ./build-asan/tools/lmre codegen examples/loops/example8.loop >/dev/null \
+    || { echo "FAIL: codegen emission failed without a compiler"; exit 1; }
+fi
+./build/bench/bench_codegen --check \
+  || { echo "FAIL: codegen emit latency or self-check gate"; exit 1; }
 
 echo "tier 1 OK"

@@ -20,20 +20,34 @@
 //                          symbolic/derive.h                SymbolicResult
 //   transform search       transform/minimizer.h,           optimize_locality,
 //                          transform/transformed.h          minimize_mws_2d
+//   legality proofs        verify/verify.h                  verify_plan,
+//                                                           VerifyPlan
+//   C backend              codegen/codegen.h,               emit_c, BufferPlan,
+//                          codegen/driver.h                 compile_and_run
 //   batch runtime          runtime/session.h,               AnalysisSession,
-//                          runtime/metrics.h,               Metrics, ResultCache
-//                          runtime/cache.h
+//                          runtime/metrics.h                AnalysisRequest,
+//                                                           kAnalysisKinds
 //   analysis server        server/server.h, server/wire.h   AnalysisServer,
 //                                                           ServeStatus, parse_request
-//   shared support         support/error.h (ExitCode),      RunOptions, Json,
-//                          support/options.h,               json_envelope
+//   shared support         support/error.h (ExitCode,       RunOptions, Json,
+//                          kExitCodes), support/options.h,  json_envelope
 //                          support/json.h
 //
+// Requests are typed: AnalysisRequest carries a std::variant of per-kind
+// option structs (Verify{plan}, Codegen{plan, run, cc}, ...) and the
+// kAnalysisKinds registry is the one table mapping Kind <-> wire name <->
+// CLI verb.  Construct requests with the three-argument form
+// `AnalysisRequest{source, file, AnalysisRequest::Codegen{...}}` or call
+// set_kind() for defaulted options.
+//
 // Headers NOT reachable from here (linalg internals, polyhedra scanners,
-// per-check lint passes, layout/alloc experiments, ...) are internal: they
-// may change or disappear between versions without notice.
+// per-check lint passes, layout/alloc experiments, the result-cache
+// internals in runtime/cache.h, ...) are internal: they may change or
+// disappear between versions without notice.
 
 #include "analysis/report.h"
+#include "codegen/codegen.h"
+#include "codegen/driver.h"
 #include "diag/diagnostic.h"
 #include "exact/oracle.h"
 #include "ir/general.h"
@@ -42,7 +56,6 @@
 #include "ir/printer.h"
 #include "lint/lint.h"
 #include "program/program.h"
-#include "runtime/cache.h"
 #include "runtime/metrics.h"
 #include "runtime/session.h"
 #include "server/server.h"
@@ -54,3 +67,4 @@
 #include "symbolic/expr.h"
 #include "transform/minimizer.h"
 #include "transform/transformed.h"
+#include "verify/verify.h"

@@ -1,0 +1,102 @@
+#pragma once
+
+// C code generation: the executable artifact behind the paper's claim.
+//
+// A nest transformed for minimum window size should RUN correctly out of a
+// buffer sized to the computed window, not the declared arrays.  This
+// module lowers a LoopNest (plus an optional certified transform plan and
+// tile spec) to one standalone C translation unit containing
+//
+//   * the original nest over full declared arrays, and
+//   * the same computation in the plan's execution order, reading and
+//     writing a modulo-addressed scratch buffer per array, sized to the
+//     smallest collision-free modulus >= the exact per-array window,
+//
+// plus a main() that runs both on deterministic seeded inputs, compares
+// every backing array (and the read-checksum of `use` statements) bit for
+// bit, and prints a one-line machine-readable verdict with the measured
+// traffic counters.  driver.h compiles and executes the unit with the
+// system C compiler.
+//
+// Semantics of the emitted computation: every cell is a uint64_t; a
+// statement writes  salt_s + mix(i) + sum_k odd_k * read_k  (wrap-around
+// arithmetic), so corrupted dataflow propagates and the final arrays are
+// bit-identical iff every dynamic read saw the value the original order
+// produced.  The window version stages data between a full-size backing
+// store (the "off-chip" arrays) and the per-array scratch buffer: an
+// element is fetched at its first read, served from the buffer for every
+// access in between, and written back once at eviction or final drain.
+// With the collision-free modulus certified here, no element loses its
+// slot while live, so measured loads == upward-exposed elements, measured
+// writebacks == written elements, and measured reloads == 0 -- the
+// machine-checked form of "the window buffer captures all reuse".
+
+#include <string>
+#include <vector>
+
+#include "ir/nest.h"
+#include "linalg/mat.h"
+#include "verify/verify.h"
+
+namespace lmre {
+
+struct CodegenOptions {
+  /// Refuse emission when the plan's scan volume exceeds this (buffer
+  /// planning walks the exact trace).  Matches RunOptions::verify_limit.
+  Int trace_limit = 2'000'000;
+
+  /// Search ceiling for the per-array collision-free modulus; the touched
+  /// region size (always collision free) is used past it.
+  Int modulus_limit = 1 << 20;
+
+  /// Identifier stem for the generated entry points ("kernel" ->
+  /// lmre_kernel_main etc.); property suites batch several kernels into
+  /// one translation unit by varying the stem and emitting with
+  /// `standalone == false`.
+  std::string stem = "kernel";
+
+  /// Emit main() (standalone program).  When false only the per-kernel
+  /// functions and a `int <stem>_check(void)` entry are emitted, so many
+  /// kernels can share one translation unit under distinct stems.
+  bool standalone = true;
+};
+
+/// Buffer plan for one referenced array.
+struct BufferPlan {
+  ArrayId array = 0;
+  std::string name;
+  Int declared = 0;        ///< declared elements (the paper's "default")
+  Int region = 0;          ///< touched-region cells backing the array
+  Int mws = 0;             ///< exact window in the emitted execution order
+  Int modulus = 0;         ///< scratch cells: smallest collision-free mod
+  bool collision_free = false;  ///< modulus certified conflict-free
+  Int cold_loads = 0;      ///< elements whose first access is a read
+  Int writebacks = 0;      ///< distinct elements ever written
+};
+
+struct CodegenResult {
+  std::string c_source;       ///< the full translation unit
+  IntMat combined;            ///< product of the plan's unimodular steps
+  std::vector<Int> tile_sizes;///< empty unless the plan tiles
+  std::vector<BufferPlan> buffers;  ///< referenced arrays, ArrayId order
+  Int iterations = 0;         ///< points executed by either version
+  Int original_cells = 0;     ///< sum of declared sizes (referenced arrays)
+  Int window_cells = 0;       ///< sum of moduli: the scratch footprint
+  Int mws_total = 0;          ///< peak summed window in the emitted order
+
+  /// window_cells / original_cells (the paper's Figure-2 ratio, measured
+  /// on the actual emitted buffers).
+  double footprint_ratio() const;
+};
+
+/// Lowers `nest` under `plan` (empty plan = identity order) to C.  The
+/// caller is responsible for legality: pass only plans that verify_plan
+/// certifies (the runtime and CLI enforce this; emit_c itself only
+/// re-checks plan STRUCTURE -- shape, unimodularity, tile sizes).
+/// Throws UnsupportedError when the scan volume exceeds opts.trace_limit
+/// and OverflowError when addresses do not fit checked 64-bit arithmetic.
+/// Deterministic: identical inputs produce byte-identical C.
+CodegenResult emit_c(const LoopNest& nest, const VerifyPlan& plan,
+                     const CodegenOptions& opts = {});
+
+}  // namespace lmre

@@ -1,0 +1,142 @@
+#include "codegen/driver.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lmre {
+
+namespace {
+
+bool executable(const std::string& path) {
+  return ::access(path.c_str(), X_OK) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// First integer after "key": in a compact JSON line; `def` when absent.
+Int json_field(const std::string& s, const std::string& key, Int def) {
+  const std::string needle = "\"" + key + "\":";
+  size_t p = s.find(needle);
+  if (p == std::string::npos) return def;
+  p += needle.size();
+  while (p < s.size() && s[p] == ' ') ++p;
+  bool neg = p < s.size() && s[p] == '-';
+  if (neg) ++p;
+  if (p >= s.size() || !std::isdigit(static_cast<unsigned char>(s[p]))) {
+    return def;
+  }
+  Int v = 0;
+  while (p < s.size() && std::isdigit(static_cast<unsigned char>(s[p]))) {
+    v = v * 10 + (s[p] - '0');
+    ++p;
+  }
+  return neg ? -v : v;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+std::string find_cc(const std::string& override_cc) {
+  const std::string want = override_cc.empty() ? "cc" : override_cc;
+  if (want.find('/') != std::string::npos) {
+    return executable(want) ? want : "";
+  }
+  const char* path = std::getenv("PATH");
+  if (path == nullptr) return "";
+  std::istringstream dirs(path);
+  std::string dir;
+  while (std::getline(dirs, dir, ':')) {
+    if (dir.empty()) continue;
+    std::string candidate = dir + "/" + want;
+    if (executable(candidate)) return candidate;
+  }
+  return "";
+}
+
+RunVerdict compile_and_run(const std::string& c_source,
+                           const std::string& cc_path,
+                           const std::string& label) {
+  RunVerdict v;
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir_template =
+      std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+      "/lmre-cg-XXXXXX";
+  std::vector<char> buf(dir_template.begin(), dir_template.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    v.detail = "mkdtemp failed for " + dir_template;
+    return v;
+  }
+  const std::string dir(buf.data());
+  const std::string src = dir + "/" + label + ".c";
+  const std::string bin = dir + "/" + label;
+  const std::string cc_err = dir + "/cc.err";
+  const std::string out = dir + "/run.out";
+  const std::string run_err = dir + "/run.err";
+
+  {
+    std::ofstream f(src, std::ios::binary);
+    f << c_source;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::string compile = "\"" + cc_path + "\" -O1 -o \"" + bin + "\" \"" + src +
+                        "\" 2> \"" + cc_err + "\"";
+  int crc = std::system(compile.c_str());
+  v.compile_ms = elapsed_ms(t0);
+  if (crc != 0) {
+    v.detail = "compile failed: " + read_file(cc_err);
+  } else {
+    v.compiled = true;
+    auto t1 = std::chrono::steady_clock::now();
+    std::string run =
+        "\"" + bin + "\" > \"" + out + "\" 2> \"" + run_err + "\"";
+    int rrc = std::system(run.c_str());
+    v.run_ms = elapsed_ms(t1);
+    std::string verdict = read_file(out);
+    if (verdict.find('{') == std::string::npos) {
+      v.detail = "run produced no verdict (exit " + std::to_string(rrc) +
+                 "): " + read_file(run_err);
+    } else {
+      v.ran = true;
+      v.status = static_cast<int>(json_field(verdict, "status", -1));
+      v.identical = json_field(verdict, "identical", 0) == 1;
+      v.sink_match = json_field(verdict, "sink_match", 0) == 1;
+      v.mws_ok = json_field(verdict, "mws_ok", 0) == 1;
+      v.traffic_ok = json_field(verdict, "traffic_ok", 0) == 1;
+      v.loads = json_field(verdict, "loads", 0);
+      v.stores = json_field(verdict, "stores", 0);
+      v.reloads = json_field(verdict, "reloads", 0);
+      v.occupied = json_field(verdict, "occupied", 0);
+      v.mws_measured = json_field(verdict, "mws_measured", 0);
+    }
+  }
+
+  std::remove(src.c_str());
+  std::remove(bin.c_str());
+  std::remove(cc_err.c_str());
+  std::remove(out.c_str());
+  std::remove(run_err.c_str());
+  ::rmdir(dir.c_str());
+  return v;
+}
+
+}  // namespace lmre

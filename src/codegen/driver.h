@@ -1,0 +1,49 @@
+#pragma once
+
+// Compile-and-execute harness for emitted translation units.
+//
+// The driver shells out to the system C compiler (`cc` by default, or any
+// compiler the caller names), builds the unit in a private temp directory,
+// runs it, and parses the one-line JSON verdict the generated main()
+// prints (see codegen.h for the field contract).  Everything is reported
+// back as data -- a missing compiler, a failed compile and a miscomparing
+// kernel are results, not exceptions -- so batch drivers and the server
+// survive any input.
+
+#include <string>
+
+#include "codegen/codegen.h"
+
+namespace lmre {
+
+/// Parsed verdict of one executed kernel.
+struct RunVerdict {
+  bool compiled = false;    ///< compiler produced a binary
+  bool ran = false;         ///< binary executed and printed a verdict
+  bool identical = false;   ///< original vs window arrays bit-identical
+  bool sink_match = false;  ///< `use`-statement checksums equal
+  bool mws_ok = false;      ///< measured window == engine prediction
+  bool traffic_ok = false;  ///< loads/stores == predictions, reloads == 0
+  int status = -1;          ///< kernel bitmask (0 = all checks passed)
+  Int loads = 0, stores = 0, reloads = 0, occupied = 0;
+  Int mws_measured = 0;
+  double compile_ms = 0.0;  ///< wall clock; NOT part of any cached payload
+  double run_ms = 0.0;
+  std::string detail;       ///< compiler/runtime stderr on failure
+
+  bool ok() const { return compiled && ran && status == 0; }
+};
+
+/// Absolute path of the first usable C compiler: `cc` looked up on PATH,
+/// unless `override_cc` names one explicitly.  Empty when none exists --
+/// callers must degrade gracefully (tests GTEST_SKIP, CLI reports).
+std::string find_cc(const std::string& override_cc = "");
+
+/// Writes `c_source` to a fresh temp file, compiles it with `cc_path`
+/// (plus -O1) and executes the binary.  `label` seasons the temp names
+/// only.  Never throws on toolchain failure; inspect the verdict.
+RunVerdict compile_and_run(const std::string& c_source,
+                           const std::string& cc_path,
+                           const std::string& label = "kernel");
+
+}  // namespace lmre

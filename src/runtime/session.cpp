@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "analysis/report.h"
+#include "codegen/codegen.h"
+#include "codegen/driver.h"
 #include "diag/diagnostic.h"
 #include "exact/oracle.h"
 #include "exact/trace_engine.h"
@@ -21,22 +23,53 @@
 namespace lmre {
 
 const char* to_string(AnalysisRequest::Kind kind) {
-  switch (kind) {
-    case AnalysisRequest::Kind::kLint: return "lint";
-    case AnalysisRequest::Kind::kAnalyze: return "analyze";
-    case AnalysisRequest::Kind::kOptimize: return "optimize";
-    case AnalysisRequest::Kind::kFull: return "full";
-    case AnalysisRequest::Kind::kSymbolic: return "symbolic";
-    case AnalysisRequest::Kind::kVerify: return "verify";
+  for (const AnalysisKindInfo& info : kAnalysisKinds) {
+    if (info.kind == kind) return info.name;
   }
   return "unknown";
+}
+
+std::optional<AnalysisRequest::Kind> kind_from_string(std::string_view name) {
+  for (const AnalysisKindInfo& info : kAnalysisKinds) {
+    if (name == info.name) return info.kind;
+  }
+  return std::nullopt;
+}
+
+std::string kind_names_joined(const char* sep) {
+  std::string out;
+  for (const AnalysisKindInfo& info : kAnalysisKinds) {
+    if (!out.empty()) out += sep;
+    out += info.name;
+  }
+  return out;
+}
+
+void AnalysisRequest::set_kind(Kind kind) {
+  switch (kind) {
+    case Kind::kLint: options = Lint{}; return;
+    case Kind::kAnalyze: options = Analyze{}; return;
+    case Kind::kOptimize: options = Optimize{}; return;
+    case Kind::kFull: options = Full{}; return;
+    case Kind::kSymbolic: options = Symbolic{}; return;
+    case Kind::kVerify: options = Verify{}; return;
+    case Kind::kCodegen: options = Codegen{}; return;
+  }
+  throw InvalidArgument("AnalysisRequest::set_kind: unknown kind");
+}
+
+const std::string& AnalysisRequest::plan_spec() const {
+  static const std::string empty;
+  if (const Verify* v = verify()) return v->plan;
+  if (const Codegen* c = codegen()) return c->plan;
+  return empty;
 }
 
 namespace {
 
 // Version tag mixed into every content hash: bump when the payload schema
 // changes so stale disk caches invalidate themselves.
-constexpr const char* kHashSalt = "lmre-result-v2";
+constexpr const char* kHashSalt = "lmre-result-v3";
 
 Json error_json(const char* kind, const std::string& message, int line = 0,
                 int column = 0) {
@@ -192,9 +225,19 @@ std::uint64_t AnalysisSession::request_key(const AnalysisRequest& req) const {
   std::uint64_t h = fnv1a(kHashSalt);
   h = fnv1a(canonicalize(req.source), h);
   h = fnv1a("|kind=", h);
-  h = fnv1a(to_string(req.kind), h);
-  h = fnv1a("|plan=", h);
-  h = fnv1a(req.plan, h);
+  h = fnv1a(to_string(req.kind()), h);
+  // Per-kind options: every result-affecting field, nothing else.
+  if (const AnalysisRequest::Verify* v = req.verify()) {
+    h = fnv1a("|plan=", h);
+    h = fnv1a(v->plan, h);
+  }
+  if (const AnalysisRequest::Codegen* c = req.codegen()) {
+    h = fnv1a("|plan=", h);
+    h = fnv1a(c->plan, h);
+    h = fnv1a(c->run ? "|run" : "|emit", h);
+    h = fnv1a("|cc=", h);
+    h = fnv1a(c->cc, h);
+  }
   h = fnv1a("|verify=", h);
   h = fnv1a(std::to_string(opts_.run.verify_limit), h);
   h = fnv1a(opts_.run.strict ? "|strict" : "|lax", h);
@@ -206,7 +249,7 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
   using Kind = AnalysisRequest::Kind;
   *status = ExitCode::kSuccess;
   Json result = Json::object();
-  result.set("kind", to_string(req.kind));
+  result.set("kind", to_string(req.kind()));
   // One reusable arena per request: every oracle call below (analysis
   // simulate, optimize verify loop, before/after re-scoring) shares its
   // allocation footprint, and the exporter publishes the instrumentation.
@@ -231,14 +274,14 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       *status = ExitCode::kDiagnostics;
       return result.dump();
     }
-    if (req.kind == Kind::kLint) return result.dump();
+    if (req.kind() == Kind::kLint) return result.dump();
 
-    if (req.kind == Kind::kSymbolic) {
+    if (req.kind() == Kind::kSymbolic) {
       // Closed-form path: O(1) in the iteration volume, no oracle run.
       if (program.phase_count() != 1) {
         *status = ExitCode::kFailure;
         return error_json("unsupported", "symbolic analysis works on single-nest sources")
-            .set("kind", to_string(req.kind))
+            .set("kind", to_string(req.kind()))
             .dump();
       }
       SymbolicResult sym;
@@ -255,23 +298,24 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
     stage.threads = threads;
     const bool single = program.phase_count() == 1;
 
-    if (req.kind == Kind::kVerify) {
+    if (req.kind() == Kind::kVerify) {
       if (!single) {
         *status = ExitCode::kFailure;
         return error_json("unsupported", "verify works on single-nest sources")
-            .set("kind", to_string(req.kind))
+            .set("kind", to_string(req.kind()))
             .dump();
       }
       const LoopNest& nest = program.phase_nest(0);
+      const std::string& plan_spec = req.plan_spec();
       VerifyPlan plan;
       std::string origin = "supplied plan";
-      if (!req.plan.empty()) {
+      if (!plan_spec.empty()) {
         std::string perr;
-        std::optional<VerifyPlan> parsed = parse_plan_spec(req.plan, &perr);
+        std::optional<VerifyPlan> parsed = parse_plan_spec(plan_spec, &perr);
         if (!parsed) {
           *status = ExitCode::kUsage;
           return error_json("bad_plan", "bad plan spec: " + perr)
-              .set("kind", to_string(req.kind))
+              .set("kind", to_string(req.kind()))
               .dump();
         }
         plan = std::move(*parsed);
@@ -301,7 +345,131 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       return result.dump();
     }
 
-    if (req.kind == Kind::kAnalyze || req.kind == Kind::kFull) {
+    if (req.kind() == Kind::kCodegen) {
+      if (!single) {
+        *status = ExitCode::kFailure;
+        return error_json("unsupported", "codegen works on single-nest sources")
+            .set("kind", to_string(req.kind()))
+            .dump();
+      }
+      const LoopNest& nest = program.phase_nest(0);
+      const AnalysisRequest::Codegen& copt = *req.codegen();
+      VerifyPlan plan;
+      std::string origin = "identity plan";
+      bool need_verify = false;
+      if (copt.plan == "auto") {
+        // The optimizer's own plan, re-certified below like `optimize`.
+        OptimizeResult opt;
+        {
+          Metrics::ScopedTimer t = metrics_->time("stage.optimize");
+          opt = optimize_locality(nest, minimizer_options(stage), arena);
+        }
+        plan.steps = {opt.transform};
+        origin = "optimize plan (method '" + opt.method + "')";
+        need_verify = true;
+      } else if (!copt.plan.empty()) {
+        std::string perr;
+        std::optional<VerifyPlan> parsed = parse_plan_spec(copt.plan, &perr);
+        if (!parsed) {
+          *status = ExitCode::kUsage;
+          return error_json("bad_plan", "bad plan spec: " + perr)
+              .set("kind", to_string(req.kind()))
+              .dump();
+        }
+        plan = std::move(*parsed);
+        origin = "supplied plan";
+        need_verify = true;
+      }
+      // Only certified plans are ever lowered: an uncertifiable spec is a
+      // refusal, never silently-emitted wrong code.
+      if (need_verify) {
+        VerifyResult verdict;
+        {
+          Metrics::ScopedTimer t = metrics_->time("stage.verify");
+          verdict = verify_plan(nest, plan);
+        }
+        if (!verdict.certified) {
+          *status = ExitCode::kDiagnostics;
+          return error_json("uncertified",
+                            origin + " " + plan.str() +
+                                " cannot be certified; codegen refuses "
+                                "uncertified plans")
+              .set("kind", to_string(req.kind()))
+              .dump();
+        }
+      }
+      CodegenResult cg;
+      {
+        Metrics::ScopedTimer t = metrics_->time("stage.codegen");
+        CodegenOptions eopts;
+        eopts.trace_limit = stage.verify_limit;
+        cg = emit_c(nest, plan, eopts);
+      }
+      Json jcg = Json::object();
+      jcg.set("plan", plan.str());
+      jcg.set("certified", true);
+      jcg.set("transform", transform_json(cg.combined));
+      if (!cg.tile_sizes.empty()) {
+        Json jt = Json::array();
+        for (Int s : cg.tile_sizes) jt.push(s);
+        jcg.set("tile_sizes", std::move(jt));
+      }
+      jcg.set("iterations", cg.iterations);
+      jcg.set("original_cells", cg.original_cells);
+      jcg.set("window_cells", cg.window_cells);
+      jcg.set("mws_total", cg.mws_total);
+      jcg.set("footprint_ratio", cg.footprint_ratio());
+      Json jbufs = Json::array();
+      for (const BufferPlan& b : cg.buffers) {
+        jbufs.push(Json::object()
+                       .set("name", b.name)
+                       .set("declared", b.declared)
+                       .set("region", b.region)
+                       .set("mws", b.mws)
+                       .set("modulus", b.modulus)
+                       .set("collision_free", b.collision_free)
+                       .set("cold_loads", b.cold_loads)
+                       .set("writebacks", b.writebacks));
+      }
+      jcg.set("buffers", std::move(jbufs));
+      jcg.set("c", cg.c_source);
+      if (copt.run) {
+        // The run verdict is deterministic (counters depend only on the
+        // source and the plan), so it may live in the cached payload; wall
+        // clocks stay out -- the CLI reports those from live runs only.
+        Json jr = Json::object();
+        std::string cc = find_cc(copt.cc);
+        if (cc.empty()) {
+          *status = ExitCode::kFailure;
+          jr.set("compiled", false)
+              .set("detail", "no usable C compiler (" +
+                                 (copt.cc.empty() ? std::string("cc") : copt.cc) +
+                                 ") on PATH");
+        } else {
+          RunVerdict v = compile_and_run(cg.c_source, cc);
+          jr.set("compiled", v.compiled)
+              .set("ran", v.ran)
+              .set("identical", v.identical)
+              .set("sink_match", v.sink_match)
+              .set("mws_ok", v.mws_ok)
+              .set("traffic_ok", v.traffic_ok)
+              .set("status", v.status)
+              .set("loads", v.loads)
+              .set("stores", v.stores)
+              .set("reloads", v.reloads)
+              .set("mws_measured", v.mws_measured);
+          if (!v.ok()) {
+            *status = ExitCode::kFailure;
+            jr.set("detail", v.detail);
+          }
+        }
+        jcg.set("run", std::move(jr));
+      }
+      result.set("codegen", std::move(jcg));
+      return result.dump();
+    }
+
+    if (req.kind() == Kind::kAnalyze || req.kind() == Kind::kFull) {
       if (single) {
         const LoopNest& nest = program.phase_nest(0);
         MemoryReport rep;
@@ -344,12 +512,12 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       }
     }
 
-    if (req.kind == Kind::kOptimize || req.kind == Kind::kFull) {
+    if (req.kind() == Kind::kOptimize || req.kind() == Kind::kFull) {
       if (!single) {
-        if (req.kind == Kind::kOptimize) {
+        if (req.kind() == Kind::kOptimize) {
           *status = ExitCode::kFailure;
           return error_json("unsupported", "optimize works on single-nest sources")
-              .set("kind", to_string(req.kind))
+              .set("kind", to_string(req.kind()))
               .dump();
         }
         // kFull on a program: the analysis section above is the result.
@@ -380,7 +548,7 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
           return error_json("uncertified",
                             "optimize plan " + res.transform.str() +
                                 " cannot be certified; refused under --strict")
-              .set("kind", to_string(req.kind))
+              .set("kind", to_string(req.kind()))
               .dump();
         }
         opt.set("downgraded", true);
@@ -419,17 +587,17 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
   } catch (const ParseError& e) {
     *status = ExitCode::kDiagnostics;
     return error_json("parse", e.message(), e.line(), e.column())
-        .set("kind", to_string(req.kind))
+        .set("kind", to_string(req.kind()))
         .dump();
   } catch (const OverflowError& e) {
     *status = ExitCode::kOverflow;
     return error_json("overflow", e.what())
-        .set("kind", to_string(req.kind))
+        .set("kind", to_string(req.kind()))
         .dump();
   } catch (const Error& e) {
     *status = ExitCode::kFailure;
     return error_json("failure", e.what())
-        .set("kind", to_string(req.kind))
+        .set("kind", to_string(req.kind()))
         .dump();
   }
 }

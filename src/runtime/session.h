@@ -20,7 +20,10 @@
 // entry; callers attach the file name when rendering.
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <variant>
 #include <vector>
 
 #include "runtime/cache.h"
@@ -37,26 +40,124 @@ struct AnalysisRequest {
   /// search, kFull runs everything.  kSymbolic derives closed-form
   /// bound-parametric formulas (src/symbolic) and never touches the trace
   /// engine, so its cost is independent of the iteration volume.  kVerify
-  /// runs the dependence-preservation prover (src/verify) over `plan` (or,
-  /// when `plan` is empty, over the plan optimize_locality would emit) and
-  /// embeds the machine-checkable certificate.
-  enum class Kind { kLint, kAnalyze, kOptimize, kFull, kSymbolic, kVerify };
+  /// runs the dependence-preservation prover (src/verify) and embeds the
+  /// machine-checkable certificate.  kCodegen lowers the nest to a
+  /// standalone C unit (src/codegen) -- original nest plus the plan's
+  /// execution order against window-sized modulo buffers -- and optionally
+  /// compiles and executes it.
+  ///
+  /// The numeric values are the indices of the matching Options
+  /// alternatives (static_asserted below): the variant IS the kind.
+  enum class Kind { kLint, kAnalyze, kOptimize, kFull, kSymbolic, kVerify, kCodegen };
 
-  std::string source;             ///< DSL text (see ir/parser.h)
-  std::string file = "<input>";   ///< display name only; never hashed
-  Kind kind = Kind::kFull;
+  // Per-kind option payloads.  A kind without knobs is an empty tag; only
+  // result-affecting fields live here (request_key() hashes every one),
+  // so adding a knob to one kind cannot widen or invalidate the others.
+  struct Lint {};
+  struct Analyze {};
+  struct Optimize {};
+  struct Full {};
+  struct Symbolic {};
+  struct Verify {
+    /// Transform-plan spec in the verify grammar ("0 1; 1 0",
+    /// "[..] | [..] | tile:4,4").  Empty = audit the optimizer's own plan.
+    std::string plan{};
+  };
+  struct Codegen {
+    /// Plan to emit: "" = identity order, "auto" = the optimizer's own
+    /// (certified-gated) plan, anything else = a verify-grammar spec.
+    /// Only certified plans are ever emitted.
+    std::string plan{};
+    bool run = false;  ///< also compile with `cc` and execute the verdict
+    std::string cc{};  ///< compiler override; "" = `cc` from PATH
+  };
 
-  /// kVerify only: transform-plan spec in the verify grammar ("0 1; 1 0",
-  /// "[..] | [..] | tile:4,4").  Empty = audit the optimizer's own plan.
-  /// Result-affecting, so request_key() hashes it.  The default member
-  /// initializer keeps pre-verify aggregate inits ({source, file, kind})
-  /// valid under -Wmissing-field-initializers.
-  std::string plan{};
+  /// One typed payload per kind, alternative index == Kind value.
+  using Options =
+      std::variant<Lint, Analyze, Optimize, Full, Symbolic, Verify, Codegen>;
+
+  std::string source;            ///< DSL text (see ir/parser.h)
+  std::string file = "<input>";  ///< display name only; never hashed
+  Options options = Full{};
+
+  AnalysisRequest() = default;
+  AnalysisRequest(std::string source_, std::string file_, Options options_)
+      : source(std::move(source_)),
+        file(std::move(file_)),
+        options(std::move(options_)) {}
+  /// Kind-only construction (default options for that kind) -- keeps the
+  /// ubiquitous {source, file, Kind::kX} call shape working.
+  AnalysisRequest(std::string source_, std::string file_, Kind kind)
+      : source(std::move(source_)), file(std::move(file_)) {
+    set_kind(kind);
+  }
+
+  Kind kind() const { return static_cast<Kind>(options.index()); }
+
+  /// Replaces options with the default payload of `kind`.
+  void set_kind(Kind kind);
+
+  /// The per-kind payloads, when active (nullptr otherwise).
+  const Verify* verify() const { return std::get_if<Verify>(&options); }
+  const Codegen* codegen() const { return std::get_if<Codegen>(&options); }
+
+  /// The plan spec of a kVerify/kCodegen request; "" for other kinds.
+  const std::string& plan_spec() const;
 };
 
-/// Stable lower-case name ("lint", "analyze", "optimize", "full",
-/// "symbolic", "verify").
+/// One row of the analysis-kind registry.
+struct AnalysisKindInfo {
+  AnalysisRequest::Kind kind;
+  const char* name;     ///< stable wire/CLI name
+  const char* summary;  ///< one-liner for --help
+};
+
+/// Single source of truth for every request kind.  to_string, the wire
+/// parser, the CLI usage text and the kind round-trip tests all read this
+/// table; the static_asserts below make "added an enum value but missed a
+/// switch" a compile error instead of a runtime surprise.
+inline constexpr AnalysisKindInfo kAnalysisKinds[] = {
+    {AnalysisRequest::Kind::kLint, "lint", "parse + static checks only"},
+    {AnalysisRequest::Kind::kAnalyze, "analyze",
+     "estimates + exact window measurement"},
+    {AnalysisRequest::Kind::kOptimize, "optimize",
+     "transform search with certification gate"},
+    {AnalysisRequest::Kind::kFull, "full", "analyze + optimize"},
+    {AnalysisRequest::Kind::kSymbolic, "symbolic",
+     "closed-form bound-parametric windows"},
+    {AnalysisRequest::Kind::kVerify, "verify",
+     "dependence-preservation certificate for a plan"},
+    {AnalysisRequest::Kind::kCodegen, "codegen",
+     "emit (and optionally run) C with window-sized buffers"},
+};
+
+inline constexpr size_t kAnalysisKindCount =
+    sizeof(kAnalysisKinds) / sizeof(kAnalysisKinds[0]);
+
+static_assert(std::variant_size_v<AnalysisRequest::Options> == kAnalysisKindCount,
+              "every AnalysisRequest::Kind needs an Options alternative and "
+              "a registry row");
+
+namespace detail {
+constexpr bool kind_registry_ordered() {
+  for (size_t i = 0; i < kAnalysisKindCount; ++i) {
+    if (static_cast<size_t>(kAnalysisKinds[i].kind) != i) return false;
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(detail::kind_registry_ordered(),
+              "kAnalysisKinds rows must appear in enum order");
+
+/// Stable lower-case name from the registry ("lint", ..., "codegen").
 const char* to_string(AnalysisRequest::Kind kind);
+
+/// Inverse lookup; nullopt for unknown names.
+std::optional<AnalysisRequest::Kind> kind_from_string(std::string_view name);
+
+/// All kind names joined with `sep` ("lint|analyze|...") for usage text
+/// and error messages.
+std::string kind_names_joined(const char* sep = "|");
 
 struct AnalysisResult {
   ExitCode status = ExitCode::kSuccess;

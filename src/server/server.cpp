@@ -107,11 +107,8 @@ void AnalysisServer::worker_loop(AnalysisSession& session) {
                                 "deadline expired before dispatch"));
       continue;
     }
-    AnalysisRequest areq;
-    areq.source = job->request.source;
+    AnalysisRequest areq = job->request.analysis;
     areq.file = "<serve>";
-    areq.kind = job->request.kind;
-    areq.plan = job->request.plan;
     AnalysisResult result = session.run(areq);
     now = std::chrono::steady_clock::now();
     if (job->has_deadline && now >= job->deadline) {

@@ -344,22 +344,29 @@ ServeStatus serve_status(ExitCode code) {
 
 namespace {
 
-bool parse_kind(const std::string& name, AnalysisRequest::Kind* kind) {
-  if (name == "lint") {
-    *kind = AnalysisRequest::Kind::kLint;
-  } else if (name == "analyze") {
-    *kind = AnalysisRequest::Kind::kAnalyze;
-  } else if (name == "optimize") {
-    *kind = AnalysisRequest::Kind::kOptimize;
-  } else if (name == "full") {
-    *kind = AnalysisRequest::Kind::kFull;
-  } else if (name == "symbolic") {
-    *kind = AnalysisRequest::Kind::kSymbolic;
-  } else if (name == "verify") {
-    *kind = AnalysisRequest::Kind::kVerify;
-  } else {
+/// Reads a string-valued member into *out; absent is fine, any other type
+/// is a schema error.
+bool read_string(const WireValue& obj, std::string_view key, std::string* out,
+                 std::string* error) {
+  const WireValue* v = obj.find(key);
+  if (!v) return true;
+  if (v->kind != WireValue::Kind::kString) {
+    if (error) *error = "\"" + std::string(key) + "\" must be a string";
     return false;
   }
+  *out = v->text;
+  return true;
+}
+
+bool read_bool(const WireValue& obj, std::string_view key, bool* out,
+               std::string* error) {
+  const WireValue* v = obj.find(key);
+  if (!v) return true;
+  if (v->kind != WireValue::Kind::kBool) {
+    if (error) *error = "\"" + std::string(key) + "\" must be a boolean";
+    return false;
+  }
+  *out = v->boolean;
   return true;
 }
 
@@ -387,29 +394,43 @@ bool parse_request(const std::string& line, ServerRequest* req,
         return false;
     }
   }
+  if (const WireValue* version = root->find("schema_version")) {
+    // Absent = v1 (the key predates versioned requests).  Anything in the
+    // supported window parses; the future is an explicit refusal, not a
+    // silent misread.
+    double v = version->kind == WireValue::Kind::kNumber ? version->number : -1;
+    if (v != static_cast<double>(static_cast<Int>(v)) ||
+        v < static_cast<double>(kJsonSchemaVersionMin) ||
+        v > static_cast<double>(kJsonSchemaVersion)) {
+      if (error) {
+        *error = "\"schema_version\" must be an integer in [" +
+                 std::to_string(kJsonSchemaVersionMin) + ", " +
+                 std::to_string(kJsonSchemaVersion) + "]";
+      }
+      return false;
+    }
+  }
   const WireValue* source = root->find("source");
   if (!source || source->kind != WireValue::Kind::kString) {
     if (error) *error = "missing string field \"source\"";
     return false;
   }
-  req->source = source->text;
+  req->analysis.source = source->text;
   if (const WireValue* kind = root->find("kind")) {
-    if (kind->kind != WireValue::Kind::kString ||
-        !parse_kind(kind->text, &req->kind)) {
-      if (error) {
-        *error =
-            "\"kind\" must be one of lint|analyze|optimize|full|symbolic|verify";
-      }
+    std::optional<AnalysisRequest::Kind> parsed =
+        kind->kind == WireValue::Kind::kString
+            ? kind_from_string(kind->text)
+            : std::nullopt;
+    if (!parsed) {
+      if (error) *error = "\"kind\" must be one of " + kind_names_joined();
       return false;
     }
+    req->analysis.set_kind(*parsed);
   }
-  if (const WireValue* plan = root->find("plan")) {
-    if (plan->kind != WireValue::Kind::kString) {
-      if (error) *error = "\"plan\" must be a string";
-      return false;
-    }
-    req->plan = plan->text;
-  }
+  // v1 compatibility: the plan spec used to be a top-level key.  It only
+  // ever applied to verify; options.plan (v2) wins when both are present.
+  std::string plan;
+  if (!read_string(*root, "plan", &plan, error)) return false;
   if (const WireValue* options = root->find("options")) {
     if (options->kind != WireValue::Kind::kObject) {
       if (error) *error = "\"options\" must be an object";
@@ -423,7 +444,20 @@ bool parse_request(const std::string& line, ServerRequest* req,
       }
       req->deadline_ms = deadline->number;
     }
-    // Other option keys are ignored for forward compatibility.
+    if (!read_string(*options, "plan", &plan, error)) return false;
+    if (AnalysisRequest::Codegen* cg =
+            std::get_if<AnalysisRequest::Codegen>(&req->analysis.options)) {
+      if (!read_bool(*options, "run", &cg->run, error)) return false;
+      if (!read_string(*options, "cc", &cg->cc, error)) return false;
+    }
+    // Keys the kind does not define are ignored (forward compatibility).
+  }
+  if (AnalysisRequest::Verify* v =
+          std::get_if<AnalysisRequest::Verify>(&req->analysis.options)) {
+    v->plan = plan;
+  } else if (AnalysisRequest::Codegen* cg =
+                 std::get_if<AnalysisRequest::Codegen>(&req->analysis.options)) {
+    cg->plan = plan;
   }
   return true;
 }

@@ -3,13 +3,19 @@
 // The serve wire protocol: newline-delimited JSON.
 //
 // Each request is one line holding a JSON object
-//   {"id": <string|number>,
-//    "kind": "lint|analyze|optimize|full|symbolic|verify",
-//    "source": "<DSL text>", "plan": "<verify plan spec>",
-//    "options": {"deadline_ms": <number>}}
-// ("plan" applies to kind "verify" only: the transform-plan spec to
-// certify; omitted or empty = audit the plan optimize would emit.)
-// and each response is one line holding the common versioned envelope
+//   {"id": <string|number>, "schema_version": 2,
+//    "kind": "lint|analyze|optimize|full|symbolic|verify|codegen",
+//    "source": "<DSL text>",
+//    "options": {"deadline_ms": <number>,
+//                "plan": "<plan spec>",          (verify, codegen)
+//                "run": <bool>, "cc": "<path>"}} (codegen)
+// The "options" object mixes wire-level knobs (deadline_ms) with the
+// per-kind knobs of the typed AnalysisRequest; keys a kind does not
+// define are ignored.  "schema_version" may be omitted (= v1) or any
+// version in [kJsonSchemaVersionMin, kJsonSchemaVersion]; v1 requests
+// carried the verify plan spec as a top-level "plan" key, which still
+// parses (options.plan wins when both appear).
+// Each response is one line holding the common versioned envelope
 // ({schema_version, tool, command: "serve", result: ...}) whose result
 // carries the echoed id, a wire status, and -- for computed requests --
 // the exact payload `lmre batch` would embed for the same source and
@@ -77,13 +83,13 @@ const char* to_string(ServeStatus s);
 /// The wire status for a computed result's exit code.
 ServeStatus serve_status(ExitCode code);
 
-/// One decoded request line.
+/// One decoded request line: the typed AnalysisRequest it maps to (kind +
+/// per-kind options already folded in; `file` is set by the server) plus
+/// the wire-only envelope fields.
 struct ServerRequest {
   std::string id_json = "null";  ///< raw JSON scalar, echoed verbatim
-  AnalysisRequest::Kind kind = AnalysisRequest::Kind::kFull;
-  std::string source;
-  std::string plan;          ///< verify-kind plan spec ("" = audit mode)
-  double deadline_ms = 0.0;  ///< <= 0 means no deadline
+  AnalysisRequest analysis;      ///< source, kind and typed options
+  double deadline_ms = 0.0;      ///< <= 0 means no deadline
 };
 
 /// Parses and validates one request line.  On failure returns false with a

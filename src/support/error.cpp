@@ -11,12 +11,8 @@ void ensure(bool cond, const std::string& what) {
 }
 
 const char* to_string(ExitCode c) {
-  switch (c) {
-    case ExitCode::kSuccess: return "success";
-    case ExitCode::kFailure: return "failure";
-    case ExitCode::kUsage: return "usage";
-    case ExitCode::kDiagnostics: return "diagnostics";
-    case ExitCode::kOverflow: return "overflow";
+  for (const ExitCodeInfo& info : kExitCodes) {
+    if (info.code == c) return info.name;
   }
   return "unknown";
 }

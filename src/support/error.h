@@ -64,7 +64,33 @@ enum class ExitCode : int {
 /// The process exit status for `c` (the enum's underlying value).
 constexpr int to_int(ExitCode c) { return static_cast<int>(c); }
 
-/// Stable lower-case name, e.g. "success", "diagnostics".
+/// One row of the exit-code registry: the code, its stable name, and the
+/// one-line meaning the CLI usage text prints.
+struct ExitCodeInfo {
+  ExitCode code;
+  const char* name;
+  const char* meaning;
+};
+
+/// Single source of truth for every exit code.  to_string(ExitCode), the
+/// CLI usage table and the wire-status mapping all derive from this list;
+/// registry_test pins it against the enum so a new code cannot be added
+/// to one surface and silently missed in another.
+inline constexpr ExitCodeInfo kExitCodes[] = {
+    {ExitCode::kSuccess, "success", "success / lint clean / plan certified"},
+    {ExitCode::kFailure, "failure",
+     "command failed (unreadable file, unsupported shape, miscompare)"},
+    {ExitCode::kUsage, "usage", "usage error (bad flags or arguments)"},
+    {ExitCode::kDiagnostics, "diagnostics",
+     "input rejected with diagnostics (parse/lint/verify errors)"},
+    {ExitCode::kOverflow, "overflow",
+     "arithmetic outside the exact 64-bit range"},
+};
+
+inline constexpr size_t kExitCodeCount =
+    sizeof(kExitCodes) / sizeof(kExitCodes[0]);
+
+/// Stable lower-case name, e.g. "success", "diagnostics" (registry row).
 const char* to_string(ExitCode c);
 
 }  // namespace lmre

@@ -76,7 +76,13 @@ class Json {
 
 /// Version of the envelope every `--json` emitter wraps its payload in.
 /// Bump when the envelope itself (not a command's result schema) changes.
-inline constexpr Int kJsonSchemaVersion = 1;
+/// v2: typed per-kind request options on the serve/batch wire ("options"
+/// object replaces the top-level "plan" key) and the "codegen" kind.
+inline constexpr Int kJsonSchemaVersion = 2;
+
+/// Oldest request schema the serve/batch wire still accepts.  v1 requests
+/// (no "schema_version", or 1, with a top-level "plan") parse unchanged.
+inline constexpr Int kJsonSchemaVersionMin = 1;
 
 /// The common machine-readable envelope:
 ///   {"schema_version": 1, "tool": "lmre", "command": <command>,

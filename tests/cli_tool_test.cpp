@@ -169,7 +169,7 @@ TEST(CliLint, JsonEmitsEnvelopedDiagnostics) {
   // array; machine-checkable fields present.
   ASSERT_FALSE(s.empty());
   EXPECT_EQ(s.front(), '{');
-  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(s.find("\"tool\": \"lmre\""), std::string::npos);
   EXPECT_NE(s.find("\"command\": \"lint\""), std::string::npos);
   EXPECT_NE(s.find("\"diagnostics\""), std::string::npos);
@@ -304,7 +304,7 @@ TEST(CliAnalyzeJson, EnvelopeWrapsResult) {
   std::ostringstream out;
   EXPECT_EQ(cmd_analyze_json(kExample8, out), ExitCode::kSuccess);
   std::string s = out.str();
-  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(s.find("\"command\": \"analyze\""), std::string::npos);
   EXPECT_NE(s.find("\"mws_exact\": 44"), std::string::npos);
 }
@@ -313,7 +313,7 @@ TEST(CliOptimizeJson, EnvelopeWrapsResult) {
   std::ostringstream out;
   EXPECT_EQ(cmd_optimize_json(kExample8, out), ExitCode::kSuccess);
   std::string s = out.str();
-  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(s.find("\"command\": \"optimize\""), std::string::npos);
   EXPECT_NE(s.find("\"method\": \"row-minimizer\""), std::string::npos);
 }
@@ -374,7 +374,7 @@ TEST(CliBatch, JsonColdAndWarmRunsAreByteIdentical) {
   // Warm run at a different thread count: byte-identical result document.
   EXPECT_EQ(cold.str(), warm.str());
   EXPECT_NE(cold.str().find("\"command\": \"batch\""), std::string::npos);
-  EXPECT_NE(cold.str().find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(cold.str().find("\"schema_version\": 2"), std::string::npos);
 
   // The warm run's metrics report every file as a (disk) cache hit.
   std::ifstream mf(metrics);
@@ -389,7 +389,7 @@ TEST(CliBatch, JsonColdAndWarmRunsAreByteIdentical) {
 TEST(CliVersion, TextReportsSchemaAndBuild) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"version"}, out, err), ExitCode::kSuccess);
-  EXPECT_NE(out.str().find("schema_version 1"), std::string::npos);
+  EXPECT_NE(out.str().find("schema_version 2"), std::string::npos);
   EXPECT_NE(out.str().find("build:"), std::string::npos);
   EXPECT_NE(out.str().find("C++"), std::string::npos);
 
@@ -403,7 +403,7 @@ TEST(CliVersion, JsonUsesTheStandardEnvelope) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"version", "--json"}, out, err), ExitCode::kSuccess);
   EXPECT_NE(out.str().find("\"command\": \"version\""), std::string::npos);
-  EXPECT_NE(out.str().find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(out.str().find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(out.str().find("\"compiler\""), std::string::npos);
   EXPECT_NE(out.str().find("\"cxx_standard\""), std::string::npos);
 }

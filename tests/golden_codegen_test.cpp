@@ -1,0 +1,74 @@
+// Golden-file tests for `lmre codegen --json`: the enveloped codegen
+// documents -- plan, combined transform, window accounting, buffer plans
+// and the full generated C unit -- must match tests/golden/
+// codegen_example{6,8,10}.json byte for byte.
+//
+//   codegen_example6.json   Example 6 (non-uniform references): identity
+//                           order, one 131-cell modulo buffer vs 191
+//                           declared cells;
+//   codegen_example8.json   Example 8 (read+write of X): write-back
+//                           buffer, 44 cells vs 106 declared;
+//   codegen_example10.json  Example 10: the Section 4.3 window (540)
+//                           drives a 675-cell buffer vs 3111 declared.
+//
+// Emission is deterministic (no wall clocks, no host state), which is
+// what makes pinning the whole document -- C source included -- viable.
+// Regenerate with scripts/regen_golden.sh after an intentional change.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/commands.h"
+
+namespace lmre::tools {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The test binary runs from <build>/tests; probe plausible source roots.
+std::string source_root() {
+  for (const char* base : {"", "../", "../../", "../../../"}) {
+    if (!read_file(std::string(base) + "tests/golden/example10.loop").empty()) {
+      return base;
+    }
+  }
+  return "?";
+}
+
+void check_golden(const std::string& input, const std::string& golden_name) {
+  std::string root = source_root();
+  if (root == "?") GTEST_SKIP() << "source tree not found from test cwd";
+  std::string golden = read_file(root + "tests/golden/" + golden_name);
+  ASSERT_FALSE(golden.empty()) << "tests/golden/" << golden_name << " missing";
+
+  std::ostringstream out, err;
+  ExitCode rc = run_cli({"codegen", "--json", root + input}, out, err);
+  EXPECT_EQ(rc, ExitCode::kSuccess) << err.str();
+  EXPECT_EQ(out.str(), golden)
+      << "codegen --json output drifted from the golden; if intentional, "
+         "regenerate with scripts/regen_golden.sh";
+}
+
+TEST(GoldenCodegen, Example6NonUniformIdentity) {
+  check_golden("tests/golden/example6.loop", "codegen_example6.json");
+}
+
+TEST(GoldenCodegen, Example8WriteBackBuffer) {
+  check_golden("examples/loops/example8.loop", "codegen_example8.json");
+}
+
+TEST(GoldenCodegen, Example10PaperWindow) {
+  check_golden("tests/golden/example10.loop", "codegen_example10.json");
+}
+
+}  // namespace
+}  // namespace lmre::tools

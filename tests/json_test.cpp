@@ -78,7 +78,7 @@ TEST(Json, EnvelopeShape) {
   Json env = json_envelope("analyze", Json::object().set("x", Int{1}));
   EXPECT_EQ(env.dump(),
             "{\"command\":\"analyze\",\"result\":{\"x\":1},"
-            "\"schema_version\":1,\"tool\":\"lmre\"}");
+            "\"schema_version\":2,\"tool\":\"lmre\"}");
 }
 
 TEST(CliJson, AnalyzeEmitsWellFormedDocument) {
@@ -91,7 +91,7 @@ TEST(CliJson, AnalyzeEmitsWellFormedDocument) {
                                         out);
   EXPECT_EQ(rc, ExitCode::kSuccess);
   std::string s = out.str();
-  EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(s.find("\"tool\": \"lmre\""), std::string::npos);
   EXPECT_NE(s.find("\"mws_exact\": 44"), std::string::npos);
   EXPECT_NE(s.find("\"distinct_exact\": 94"), std::string::npos);

@@ -202,11 +202,11 @@ TEST(SessionKey, KindAndOptionsInvalidateThreadsDoNot) {
   EXPECT_NE(base.request_key(req), AnalysisSession(small_limit).request_key(req));
 
   AnalysisRequest lint_only = req;
-  lint_only.kind = AnalysisRequest::Kind::kLint;
+  lint_only.set_kind(AnalysisRequest::Kind::kLint);
   EXPECT_NE(base.request_key(req), base.request_key(lint_only));
 
   AnalysisRequest symbolic = req;
-  symbolic.kind = AnalysisRequest::Kind::kSymbolic;
+  symbolic.set_kind(AnalysisRequest::Kind::kSymbolic);
   EXPECT_NE(base.request_key(req), base.request_key(symbolic));
   EXPECT_NE(base.request_key(lint_only), base.request_key(symbolic));
 }

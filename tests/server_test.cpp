@@ -92,8 +92,8 @@ TEST(WireRequest, ParsesFullRequest) {
       &req, &error))
       << error;
   EXPECT_EQ(req.id_json, "\"job-1\"");  // raw slice: quotes preserved
-  EXPECT_EQ(req.kind, AnalysisRequest::Kind::kLint);
-  EXPECT_EQ(req.source, "for i = 1 to 4\n  use A[i];");
+  EXPECT_EQ(req.analysis.kind(), AnalysisRequest::Kind::kLint);
+  EXPECT_EQ(req.analysis.source, "for i = 1 to 4\n  use A[i];");
   EXPECT_DOUBLE_EQ(req.deadline_ms, 250.0);
 }
 
@@ -102,7 +102,7 @@ TEST(WireRequest, DefaultsAndNumericId) {
   std::string error;
   ASSERT_TRUE(parse_request(R"({"id": 7, "source": "x"})", &req, &error));
   EXPECT_EQ(req.id_json, "7");
-  EXPECT_EQ(req.kind, AnalysisRequest::Kind::kFull);  // default kind
+  EXPECT_EQ(req.analysis.kind(), AnalysisRequest::Kind::kFull);  // default kind
   EXPECT_DOUBLE_EQ(req.deadline_ms, 0.0);             // no deadline
 }
 

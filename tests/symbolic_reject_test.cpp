@@ -83,7 +83,7 @@ TEST(SymbolicReject, CorpusDeclinesWithStableDiagnostics) {
     AnalysisRequest req;
     req.source = source;
     req.file = entry.path().filename().string();
-    req.kind = AnalysisRequest::Kind::kSymbolic;
+    req.set_kind(AnalysisRequest::Kind::kSymbolic);
     AnalysisResult res = session.run(req);
 
     EXPECT_EQ(res.status, ExitCode::kDiagnostics) << entry.path();

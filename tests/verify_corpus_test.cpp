@@ -98,8 +98,7 @@ TEST(VerifyCorpus, VerdictsMapOntoStableDiagnostics) {
     AnalysisRequest req;
     req.source = source;
     req.file = entry.path().filename().string();
-    req.kind = AnalysisRequest::Kind::kVerify;
-    req.plan = header(source, "plan");
+    req.options = AnalysisRequest::Verify{header(source, "plan")};
     AnalysisResult res = session.run(req);
 
     EXPECT_EQ(static_cast<int>(res.status), std::stoi(exit_line))

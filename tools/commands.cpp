@@ -15,6 +15,8 @@
 #include <sstream>
 
 #include "analysis/report.h"
+#include "codegen/codegen.h"
+#include "codegen/driver.h"
 #include "codes/kernels.h"
 #include "dependence/dependence.h"
 #include "diag/diagnostic.h"
@@ -543,6 +545,201 @@ ExitCode cmd_verify(const std::string& source, const VerifyCliOptions& cli,
   return verdict.certified ? ExitCode::kSuccess : ExitCode::kDiagnostics;
 }
 
+namespace {
+
+/// The "codegen" result object shared by --json output here and the
+/// runtime's batch/serve payloads: plan, combined transform, window
+/// accounting, per-array buffer plans, and the C source.  Deliberately
+/// free of wall clocks so identical inputs render identical documents
+/// (the golden files pin this).
+Json codegen_json(const VerifyPlan& plan, const CodegenResult& cg,
+                  bool include_source) {
+  Json jcg = Json::object();
+  jcg.set("plan", plan.str());
+  jcg.set("certified", true);
+  Json rows = Json::array();
+  for (size_t r = 0; r < cg.combined.rows(); ++r) {
+    Json row = Json::array();
+    for (size_t c = 0; c < cg.combined.cols(); ++c) row.push(cg.combined(r, c));
+    rows.push(std::move(row));
+  }
+  jcg.set("transform", std::move(rows));
+  if (!cg.tile_sizes.empty()) {
+    Json jt = Json::array();
+    for (Int s : cg.tile_sizes) jt.push(s);
+    jcg.set("tile_sizes", std::move(jt));
+  }
+  jcg.set("iterations", cg.iterations);
+  jcg.set("original_cells", cg.original_cells);
+  jcg.set("window_cells", cg.window_cells);
+  jcg.set("mws_total", cg.mws_total);
+  jcg.set("footprint_ratio", cg.footprint_ratio());
+  Json jbufs = Json::array();
+  for (const BufferPlan& b : cg.buffers) {
+    jbufs.push(Json::object()
+                   .set("name", b.name)
+                   .set("declared", b.declared)
+                   .set("region", b.region)
+                   .set("mws", b.mws)
+                   .set("modulus", b.modulus)
+                   .set("collision_free", b.collision_free)
+                   .set("cold_loads", b.cold_loads)
+                   .set("writebacks", b.writebacks));
+  }
+  jcg.set("buffers", std::move(jbufs));
+  if (include_source) jcg.set("c", cg.c_source);
+  return jcg;
+}
+
+}  // namespace
+
+ExitCode cmd_codegen(const std::string& source, const CodegenCliOptions& cli,
+                     std::ostream& out, std::ostream& err,
+                     const std::string& file) {
+  ProgramSourceMap smap;
+  Program program = parse_program(source, &smap);
+  if (auto rc = lint_gate(program, smap, file, cli.json, "codegen", out)) {
+    return *rc;
+  }
+  if (program.phase_count() > 1) {
+    if (cli.json) {
+      Json doc = Json::object().set("error", "codegen works on single-nest sources");
+      out << json_envelope("codegen", std::move(doc)).dump(2) << '\n';
+    } else {
+      out << "codegen works on single-nest sources\n";
+    }
+    return ExitCode::kFailure;
+  }
+  const LoopNest& nest = program.phase_nest(0);
+
+  VerifyPlan plan;
+  std::string origin = "identity plan";
+  bool need_verify = false;
+  if (cli.plan == "auto") {
+    MinimizerOptions mopts;
+    mopts.threads = cli.threads;
+    OptimizeResult res = optimize_locality(nest, mopts);
+    plan.steps = {res.transform};
+    origin = "optimize plan (method '" + res.method + "')";
+    need_verify = true;
+  } else if (!cli.plan.empty()) {
+    std::string perr;
+    std::optional<VerifyPlan> parsed = parse_plan_spec(cli.plan, &perr);
+    if (!parsed) {
+      err << "bad --plan spec: " << perr << '\n';
+      return ExitCode::kUsage;
+    }
+    plan = std::move(*parsed);
+    origin = "supplied plan";
+    need_verify = true;
+  }
+  // The certification gate: nothing but the identity order is ever
+  // lowered without a dependence-preservation certificate.
+  if (need_verify) {
+    VerifyResult verdict = verify_plan(nest, plan);
+    if (!verdict.certified) {
+      const std::string msg = origin + " " + plan.str() +
+                              " cannot be certified; codegen refuses "
+                              "uncertified plans";
+      if (cli.json) {
+        Json doc = Json::object().set("error", msg);
+        out << json_envelope("codegen", std::move(doc)).dump(2) << '\n';
+      } else {
+        out << msg << '\n';
+      }
+      return ExitCode::kDiagnostics;
+    }
+  }
+
+  CodegenResult cg = emit_c(nest, plan);
+
+  if (!cli.emit_file.empty()) {
+    std::ofstream cf(cli.emit_file, std::ios::trunc);
+    if (!cf) {
+      err << "cannot write " << cli.emit_file << '\n';
+      return ExitCode::kFailure;
+    }
+    cf << cg.c_source;
+  }
+
+  ExitCode rc = ExitCode::kSuccess;
+  std::optional<RunVerdict> run;
+  if (cli.run) {
+    std::string cc = find_cc(cli.cc);
+    if (cc.empty()) {
+      err << "codegen --run: no usable C compiler ("
+          << (cli.cc.empty() ? std::string("cc") : cli.cc) << ") on PATH\n";
+      return ExitCode::kFailure;
+    }
+    run = compile_and_run(cg.c_source, cc);
+    if (!run->ok()) rc = ExitCode::kFailure;
+  }
+
+  if (cli.json) {
+    Json jcg = codegen_json(plan, cg, /*include_source=*/cli.emit_file.empty());
+    if (run) {
+      Json jr = Json::object()
+                    .set("compiled", run->compiled)
+                    .set("ran", run->ran)
+                    .set("identical", run->identical)
+                    .set("sink_match", run->sink_match)
+                    .set("mws_ok", run->mws_ok)
+                    .set("traffic_ok", run->traffic_ok)
+                    .set("status", run->status)
+                    .set("loads", run->loads)
+                    .set("stores", run->stores)
+                    .set("reloads", run->reloads)
+                    .set("mws_measured", run->mws_measured);
+      if (!run->ok()) jr.set("detail", run->detail);
+      jcg.set("run", std::move(jr));
+    }
+    Json doc = Json::object();
+    doc.set("codegen", std::move(jcg));
+    out << json_envelope("codegen", std::move(doc)).dump(2) << '\n';
+  } else {
+    out << "plan: " << plan.str() << " (" << origin << ")\n"
+        << "combined T = " << cg.combined.str() << '\n';
+    if (!cg.tile_sizes.empty()) {
+      out << "tile sizes:";
+      for (Int s : cg.tile_sizes) out << ' ' << s;
+      out << '\n';
+    }
+    out << "iterations: " << with_commas(cg.iterations) << '\n'
+        << "window: " << with_commas(cg.window_cells) << " buffer cells vs "
+        << with_commas(cg.original_cells) << " declared (ratio "
+        << cg.footprint_ratio() << "), mws_total " << cg.mws_total << '\n';
+    TextTable t;
+    t.header({"array", "declared", "region", "mws", "modulus", "cold loads",
+              "writebacks"});
+    for (const BufferPlan& b : cg.buffers) {
+      t.row({b.name, with_commas(b.declared), with_commas(b.region),
+             with_commas(b.mws), with_commas(b.modulus),
+             with_commas(b.cold_loads), with_commas(b.writebacks)});
+    }
+    out << t.render();
+    if (run) {
+      out << "run: " << run->status << " (compile " << run->compile_ms
+          << " ms, run " << run->run_ms << " ms)\n"
+          << "  identical " << (run->identical ? "yes" : "no")
+          << ", sink " << (run->sink_match ? "match" : "MISMATCH")
+          << ", mws " << (run->mws_ok ? "ok" : "MISMATCH") << " (measured "
+          << run->mws_measured << ")"
+          << ", traffic " << (run->traffic_ok ? "ok" : "MISMATCH")
+          << " (loads " << run->loads << ", stores " << run->stores
+          << ", reloads " << run->reloads << ")\n";
+      if (!run->ok() && !run->detail.empty()) {
+        out << "  detail: " << run->detail << '\n';
+      }
+    }
+    if (cli.emit_file.empty()) {
+      out << "--- generated C ---\n" << cg.c_source;
+    } else {
+      out << "wrote " << cli.emit_file << '\n';
+    }
+  }
+  return rc;
+}
+
 ExitCode cmd_figure2(std::ostream& out, int threads) {
   MinimizerOptions opts;
   opts.threads = threads;
@@ -631,8 +828,7 @@ ExitCode cmd_batch(const std::vector<std::string>& inputs,
     auto source = read_source(path, err);
     if (!source) return ExitCode::kFailure;
     requests.push_back(AnalysisRequest{std::move(*source), path,
-                                       AnalysisRequest::Kind::kFull,
-                                       /*plan=*/{}});
+                                       AnalysisRequest::Kind::kFull});
   }
 
   std::vector<AnalysisResult> results = session.run_batch(requests);
@@ -731,15 +927,17 @@ ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
 ExitCode cmd_request(const std::string& source, const std::string& file,
                      const RequestCliOptions& opts, std::ostream& out,
                      std::ostream& err) {
+  // Emit a v2 request: per-kind knobs (plan) ride in the "options"
+  // object alongside the wire-level deadline.
   Json request = Json::object();
   request.set("id", opts.id.empty() ? file : opts.id);
+  request.set("schema_version", kJsonSchemaVersion);
   request.set("kind", opts.kind);
   request.set("source", source);
-  if (!opts.plan.empty()) request.set("plan", opts.plan);
-  if (opts.deadline_ms > 0) {
-    request.set("options",
-                Json::object().set("deadline_ms", opts.deadline_ms));
-  }
+  Json options = Json::object();
+  if (!opts.plan.empty()) options.set("plan", opts.plan);
+  if (opts.deadline_ms > 0) options.set("deadline_ms", opts.deadline_ms);
+  if (options.size() > 0) request.set("options", std::move(options));
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -848,7 +1046,7 @@ ExitCode cmd_version(bool json, std::ostream& out) {
 }
 
 std::string usage() {
-  return
+  std::string u =
       "usage: lmre <command> [args]\n"
       "  analyze   [--json] [--symbolic] <file|->\n"
       "                                dependences + memory report;\n"
@@ -871,6 +1069,16 @@ std::string usage() {
       "                                an optional trailing tile:4,4 chunk,\n"
       "                                e.g. --plan=\"0 1; 1 0 | tile:8,8\";\n"
       "                                no --plan audits the optimizer's plan\n"
+      "  codegen   [--json] [--plan[=SPEC]] [--run] [--cc=PATH]\n"
+      "            [--emit=FILE] <file|->\n"
+      "                                lower the nest to standalone C:\n"
+      "                                original nest over full arrays +\n"
+      "                                the plan's order against window-\n"
+      "                                sized modulo buffers, with a built-\n"
+      "                                in bit-identity and window check;\n"
+      "                                bare --plan takes the optimizer's\n"
+      "                                (certified) plan, --run compiles\n"
+      "                                and executes the check with cc\n"
       "  batch     [--json] [--threads=N] [--cache-dir=D] [--metrics=FILE]\n"
       "            <dir|files...>      full pipeline over a corpus of .loop\n"
       "                                files with memoized results; --metrics\n"
@@ -886,21 +1094,36 @@ std::string usage() {
       "  request   <socket> <file|-> [--kind=K] [--plan=SPEC]\n"
       "            [--deadline=MS] [--id=S] [--raw]\n"
       "                                send one request to a running server;\n"
-      "                                --kind adds verify to the batch kinds,\n"
-      "                                --plan forwards a verify plan spec,\n"
-      "                                --raw prints just the result payload\n"
+      "                                --plan forwards a verify/codegen plan\n"
+      "                                spec, --raw prints just the payload\n"
       "  version                       schema version + build info\n"
       "  distances <file|->            dependence distance/direction table\n"
       "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
       "  series    <file|->            window-size time series as CSV\n"
       "  figure2   [--threads=N]       regenerate the paper's main table\n"
       "--threads: search/verify workers (0 = all cores, 1 = serial; the\n"
-      "result is bit-identical for every value).\n"
-      "exit codes: 0 ok/clean, 1 failure, 2 usage, 3 diagnostics (parse or\n"
-      "lint errors; --strict extends to warnings), 4 integer overflow\n"
-      "(the ExitCode enum in support/error.h).\n"
+      "result is bit-identical for every value).\n";
+  // The kind and exit-code tables render straight from the registries
+  // (kAnalysisKinds, kExitCodes) so --help can never drift from the enums.
+  u += "request kinds (--kind=K, also batch/serve requests):\n";
+  for (const AnalysisKindInfo& k : kAnalysisKinds) {
+    u += "  ";
+    u += k.name;
+    for (size_t pad = std::char_traits<char>::length(k.name); pad < 10; ++pad) {
+      u += ' ';
+    }
+    u += k.summary;
+    u += '\n';
+  }
+  u += "exit codes:\n";
+  for (const ExitCodeInfo& e : kExitCodes) {
+    u += "  " + std::to_string(to_int(e.code)) + " " + e.name + ": " +
+         e.meaning + "\n";
+  }
+  u +=
       "--json output is wrapped in {schema_version, tool, command, result}.\n"
       "DSL files use the grammar in src/ir/parser.h; '-' reads stdin.\n";
+  return u;
 }
 
 namespace {
@@ -948,6 +1171,7 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
   int threads = 1;
   LintCliOptions lint_opts;
   VerifyCliOptions verify_opts;
+  CodegenCliOptions codegen_opts;
   BatchCliOptions batch_opts;
   ServeCliOptions serve_opts;
   RequestCliOptions request_opts;
@@ -1047,6 +1271,32 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         return ExitCode::kUsage;
       }
       it = rest.erase(it);
+    } else if (cmd == "codegen" && *it == "--plan") {
+      // Bare --plan means "the optimizer's own plan" (certified-gated).
+      codegen_opts.plan = "auto";
+      it = rest.erase(it);
+    } else if (cmd == "codegen" && it->rfind("--plan=", 0) == 0) {
+      codegen_opts.plan = it->substr(7);
+      std::string perr;
+      if (codegen_opts.plan != "auto" &&
+          !parse_plan_spec(codegen_opts.plan, &perr)) {
+        err << "bad --plan spec: " << perr << '\n';
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "codegen" && *it == "--run") {
+      codegen_opts.run = true;
+      it = rest.erase(it);
+    } else if (cmd == "codegen" && it->rfind("--cc=", 0) == 0) {
+      codegen_opts.cc = it->substr(5);
+      it = rest.erase(it);
+    } else if (cmd == "codegen" && it->rfind("--emit=", 0) == 0) {
+      codegen_opts.emit_file = it->substr(7);
+      if (codegen_opts.emit_file.empty()) {
+        err << "--emit needs a file name\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
     } else if (cmd == "request" && it->rfind("--deadline=", 0) == 0) {
       try {
         request_opts.deadline_ms = std::stod(it->substr(11));
@@ -1101,8 +1351,8 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
     return cmd_batch(rest, batch_opts, out, err);
   }
   if (cmd == "analyze" || cmd == "optimize" || cmd == "lint" ||
-      cmd == "verify" || cmd == "distances" || cmd == "misscurve" ||
-      cmd == "series") {
+      cmd == "verify" || cmd == "codegen" || cmd == "distances" ||
+      cmd == "misscurve" || cmd == "series") {
     if (rest.empty()) {
       err << usage();
       return ExitCode::kUsage;
@@ -1129,6 +1379,11 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         verify_opts.json = json;
         verify_opts.threads = threads;
         return cmd_verify(*source, verify_opts, out, file);
+      }
+      if (cmd == "codegen") {
+        codegen_opts.json = json;
+        codegen_opts.threads = threads;
+        return cmd_codegen(*source, codegen_opts, out, err, file);
       }
       if (cmd == "distances") return cmd_distances(*source, out);
       if (cmd == "series") return cmd_series(*source, out);

@@ -113,6 +113,33 @@ struct VerifyCliOptions {
 ExitCode cmd_verify(const std::string& source, const VerifyCliOptions& opts,
                     std::ostream& out, const std::string& file = "<input>");
 
+/// Options for `lmre codegen`, parsed by run_cli.
+struct CodegenCliOptions {
+  bool json = false;  ///< emit the codegen document in the JSON envelope
+  bool run = false;   ///< --run: compile with cc and execute the self-check
+  /// --plan[=SPEC]: execution order to emit.  "" = the identity order,
+  /// "auto" (bare --plan) = the plan `lmre optimize` emits, anything else
+  /// = a verify-grammar spec.  Non-identity plans must certify.
+  std::string plan;
+  std::string cc;         ///< --cc=PATH: C compiler override ("" = cc)
+  std::string emit_file;  ///< --emit=FILE: write the C unit here
+  int threads = 1;        ///< auto-plan optimizer workers
+};
+
+/// `lmre codegen [--json] [--plan[=SPEC]] [--run] [--cc=PATH]
+/// [--emit=FILE] <file|->`: lowers the nest to one standalone C unit
+/// (src/codegen) holding the original nest over full arrays AND the
+/// plan's execution order against window-sized modulo buffers, plus a
+/// self-check that compares them element-for-element and validates the
+/// engine's window/traffic predictions.  --run compiles the unit with the
+/// system C compiler and executes that check.  kSuccess when emission
+/// (and the run, if requested) succeeded, kFailure on miscompare or
+/// compile failure, kUsage on a malformed plan spec, kDiagnostics when
+/// the plan cannot be certified.
+ExitCode cmd_codegen(const std::string& source, const CodegenCliOptions& opts,
+                     std::ostream& out, std::ostream& err,
+                     const std::string& file = "<input>");
+
 /// `lmre figure2`: the paper's main table.
 ExitCode cmd_figure2(std::ostream& out, int threads = 1);
 
@@ -157,8 +184,9 @@ ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
 /// Options for `lmre request`, parsed by run_cli.
 struct RequestCliOptions {
   std::string socket;       ///< Unix-domain socket of a running server
-  std::string kind = "full";///< --kind=lint|analyze|optimize|full|symbolic|verify
-  std::string plan;         ///< --plan=SPEC (kind=verify; "" = audit mode)
+  std::string kind = "full";///< --kind=K, any name in kAnalysisKinds
+  std::string plan;         ///< --plan=SPEC (verify: "" = audit; codegen:
+                            ///< "" = identity, "auto" = optimizer's plan)
   double deadline_ms = 0;   ///< --deadline=MS (0 = none)
   std::string id;           ///< --id=S (defaults to the file name)
   bool raw = false;         ///< --raw: print only the result payload
