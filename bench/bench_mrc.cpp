@@ -1,0 +1,240 @@
+// MRC bench: exact reuse-distance histograms vs SHARDS-style sampling on
+// bound ladders of three kernels.  Two questions per row:
+//
+//   * wall-clock -- what does the full-curve product cost next to the
+//     sampled estimate at rates 0.1 and 0.01 (same dense engine, same
+//     Fenwick pass, fewer tracked elements)?
+//   * accuracy -- the measured max displacement-aware curve error
+//     (mrc_curve_error, DESIGN.md §14) over the exact curve's capacity
+//     sweep, printed next to the DECLARED error bound each sampled result
+//     carries.  The raw pointwise max |sampled - exact| also lands in the
+//     JSON: at a step of the exact curve it approaches the step height
+//     (capacity-axis jitter), which is exactly why the contract metric
+//     lets the capacity flex before measuring vertically.
+//
+// Writes BENCH_mrc.json (enveloped) into the current directory.  With
+// --check the bench exits nonzero if any measured curve error exceeds the
+// declared bound, or if any exact run takes 30 s or longer (a generous
+// ceiling: the whole ladder fits in well under a second today).
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codes/kernels.h"
+#include "exact/trace_engine.h"
+#include "ir/builder.h"
+#include "mrc/mrc.h"
+#include "support/json.h"
+#include "support/text.h"
+
+using namespace lmre;
+
+namespace {
+
+constexpr int kReps = 3;  // best-of timing, min over reps
+constexpr double kExactBudgetMs = 30'000.0;
+constexpr double kRates[] = {0.1, 0.01};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double ms = ms_since(t0);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct SampledCol {
+  double rate = 0.0;
+  double ms = 0.0;
+  double max_error = 0.0;      // max mrc_curve_error over the sweep
+  double max_pointwise = 0.0;  // max raw |sampled - exact| (informational)
+  double bound = 0.0;          // the result's declared error bound
+  Int elements = 0;            // raw sampled distinct count
+};
+
+struct Row {
+  std::string kernel;
+  std::string bounds;
+  Int accesses = 0;
+  Int distinct = 0;
+  Int knee = 0;
+  double exact_ms = 0.0;
+  std::vector<SampledCol> sampled;
+};
+
+// The ladders: the paper's Example 10 shape at growing scale factors (one
+// array, one reference, the 687-span reuse), a 2-point stencil (short
+// distances, deep reuse), and matmult (three arrays, mixed distances).
+LoopNest example10_scaled(Int s) {
+  NestBuilder b;
+  b.loop("i", 1, 10 * s).loop("j", 1, 20 * s).loop("k", 1, 30 * s);
+  ArrayId a = b.array("A", {3 * 10 * s + 30 * s + 1, 20 * s + 30 * s + 1});
+  b.statement().read(a, {{3, 0, 1}, {0, 1, 1}}, {0, 0});
+  return b.build();
+}
+
+LoopNest two_point(Int n) {
+  NestBuilder b;
+  b.loop("i", 1, n).loop("j", 1, n);
+  ArrayId a = b.array("A", {n + 1, n + 1});
+  b.statement()
+      .write(a, {{1, 0}, {0, 1}}, {0, 0})
+      .read(a, {{1, 0}, {0, 1}}, {-1, 0});
+  return b.build();
+}
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+
+  std::vector<std::pair<std::string, std::vector<LoopNest>>> ladders;
+  ladders.emplace_back("example10",
+                       std::vector<LoopNest>{example10_scaled(1),
+                                             example10_scaled(2),
+                                             example10_scaled(4)});
+  ladders.emplace_back(
+      "2point", std::vector<LoopNest>{two_point(64), two_point(256)});
+  ladders.emplace_back("matmult",
+                       std::vector<LoopNest>{codes::kernel_matmult(16),
+                                             codes::kernel_matmult(48)});
+
+  bool ok = true;
+  std::vector<Row> rows;
+  TraceArena arena;
+
+  for (auto& [name, nests] : ladders) {
+    for (const LoopNest& nest : nests) {
+      Row row;
+      row.kernel = name;
+      {
+        std::ostringstream os;
+        for (size_t k = 0; k < nest.depth(); ++k) {
+          os << (k ? "x" : "") << nest.bounds().range(k).trip_count();
+        }
+        row.bounds = os.str();
+      }
+
+      MrcResult exact;
+      row.exact_ms = best_of([&] { exact = compute_mrc(nest, {}, arena); });
+      row.accesses = static_cast<Int>(exact.aggregate.total);
+      row.distinct = static_cast<Int>(exact.aggregate.cold);
+      row.knee = exact.knee;
+      if (check && row.exact_ms >= kExactBudgetMs) {
+        std::cout << "CHECK FAIL: exact " << fmt(row.exact_ms, 1)
+                  << "ms >= " << kExactBudgetMs << "ms on " << name << " "
+                  << row.bounds << '\n';
+        ok = false;
+      }
+
+      // The error sweep covers the exact curve's own capacity list plus 0
+      // (the all-miss end) -- the same sweep the property suite uses.
+      std::vector<Int> caps = default_mrc_capacities(exact);
+      caps.insert(caps.begin(), 0);
+
+      for (double rate : kRates) {
+        SampledCol col;
+        col.rate = rate;
+        MrcOptions mo;
+        mo.sample_rate = rate;
+        MrcResult sampled;
+        col.ms = best_of([&] { sampled = compute_mrc(nest, mo, arena); });
+        col.bound = sampled.error_bound;
+        col.elements = sampled.sampled_elements;
+        Int worst_cap = 0;
+        for (Int c : caps) {
+          const double e = mrc_curve_error(sampled, exact, c);
+          if (e > col.max_error) {
+            col.max_error = e;
+            worst_cap = c;
+          }
+          col.max_pointwise =
+              std::max(col.max_pointwise,
+                       std::abs(sampled.aggregate.miss_ratio(c) -
+                                exact.aggregate.miss_ratio(c)));
+        }
+        if (check && col.max_error > col.bound) {
+          std::cout << "CHECK FAIL: rate " << fmt(rate, 2) << " error "
+                    << fmt(col.max_error, 4) << " > declared bound "
+                    << fmt(col.bound, 4) << " at capacity " << worst_cap
+                    << " on " << name << " " << row.bounds << '\n';
+          ok = false;
+        }
+        row.sampled.push_back(col);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  TextTable t;
+  t.header({"kernel", "bounds", "accesses", "knee", "exact (ms)",
+            "s=0.1 (ms)", "err/bound", "s=0.01 (ms)", "err/bound"});
+  Json jrows = Json::array();
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {r.kernel, r.bounds,
+                                      with_commas(r.accesses),
+                                      with_commas(r.knee), fmt(r.exact_ms, 3)};
+    for (const SampledCol& c : r.sampled) {
+      cells.push_back(fmt(c.ms, 3));
+      cells.push_back(fmt(c.max_error, 3) + "/" + fmt(c.bound, 3));
+    }
+    t.row(cells);
+
+    Json jr = Json::object();
+    jr.set("kernel", r.kernel)
+        .set("bounds", r.bounds)
+        .set("accesses", r.accesses)
+        .set("distinct", r.distinct)
+        .set("knee", r.knee)
+        .set("exact_ms", r.exact_ms);
+    Json jsampled = Json::array();
+    for (const SampledCol& c : r.sampled) {
+      Json jc = Json::object();
+      jc.set("rate", Json::number(c.rate))
+          .set("ms", c.ms)
+          .set("sampled_elements", c.elements)
+          .set("max_curve_error", c.max_error)
+          .set("max_pointwise_error", c.max_pointwise)
+          .set("declared_bound", c.bound);
+      jsampled.push(std::move(jc));
+    }
+    jr.set("sampled", std::move(jsampled));
+    jrows.push(std::move(jr));
+  }
+  std::cout << "-- exact miss-ratio curves vs hash-threshold sampling --\n"
+            << t.render();
+
+  Json doc = Json::object();
+  doc.set("exact_budget_ms", kExactBudgetMs);
+  doc.set("reps", kReps);
+  doc.set("rows", std::move(jrows));
+  std::ofstream("BENCH_mrc.json")
+      << json_envelope("bench-mrc", std::move(doc)).dump(2) << '\n';
+  std::cout << "wrote BENCH_mrc.json\n";
+
+  if (check) std::cout << (ok ? "CHECK OK\n" : "CHECK FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -9,7 +9,9 @@
 # tests/golden/symbolic_example{6,10}.json, the `lmre analyze --symbolic
 # --json` envelopes pinned by golden_symbolic_test; and
 # tests/golden/verify_example{10,6,8_witness}.json, the `lmre verify
-# --json` certificates pinned by golden_verify_test.
+# --json` certificates pinned by golden_verify_test; the codegen documents
+# pinned by golden_codegen_test; and tests/golden/mrc_example*.json, the
+# `lmre mrc --json` envelopes pinned by golden_mrc_test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,3 +64,25 @@ echo "wrote tests/golden/codegen_example8.json"
 "$LMRE" codegen --json tests/golden/example10.loop \
   > tests/golden/codegen_example10.json
 echo "wrote tests/golden/codegen_example10.json"
+
+# Miss-ratio curves (src/mrc): exact reuse-distance histograms + curves for
+# the paper's Examples 6, 8 and 10 under the identity order, plus the
+# optimizer's plan for Examples 8 and 10 (golden_mrc_test).  Example 10
+# pins the LRU knee at 687 -- every reuse spans exactly 687 distinct
+# elements under the identity order -- against the paper's MWS of 540
+# (the forward-window policy is strictly tighter than LRU).
+"$LMRE" mrc --json tests/golden/example6.loop \
+  > tests/golden/mrc_example6.json
+echo "wrote tests/golden/mrc_example6.json"
+"$LMRE" mrc --json examples/loops/example8.loop \
+  > tests/golden/mrc_example8.json
+echo "wrote tests/golden/mrc_example8.json"
+"$LMRE" mrc --json --plan examples/loops/example8.loop \
+  > tests/golden/mrc_example8_plan.json
+echo "wrote tests/golden/mrc_example8_plan.json"
+"$LMRE" mrc --json --capacities=1,64,128,540,687,1024 \
+  tests/golden/example10.loop > tests/golden/mrc_example10.json
+echo "wrote tests/golden/mrc_example10.json"
+"$LMRE" mrc --json --plan --capacities=1,64,128,540,687,1024 \
+  tests/golden/example10.loop > tests/golden/mrc_example10_plan.json
+echo "wrote tests/golden/mrc_example10_plan.json"

@@ -8,8 +8,10 @@
 # and ASan+UBSan over the parser / lint / CLI suites (the layers that
 # chew on untrusted input) -- plus a symbolic-smoke stage (closed forms
 # differential vs the oracle under ASan, golden + decline corpora), the
-# oracle perf gate, and a codegen smoke (ASan emission, system-cc compile
-# + execute round trip, bench_codegen --check latency gate).  Run from
+# oracle perf gate, a codegen smoke (ASan emission, system-cc compile
+# + execute round trip, bench_codegen --check latency gate), and an
+# mrc-smoke stage (ASan property subset, pinned curve envelopes, the
+# Example 10 knee, bench_mrc --check sampling-error gate).  Run from
 # the repo root:
 #
 #   scripts/tier1.sh
@@ -187,5 +189,26 @@ else
 fi
 ./build/bench/bench_codegen --check \
   || { echo "FAIL: codegen emit latency or self-check gate"; exit 1; }
+
+echo "== tier 1: mrc-smoke (ASan subset + goldens + sampling error gate) =="
+# The MRC subsystem under ASan+UBSan: the exact-path property subset (the
+# full 256-case sweep stays in the plain ctest pass under the `mrc` ctest
+# label) plus the pinned `lmre mrc --json` envelopes for the paper
+# examples.  A CLI smoke pins Example 10's LRU knee at 687 -- the paper's
+# MWS is 540; the forward-window policy is strictly tighter than LRU --
+# and bench_mrc --check gates the sampled estimator against its declared
+# error bound (and the exact path against a generous latency ceiling).
+cmake --build build-asan -j "$JOBS" --target property_mrc_test golden_mrc_test
+./build-asan/tests/property_mrc_test \
+  --gtest_filter='Sweep/MrcProperty.*/1:Sweep/MrcProperty.*/2:Sweep/MrcSampledProperty.*/1:MrcSession.*:MrcObjective.*'
+./build-asan/tests/golden_mrc_test
+(cd build && ctest -L mrc --output-on-failure -j "$JOBS") \
+  || { echo "FAIL: mrc-labeled ctest subset"; exit 1; }
+./build/tools/lmre mrc --capacities=540,687 tests/golden/example10.loop \
+  > "$BATCH_CACHE/mrc_smoke.out"
+grep -q 'knee.*687' "$BATCH_CACHE/mrc_smoke.out" \
+  || { echo "FAIL: Example 10 LRU knee is not 687"; exit 1; }
+./build/bench/bench_mrc --check \
+  || { echo "FAIL: sampled MRC missed its declared error bound"; exit 1; }
 
 echo "tier 1 OK"

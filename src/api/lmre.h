@@ -22,6 +22,8 @@
 //                          transform/transformed.h          minimize_mws_2d
 //   legality proofs        verify/verify.h                  verify_plan,
 //                                                           VerifyPlan
+//   miss-ratio curves      mrc/mrc.h                        compute_mrc, mrc_json,
+//                                                           optimize_miss_ratio
 //   C backend              codegen/codegen.h,               emit_c, BufferPlan,
 //                          codegen/driver.h                 compile_and_run
 //   batch runtime          runtime/session.h,               AnalysisSession,
@@ -55,6 +57,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "lint/lint.h"
+#include "mrc/mrc.h"
 #include "program/program.h"
 #include "runtime/metrics.h"
 #include "runtime/session.h"

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <functional>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "exact/oracle.h"
+#include "exact/trace_engine.h"
+#include "support/checked.h"
 #include "support/error.h"
 
 namespace lmre {
@@ -24,24 +27,231 @@ Int StackDistanceProfile::max_distance() const {
   return histogram.empty() ? 0 : histogram.rbegin()->first;
 }
 
-StackDistanceProfile stack_distances(const LoopNest& nest, const IntMat* transform) {
-  struct Key {
-    ArrayId array;
-    std::vector<Int> index;
-    bool operator==(const Key& o) const {
-      return array == o.array && index == o.index;
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      size_t h = std::hash<size_t>()(k.array);
-      for (Int v : k.index) {
-        h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-      }
-      return h;
-    }
-  };
+namespace {
 
+// Fenwick (binary indexed) tree over access ordinals.  Bit t stays set
+// while the element whose most recent access happened at ordinal t has not
+// been touched again, so the number of set bits in (p, t) is exactly the
+// number of distinct elements accessed between two accesses to one element
+// -- its stack distance minus one.  add/prefix are O(log accesses); the
+// counts fit 32 bits because a subtree never holds more set bits than the
+// trace has accesses (callers volume-gate long before 2^31).
+class OrdinalFenwick {
+ public:
+  void reset(size_t n) { tree_.assign(n + 1, 0); }
+
+  void add(Int pos, std::int32_t delta) {
+    for (size_t i = static_cast<size_t>(pos) + 1; i < tree_.size();
+         i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Number of set ordinals in [0, pos]; pos == -1 yields 0.
+  Int prefix(Int pos) const {
+    Int sum = 0;
+    for (size_t i = static_cast<size_t>(pos + 1); i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<std::int32_t> tree_;
+};
+
+/// Keep an element iff hash < rate * 2^64.  Callers gate rate >= 1 as
+/// "exhaustive" first, so the product stays strictly below 2^64 and the
+/// cast is exact.
+std::uint64_t sample_threshold(double rate) {
+  return static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+}
+
+/// Swaps the element's last-touch ordinal for `ordinal`, returning the
+/// previous one (kUntouchedLast == -1 on a first touch).  Mirrors
+/// trace_detail::touch_first_last but surfaces the old ordinal, which is
+/// what the Fenwick update needs.
+Int exchange_last(TraceArena::StoreBuf& s, Int addr, Int ordinal) {
+  if (s.dense) {
+    Int& last = s.last[static_cast<size_t>(addr)];
+    const Int prev = last;
+    if (prev < 0) {
+      s.first[static_cast<size_t>(addr)] = ordinal;
+      ++s.touched;
+    }
+    last = ordinal;
+    return prev;
+  }
+  bool inserted = false;
+  const size_t slot = trace_detail::upsert_slot(s, addr, &inserted);
+  const Int prev = inserted ? TraceArena::kUntouchedLast : s.klast[slot];
+  if (inserted) s.kfirst[slot] = ordinal;
+  s.klast[slot] = ordinal;
+  return prev;
+}
+
+void dense_visit(const LoopNest& nest, const AddressPlan& plan,
+                 const IntMat* t_inv, const DistanceVisitOptions& opts,
+                 TraceArena& arena,
+                 const std::function<void(size_t, Int)>& visit) {
+  const size_t nrefs = plan.refs.size();
+  if (nrefs == 0 || plan.iterations == 0) return;
+  arena.prepare(plan, 1, /*with_state=*/false);
+  std::vector<TraceArena::StoreBuf*> bufs(nrefs);
+  for (size_t r = 0; r < nrefs; ++r) bufs[r] = &arena.store(0, plan.refs[r].store);
+
+  // Per-store salts decorrelate the sample across arrays whose boxes share
+  // address ranges; references to ONE array share a salt so the sampling
+  // decision is a property of the element, not of the reference.
+  const bool exhaustive = opts.sample_rate >= 1.0;
+  const std::uint64_t threshold =
+      exhaustive ? 0 : sample_threshold(opts.sample_rate);
+  std::vector<std::uint64_t> salt(nrefs);
+  for (size_t r = 0; r < nrefs; ++r) {
+    salt[r] = trace_detail::mix_addr(
+        opts.seed + 0x9e3779b97f4a7c15ULL *
+                        static_cast<std::uint64_t>(plan.refs[r].store + 1));
+  }
+
+  const Int accesses = checked_mul(plan.iterations, static_cast<Int>(nrefs));
+  OrdinalFenwick fen;
+  fen.reset(static_cast<size_t>(accesses));
+  // Global access ordinal: iteration ordinal (execution order) * refs per
+  // iteration + reference slot.  Unsampled accesses still consume ordinals;
+  // gaps are harmless because only sampled ordinals ever set bits.
+  auto touch = [&](size_t r, Int ordinal, Int addr) {
+    if (!exhaustive &&
+        trace_detail::mix_addr(static_cast<std::uint64_t>(addr) ^ salt[r]) >=
+            threshold) {
+      return;
+    }
+    const Int t = ordinal * static_cast<Int>(nrefs) + static_cast<Int>(r);
+    const Int prev = exchange_last(*bufs[r], addr, t);
+    if (prev < 0) {
+      visit(r, 0);
+    } else {
+      visit(r, fen.prefix(t - 1) - fen.prefix(prev) + 1);
+      fen.add(prev, -1);
+    }
+    fen.add(t, +1);
+  };
+  if (t_inv != nullptr) {
+    drive_transformed(plan, nest, *t_inv, touch);
+  } else {
+    drive_box(plan, nest.bounds(), 0, touch);
+  }
+  arena.finish_run(plan, 1);
+}
+
+struct Key {
+  ArrayId array;
+  std::vector<Int> index;
+  bool operator==(const Key& o) const {
+    return array == o.array && index == o.index;
+  }
+};
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    size_t h = std::hash<size_t>()(k.array);
+    for (Int v : k.index) {
+      h ^= std::hash<Int>()(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Hash-map fallback for nests the engine cannot linearize: same Fenwick
+/// distance structure, element identity by (array, index-vector) key.
+/// Sampling hashes the key hash rather than a linear address, so SAMPLED
+/// results are not comparable across the two paths (exhaustive ones are).
+void reference_visit(const LoopNest& nest, const DistanceVisitOptions& opts,
+                     const std::function<void(size_t, Int)>& visit) {
+  size_t nrefs = 0;
+  for (const auto& stmt : nest.statements()) nrefs += stmt.refs.size();
+  if (nrefs == 0) return;
+  const bool exhaustive = opts.sample_rate >= 1.0;
+  const std::uint64_t threshold =
+      exhaustive ? 0 : sample_threshold(opts.sample_rate);
+  const Int accesses =
+      checked_mul(nest.iteration_count(), static_cast<Int>(nrefs));
+  OrdinalFenwick fen;
+  fen.reset(static_cast<size_t>(accesses));
+  std::unordered_map<Key, Int, KeyHash> last;  // element -> last ordinal
+  Int t = 0;
+  visit_iterations(nest, opts.transform, [&](Int, const IntVec& iter) {
+    size_t r = 0;
+    for (const auto& stmt : nest.statements()) {
+      for (const auto& ref : stmt.refs) {
+        const Int here = t++;
+        const size_t ref_index = r++;
+        Key key{ref.array, ref.index_at(iter).data()};
+        if (!exhaustive &&
+            trace_detail::mix_addr(KeyHash{}(key) ^ opts.seed) >= threshold) {
+          continue;
+        }
+        auto [it, inserted] = last.try_emplace(key, here);
+        if (inserted) {
+          visit(ref_index, 0);
+        } else {
+          const Int prev = it->second;
+          visit(ref_index, fen.prefix(here - 1) - fen.prefix(prev) + 1);
+          fen.add(prev, -1);
+          it->second = here;
+        }
+        fen.add(here, +1);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void visit_stack_distances(const LoopNest& nest, const DistanceVisitOptions& opts,
+                           TraceArena& arena,
+                           const std::function<void(size_t, Int)>& visit) {
+  require(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0,
+          "visit_stack_distances: sample rate must be in (0, 1]");
+  std::optional<IntMat> t_inv;
+  if (opts.transform != nullptr) {
+    require(opts.transform->is_unimodular(),
+            "visit_stack_distances: transform must be unimodular");
+    t_inv = opts.transform->inverse_unimodular();
+  }
+  std::optional<AddressPlan> plan = AddressPlan::build(
+      nest, t_inv ? &*t_inv : nullptr, /*liveness_order=*/false, /*slabs=*/1);
+  if (!plan) {
+    ++arena.stats().fallback_runs;
+    reference_visit(nest, opts, visit);
+    return;
+  }
+  dense_visit(nest, *plan, t_inv ? &*t_inv : nullptr, opts, arena, visit);
+}
+
+StackDistanceProfile stack_distances(const LoopNest& nest,
+                                     const IntMat* transform,
+                                     TraceArena& arena) {
+  StackDistanceProfile profile;
+  DistanceVisitOptions opts;
+  opts.transform = transform;
+  visit_stack_distances(nest, opts, arena, [&](size_t, Int distance) {
+    ++profile.total_accesses;
+    if (distance == 0) {
+      ++profile.cold_accesses;
+    } else {
+      profile.histogram[distance] += 1;
+    }
+  });
+  return profile;
+}
+
+StackDistanceProfile stack_distances(const LoopNest& nest,
+                                     const IntMat* transform) {
+  TraceArena arena;
+  return stack_distances(nest, transform, arena);
+}
+
+StackDistanceProfile stack_distances_reference(const LoopNest& nest,
+                                               const IntMat* transform) {
   // Classic stack algorithm: a list ordered most-recent-first; the distance
   // of a re-access is its 1-based position in the list.
   std::list<Key> stack;

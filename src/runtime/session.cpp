@@ -1,5 +1,6 @@
 #include "runtime/session.h"
 
+#include <bit>
 #include <cctype>
 #include <optional>
 
@@ -12,6 +13,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "lint/lint.h"
+#include "mrc/mrc.h"
 #include "program/program.h"
 #include "support/parallel_for.h"
 #include "symbolic/derive.h"
@@ -54,6 +56,7 @@ void AnalysisRequest::set_kind(Kind kind) {
     case Kind::kSymbolic: options = Symbolic{}; return;
     case Kind::kVerify: options = Verify{}; return;
     case Kind::kCodegen: options = Codegen{}; return;
+    case Kind::kMrc: options = Mrc{}; return;
   }
   throw InvalidArgument("AnalysisRequest::set_kind: unknown kind");
 }
@@ -62,6 +65,7 @@ const std::string& AnalysisRequest::plan_spec() const {
   static const std::string empty;
   if (const Verify* v = verify()) return v->plan;
   if (const Codegen* c = codegen()) return c->plan;
+  if (const Mrc* m = mrc()) return m->plan;
   return empty;
 }
 
@@ -69,7 +73,7 @@ namespace {
 
 // Version tag mixed into every content hash: bump when the payload schema
 // changes so stale disk caches invalidate themselves.
-constexpr const char* kHashSalt = "lmre-result-v3";
+constexpr const char* kHashSalt = "lmre-result-v4";
 
 Json error_json(const char* kind, const std::string& message, int line = 0,
                 int column = 0) {
@@ -237,6 +241,21 @@ std::uint64_t AnalysisSession::request_key(const AnalysisRequest& req) const {
     h = fnv1a(c->run ? "|run" : "|emit", h);
     h = fnv1a("|cc=", h);
     h = fnv1a(c->cc, h);
+  }
+  if (const AnalysisRequest::Optimize* o = req.optimize()) {
+    h = fnv1a("|objective=", h);
+    h = fnv1a(o->objective, h);
+  }
+  if (const AnalysisRequest::Mrc* m = req.mrc()) {
+    h = fnv1a("|plan=", h);
+    h = fnv1a(m->plan, h);
+    // The exact bit pattern of the rate: any change to it is a different
+    // sample, hence a different result.
+    h = fnv1a("|rate=", h);
+    h = fnv1a(std::to_string(std::bit_cast<std::uint64_t>(m->sample_rate)), h);
+    // Capacities shape the emitted curve, so they salt the key too.
+    h = fnv1a("|caps=", h);
+    for (Int c : m->capacities) h = fnv1a(std::to_string(c) + ",", h);
   }
   h = fnv1a("|verify=", h);
   h = fnv1a(std::to_string(opts_.run.verify_limit), h);
@@ -469,6 +488,95 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       return result.dump();
     }
 
+    if (req.kind() == Kind::kMrc) {
+      if (!single) {
+        *status = ExitCode::kFailure;
+        return error_json("unsupported", "mrc works on single-nest sources")
+            .set("kind", to_string(req.kind()))
+            .dump();
+      }
+      const LoopNest& nest = program.phase_nest(0);
+      const AnalysisRequest::Mrc& mopt = *req.mrc();
+      if (!(mopt.sample_rate > 0.0) || mopt.sample_rate > 1.0) {
+        *status = ExitCode::kUsage;
+        return error_json("bad_sample_rate", "sample rate must be in (0, 1]")
+            .set("kind", to_string(req.kind()))
+            .dump();
+      }
+      for (Int c : mopt.capacities) {
+        if (c < 0) {
+          *status = ExitCode::kUsage;
+          return error_json("bad_capacities",
+                            "capacities must be non-negative integers")
+              .set("kind", to_string(req.kind()))
+              .dump();
+        }
+      }
+      // Resolve the execution order.  MRC measures an order, it does not
+      // certify one -- legality questions belong to the verify kind.
+      IntMat transform = IntMat::identity(nest.depth());
+      std::string plan_str = "identity";
+      std::string method;
+      if (mopt.plan == "auto") {
+        OptimizeResult opt;
+        {
+          Metrics::ScopedTimer t = metrics_->time("stage.optimize");
+          opt = optimize_locality(nest, minimizer_options(stage), arena);
+        }
+        transform = opt.transform;
+        method = opt.method;
+        plan_str = transform.str();
+      } else if (!mopt.plan.empty()) {
+        std::string perr;
+        std::optional<VerifyPlan> parsed = parse_plan_spec(mopt.plan, &perr);
+        if (!parsed) {
+          *status = ExitCode::kUsage;
+          return error_json("bad_plan", "bad plan spec: " + perr)
+              .set("kind", to_string(req.kind()))
+              .dump();
+        }
+        if (parsed->has_tiling()) {
+          *status = ExitCode::kUsage;
+          return error_json("bad_plan",
+                            "mrc measures unimodular execution orders; "
+                            "tiling chunks are not supported")
+              .set("kind", to_string(req.kind()))
+              .dump();
+        }
+        transform = parsed->combined(nest.depth());
+        plan_str = parsed->str();
+      }
+      // Sampling thins the distance structure, not the trace: both modes
+      // walk every iteration, so the volume gate applies regardless.
+      const bool ident = transform == IntMat::identity(nest.depth());
+      if (nest.iteration_count() > stage.verify_limit ||
+          (!ident &&
+           transformed_scan_volume(nest, transform) > stage.verify_limit)) {
+        *status = ExitCode::kFailure;
+        return error_json("too_large",
+                          "mrc needs an exhaustive trace; iteration volume "
+                          "exceeds the verify limit")
+            .set("kind", to_string(req.kind()))
+            .dump();
+      }
+      MrcOptions mo;
+      mo.transform = ident ? nullptr : &transform;
+      mo.sample_rate = mopt.sample_rate;
+      MrcResult m;
+      {
+        Metrics::ScopedTimer t = metrics_->time("stage.mrc");
+        m = compute_mrc(nest, mo, arena);
+      }
+      std::vector<Int> caps = mopt.capacities;
+      if (caps.empty()) caps = default_mrc_capacities(m);
+      Json jm = mrc_json(m, caps);
+      jm.set("plan", plan_str);
+      if (!method.empty()) jm.set("method", method);
+      jm.set("transform", transform_json(transform));
+      result.set("mrc", std::move(jm));
+      return result.dump();
+    }
+
     if (req.kind() == Kind::kAnalyze || req.kind() == Kind::kFull) {
       if (single) {
         const LoopNest& nest = program.phase_nest(0);
@@ -524,10 +632,38 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
         return result.dump();
       }
       const LoopNest& nest = program.phase_nest(0);
+      const AnalysisRequest::Optimize* oopt = req.optimize();
+      std::optional<ObjectiveSpec> objective =
+          parse_objective_spec(oopt ? oopt->objective : std::string());
+      if (!objective) {
+        *status = ExitCode::kUsage;
+        return error_json("bad_objective",
+                          "bad objective spec '" + oopt->objective +
+                              "' (want mws or miss-ratio:<capacity>)")
+            .set("kind", to_string(req.kind()))
+            .dump();
+      }
       OptimizeResult res;
+      std::optional<MissRatioPlan> mr;
       {
         Metrics::ScopedTimer t = metrics_->time("stage.optimize");
-        res = optimize_locality(nest, minimizer_options(stage), arena);
+        if (objective->miss_ratio) {
+          mr = optimize_miss_ratio(nest, objective->capacity,
+                                   minimizer_options(stage), arena);
+          if (!mr) {
+            *status = ExitCode::kFailure;
+            return error_json("too_large",
+                              "miss-ratio objective needs exact re-scoring; "
+                              "iteration volume exceeds the verify limit")
+                .set("kind", to_string(req.kind()))
+                .dump();
+          }
+          res.transform = mr->transform;
+          res.method = mr->method;
+          res.predicted_mws = predicted_mws_after(nest, res.transform);
+        } else {
+          res = optimize_locality(nest, minimizer_options(stage), arena);
+        }
       }
       // Independent legality audit of the winning plan: the minimizer only
       // searches legal transforms, but the prover's verdict is recorded
@@ -577,9 +713,33 @@ std::string AnalysisSession::compute_payload(const AnalysisRequest& req,
       if (nest.iteration_count() <= stage.verify_limit) {
         opt.set("mws_before", simulate(nest, stage.threads, arena).mws_total);
       }
+      std::optional<Int> mws_after;
       if (transformed_scan_volume(nest, res.transform) <= stage.verify_limit) {
-        opt.set("mws_after",
-                simulate_transformed(nest, res.transform, arena).mws_total);
+        mws_after = simulate_transformed(nest, res.transform, arena).mws_total;
+        opt.set("mws_after", *mws_after);
+      }
+      // The chosen objective, named and valued, in every optimize envelope:
+      // miss-ratio runs stay distinguishable from MWS runs.
+      opt.set("objective", objective->name());
+      if (objective->miss_ratio) {
+        opt.set("objective_capacity", objective->capacity);
+        // Re-measure on the FINAL transform so a downgrade reports the
+        // shipped plan's ratio, not the refused one's.
+        MrcOptions mo;
+        const bool ident = res.transform == IntMat::identity(nest.depth());
+        mo.transform = ident ? nullptr : &res.transform;
+        double after = 0.0;
+        {
+          Metrics::ScopedTimer t = metrics_->time("stage.mrc");
+          after = compute_mrc(nest, mo, arena)
+                      .aggregate.miss_ratio(objective->capacity);
+        }
+        opt.set("objective_value", Json::number(after));
+        opt.set("miss_ratio_before", Json::number(mr->miss_ratio_before));
+        opt.set("miss_ratio_after", Json::number(after));
+      } else {
+        // Exact when measured, the analytic prediction otherwise.
+        opt.set("objective_value", mws_after ? *mws_after : res.predicted_mws);
       }
       result.set("optimize", std::move(opt));
     }

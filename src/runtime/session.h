@@ -44,18 +44,26 @@ struct AnalysisRequest {
   /// machine-checkable certificate.  kCodegen lowers the nest to a
   /// standalone C unit (src/codegen) -- original nest plus the plan's
   /// execution order against window-sized modulo buffers -- and optionally
-  /// compiles and executes it.
+  /// compiles and executes it.  kMrc computes reuse-distance histograms
+  /// and the miss-ratio curve (src/mrc), exact or SHARDS-sampled.
   ///
   /// The numeric values are the indices of the matching Options
   /// alternatives (static_asserted below): the variant IS the kind.
-  enum class Kind { kLint, kAnalyze, kOptimize, kFull, kSymbolic, kVerify, kCodegen };
+  enum class Kind {
+    kLint, kAnalyze, kOptimize, kFull, kSymbolic, kVerify, kCodegen, kMrc
+  };
 
   // Per-kind option payloads.  A kind without knobs is an empty tag; only
   // result-affecting fields live here (request_key() hashes every one),
   // so adding a knob to one kind cannot widen or invalidate the others.
   struct Lint {};
   struct Analyze {};
-  struct Optimize {};
+  struct Optimize {
+    /// Search objective: "" or "mws" = the paper's window objective;
+    /// "miss-ratio:<capacity>" re-scores the top candidates by exact miss
+    /// ratio at that LRU capacity (src/mrc).
+    std::string objective{};
+  };
   struct Full {};
   struct Symbolic {};
   struct Verify {
@@ -71,10 +79,23 @@ struct AnalysisRequest {
     bool run = false;  ///< also compile with `cc` and execute the verdict
     std::string cc{};  ///< compiler override; "" = `cc` from PATH
   };
+  struct Mrc {
+    /// Execution order to measure: "" = identity, "auto" = the optimizer's
+    /// plan, anything else = a verify-grammar spec (unimodular steps only;
+    /// tiling chunks are rejected -- MRC measures element traffic of an
+    /// iteration reordering).
+    std::string plan{};
+    /// SHARDS spatial sampling rate in (0, 1]; 1 = exact.
+    double sample_rate = 1.0;
+    /// Capacities the emitted curve is evaluated at; empty = an automatic
+    /// power-of-two sweep through the knee.
+    std::vector<Int> capacities{};
+  };
 
   /// One typed payload per kind, alternative index == Kind value.
   using Options =
-      std::variant<Lint, Analyze, Optimize, Full, Symbolic, Verify, Codegen>;
+      std::variant<Lint, Analyze, Optimize, Full, Symbolic, Verify, Codegen,
+                   Mrc>;
 
   std::string source;            ///< DSL text (see ir/parser.h)
   std::string file = "<input>";  ///< display name only; never hashed
@@ -98,10 +119,12 @@ struct AnalysisRequest {
   void set_kind(Kind kind);
 
   /// The per-kind payloads, when active (nullptr otherwise).
+  const Optimize* optimize() const { return std::get_if<Optimize>(&options); }
   const Verify* verify() const { return std::get_if<Verify>(&options); }
   const Codegen* codegen() const { return std::get_if<Codegen>(&options); }
+  const Mrc* mrc() const { return std::get_if<Mrc>(&options); }
 
-  /// The plan spec of a kVerify/kCodegen request; "" for other kinds.
+  /// The plan spec of a kVerify/kCodegen/kMrc request; "" for other kinds.
   const std::string& plan_spec() const;
 };
 
@@ -129,6 +152,8 @@ inline constexpr AnalysisKindInfo kAnalysisKinds[] = {
      "dependence-preservation certificate for a plan"},
     {AnalysisRequest::Kind::kCodegen, "codegen",
      "emit (and optionally run) C with window-sized buffers"},
+    {AnalysisRequest::Kind::kMrc, "mrc",
+     "reuse-distance histogram + miss-ratio curve (exact or sampled)"},
 };
 
 inline constexpr size_t kAnalysisKindCount =

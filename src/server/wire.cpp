@@ -450,6 +450,40 @@ bool parse_request(const std::string& line, ServerRequest* req,
       if (!read_bool(*options, "run", &cg->run, error)) return false;
       if (!read_string(*options, "cc", &cg->cc, error)) return false;
     }
+    if (AnalysisRequest::Optimize* op =
+            std::get_if<AnalysisRequest::Optimize>(&req->analysis.options)) {
+      if (!read_string(*options, "objective", &op->objective, error)) {
+        return false;
+      }
+    }
+    if (AnalysisRequest::Mrc* m =
+            std::get_if<AnalysisRequest::Mrc>(&req->analysis.options)) {
+      if (const WireValue* rate = options->find("sample_rate")) {
+        if (rate->kind != WireValue::Kind::kNumber || !(rate->number > 0) ||
+            rate->number > 1) {
+          if (error) *error = "\"sample_rate\" must be a number in (0, 1]";
+          return false;
+        }
+        m->sample_rate = rate->number;
+      }
+      if (const WireValue* caps = options->find("capacities")) {
+        if (caps->kind != WireValue::Kind::kArray) {
+          if (error) *error = "\"capacities\" must be an array of integers";
+          return false;
+        }
+        for (const WireValue& c : caps->elements) {
+          if (c.kind != WireValue::Kind::kNumber ||
+              c.number != static_cast<double>(static_cast<Int>(c.number)) ||
+              c.number < 0) {
+            if (error) {
+              *error = "\"capacities\" entries must be non-negative integers";
+            }
+            return false;
+          }
+          m->capacities.push_back(static_cast<Int>(c.number));
+        }
+      }
+    }
     // Keys the kind does not define are ignored (forward compatibility).
   }
   if (AnalysisRequest::Verify* v =
@@ -458,6 +492,9 @@ bool parse_request(const std::string& line, ServerRequest* req,
   } else if (AnalysisRequest::Codegen* cg =
                  std::get_if<AnalysisRequest::Codegen>(&req->analysis.options)) {
     cg->plan = plan;
+  } else if (AnalysisRequest::Mrc* m =
+                 std::get_if<AnalysisRequest::Mrc>(&req->analysis.options)) {
+    m->plan = plan;
   }
   return true;
 }

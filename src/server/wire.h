@@ -4,11 +4,14 @@
 //
 // Each request is one line holding a JSON object
 //   {"id": <string|number>, "schema_version": 2,
-//    "kind": "lint|analyze|optimize|full|symbolic|verify|codegen",
+//    "kind": "lint|analyze|optimize|full|symbolic|verify|codegen|mrc",
 //    "source": "<DSL text>",
 //    "options": {"deadline_ms": <number>,
-//                "plan": "<plan spec>",          (verify, codegen)
-//                "run": <bool>, "cc": "<path>"}} (codegen)
+//                "plan": "<plan spec>",          (verify, codegen, mrc)
+//                "run": <bool>, "cc": "<path>",  (codegen)
+//                "objective": "<spec>",          (optimize)
+//                "sample_rate": <number>,        (mrc)
+//                "capacities": [<number>...]}}   (mrc)
 // The "options" object mixes wire-level knobs (deadline_ms) with the
 // per-kind knobs of the typed AnalysisRequest; keys a kind does not
 // define are ignored.  "schema_version" may be omitted (= v1) or any

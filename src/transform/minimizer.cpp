@@ -394,22 +394,16 @@ OptimizeResult optimize_locality(const LoopNest& nest, const MinimizerOptions& o
   return optimize_locality(nest, opts, arena);
 }
 
-OptimizeResult optimize_locality(const LoopNest& nest,
-                                 const MinimizerOptions& opts,
-                                 TraceArena& arena) {
+std::vector<CandidatePlan> candidate_plans(const LoopNest& nest,
+                                           const MinimizerOptions& opts) {
   const size_t n = nest.depth();
   DependenceInfo info = analyze_dependences(nest);
   std::vector<IntVec> memory = info.distance_vectors(/*include_input=*/false);
 
-  struct Scored {
-    IntMat t;
-    std::string method;
-    Int score;
-  };
-  std::vector<Scored> candidates;
+  std::vector<CandidatePlan> candidates;
   auto consider = [&](const IntMat& t, const std::string& method) {
     if (!is_legal(t, memory)) return;
-    candidates.push_back(Scored{t, method, predicted_mws_after(nest, t)});
+    candidates.push_back(CandidatePlan{t, method, predicted_mws_after(nest, t)});
   };
 
   consider(IntMat::identity(n), "identity");
@@ -439,7 +433,16 @@ OptimizeResult optimize_locality(const LoopNest& nest,
 
   ensure(!candidates.empty(), "identity must always be a legal candidate");
   std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Scored& a, const Scored& b) { return a.score < b.score; });
+                   [](const CandidatePlan& a, const CandidatePlan& b) {
+                     return a.score < b.score;
+                   });
+  return candidates;
+}
+
+OptimizeResult optimize_locality(const LoopNest& nest,
+                                 const MinimizerOptions& opts,
+                                 TraceArena& arena) {
+  std::vector<CandidatePlan> candidates = candidate_plans(nest, opts);
 
   // The analytic score ranks depth-2 candidates well, but for deeper nests
   // (bounding-box extents, dominant-vector choice) it can misrank; rescore
@@ -450,7 +453,7 @@ OptimizeResult optimize_locality(const LoopNest& nest,
                                 static_cast<size_t>(opts.verify_top_k));
     // Always verify the identity too: the driver must never pick something
     // worse than leaving the nest alone.
-    std::vector<const Scored*> to_verify;
+    std::vector<const CandidatePlan*> to_verify;
     for (size_t i = 0; i < k; ++i) to_verify.push_back(&candidates[i]);
     for (const auto& c : candidates) {
       if (c.method == "identity") { to_verify.push_back(&c); break; }
@@ -461,9 +464,9 @@ OptimizeResult optimize_locality(const LoopNest& nest,
     // so the limit must be checked per transformed candidate, not only once
     // against the original nest.  The identity always survives (its scan
     // volume is exactly the iteration count), so the set is never empty.
-    std::vector<const Scored*> unique;
+    std::vector<const CandidatePlan*> unique;
     std::vector<IntMat> seen;
-    for (const Scored* c : to_verify) {
+    for (const CandidatePlan* c : to_verify) {
       if (std::find(seen.begin(), seen.end(), c->t) != seen.end()) continue;
       seen.push_back(c->t);
       if (transformed_scan_volume(nest, c->t) > opts.verify_iteration_limit) {
@@ -490,7 +493,7 @@ OptimizeResult optimize_locality(const LoopNest& nest,
       }
     });
     for (const TraceArena& e : extra) arena.stats().absorb(e.stats());
-    const Scored* best = nullptr;
+    const CandidatePlan* best = nullptr;
     Int best_exact = 0;
     for (size_t i = 0; i < unique.size(); ++i) {
       if (!best || exact[i] < best_exact) {

@@ -16,6 +16,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ir/nest.h"
 #include "linalg/rational.h"
@@ -100,6 +101,22 @@ struct OptimizeResult {
   std::string method;  ///< "identity", "row-minimizer", "embedding(X)", "permutation"
   Int predicted_mws = 0;
 };
+
+/// One legal transformation from the enumeration, with its analytic score.
+struct CandidatePlan {
+  IntMat t;
+  std::string method;  ///< same vocabulary as OptimizeResult::method
+  Int score = 0;       ///< predicted_mws_after(nest, t)
+};
+
+/// The optimizer's candidate enumeration as a reusable product: identity,
+/// signed permutations, the depth-2 row minimizer, and per-array
+/// embeddings, legality-filtered against the memory dependences, scored by
+/// predicted_mws_after, and stably sorted best-first.  The identity is
+/// always present, so the result is never empty.  optimize_locality and
+/// the miss-ratio objective both re-score prefixes of this list.
+std::vector<CandidatePlan> candidate_plans(const LoopNest& nest,
+                                           const MinimizerOptions& opts = {});
 
 /// End-to-end driver: picks the best legal transformation among the
 /// identity, legal loop permutations, the depth-2 row minimizer, and

@@ -254,6 +254,47 @@ TEST(Server, StreamsSymbolicKindReturnsSymbolicDocument) {
   EXPECT_NE(payload->raw.find("\"symbolic\""), std::string::npos);
 }
 
+TEST(Server, StreamsMrcKindRoundTripsWithOptions) {
+  // An "mrc" request with every per-kind knob set must splice exactly the
+  // payload a direct session computes for the same typed request, and a
+  // warm (cached) re-run must be byte-identical to the cold one.
+  AnalysisRequest::Mrc mopt;
+  mopt.plan = "0 1; 1 0";
+  mopt.sample_rate = 0.5;
+  mopt.capacities = {1, 8, 64};
+  AnalysisSession direct;
+  std::string expected = direct.run({kFirSource, "<serve>", mopt}).payload;
+
+  Json req = Json::object();
+  req.set("id", Json::raw("7"));
+  req.set("kind", "mrc");
+  req.set("source", kFirSource);
+  req.set("options", Json::object()
+                         .set("plan", "0 1; 1 0")
+                         .set("sample_rate", 0.5)
+                         .set("capacities", Json::array().push(1).push(8).push(64)));
+  const std::string line = req.dump(0) + "\n";
+
+  AnalysisServer server(ServerOptions{});
+  std::istringstream in(line + line);  // cold, then warm from the cache
+  std::ostringstream out;
+  server.serve_streams(in, out);
+
+  auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& response : lines) {
+    std::string error;
+    auto doc = parse_wire_json(response, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(wire_status(*doc), 0);
+    const WireValue* payload = doc->find("result")->find("result");
+    ASSERT_NE(payload, nullptr);
+    EXPECT_EQ(payload->raw, expected);
+    EXPECT_NE(payload->raw.find("\"mrc\""), std::string::npos);
+    EXPECT_NE(payload->raw.find("\"error_bound\""), std::string::npos);
+  }
+}
+
 TEST(Server, StreamsAnswersEveryRequestOnDrain) {
   ServerOptions opts;
   opts.workers = 4;

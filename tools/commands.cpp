@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <ostream>
 #include <sstream>
@@ -22,9 +24,11 @@
 #include "diag/diagnostic.h"
 #include "exact/oracle.h"
 #include "exact/stack_distance.h"
+#include "exact/trace_engine.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "lint/lint.h"
+#include "mrc/mrc.h"
 #include "runtime/session.h"
 #include "server/server.h"
 #include "server/wire.h"
@@ -99,7 +103,7 @@ ExitCode cmd_analyze(const std::string& source, std::ostream& out,
 }
 
 ExitCode cmd_optimize(const std::string& source, std::ostream& out, int threads,
-                      const std::string& file) {
+                      const std::string& file, const std::string& objective) {
   ProgramSourceMap smap;
   Program parsed = parse_program(source, &smap);
   if (auto rc = lint_gate(parsed, smap, file, /*json=*/false, "optimize", out)) {
@@ -111,9 +115,30 @@ ExitCode cmd_optimize(const std::string& source, std::ostream& out, int threads,
     return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
+  std::optional<ObjectiveSpec> ospec = parse_objective_spec(objective);
+  if (!ospec) {
+    out << "bad --objective spec '" << objective
+        << "' (want mws or miss-ratio:<capacity>)\n";
+    return ExitCode::kUsage;
+  }
   MinimizerOptions opts;
   opts.threads = threads;
-  OptimizeResult res = optimize_locality(nest, opts);
+  TraceArena arena;
+  OptimizeResult res;
+  std::optional<MissRatioPlan> mr;
+  if (ospec->miss_ratio) {
+    mr = optimize_miss_ratio(nest, ospec->capacity, opts, arena);
+    if (!mr) {
+      out << "miss-ratio objective needs exact re-scoring; iteration volume "
+             "exceeds the verify limit\n";
+      return ExitCode::kFailure;
+    }
+    res.transform = mr->transform;
+    res.method = mr->method;
+    res.predicted_mws = predicted_mws_after(nest, res.transform);
+  } else {
+    res = optimize_locality(nest, opts);
+  }
   // Independent legality audit (src/verify): an uncertifiable winner is
   // never shipped -- it is downgraded to the identity with a notice.
   VerifyPlan vplan;
@@ -131,6 +156,18 @@ ExitCode cmd_optimize(const std::string& source, std::ostream& out, int threads,
   TransformedNest tn(nest, res.transform);
   out << tn.print() << "\nexact window: " << simulate(nest).mws_total << " -> "
       << tn.simulate().mws_total << '\n';
+  if (ospec->miss_ratio) {
+    // Re-measure on the final transform so a downgrade reports the shipped
+    // plan's ratio, not the refused one's.
+    const bool ident = res.transform == IntMat::identity(nest.depth());
+    MrcOptions mo;
+    mo.transform = ident ? nullptr : &res.transform;
+    double after = compute_mrc(nest, mo, arena)
+                       .aggregate.miss_ratio(ospec->capacity);
+    out << "objective: miss-ratio at capacity " << with_commas(ospec->capacity)
+        << ": " << percent(mr->miss_ratio_before) << " -> " << percent(after)
+        << " (" << mr->candidates << " candidates re-scored)\n";
+  }
   try {
     SymbolicResult sym = symbolic_analysis_transformed(nest, res.transform);
     if (sym.window_total) {
@@ -356,7 +393,7 @@ ExitCode cmd_symbolic_json(const std::string& source, std::ostream& out,
 }
 
 ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int threads,
-                           const std::string& file) {
+                           const std::string& file, const std::string& objective) {
   ProgramSourceMap smap;
   Program parsed = parse_program(source, &smap);
   if (auto rc = lint_gate(parsed, smap, file, /*json=*/true, "optimize", out)) {
@@ -369,9 +406,35 @@ ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int thr
     return ExitCode::kFailure;
   }
   const LoopNest& nest = program->phase_nest(0);
+  std::optional<ObjectiveSpec> ospec = parse_objective_spec(objective);
+  if (!ospec) {
+    Json doc = Json::object().set(
+        "error", "bad --objective spec '" + objective +
+                     "' (want mws or miss-ratio:<capacity>)");
+    out << json_envelope("optimize", std::move(doc)).dump(2) << '\n';
+    return ExitCode::kUsage;
+  }
   MinimizerOptions opts;
   opts.threads = threads;
-  OptimizeResult res = optimize_locality(nest, opts);
+  TraceArena arena;
+  OptimizeResult res;
+  std::optional<MissRatioPlan> mr;
+  if (ospec->miss_ratio) {
+    mr = optimize_miss_ratio(nest, ospec->capacity, opts, arena);
+    if (!mr) {
+      Json doc = Json::object().set(
+          "error",
+          "miss-ratio objective needs exact re-scoring; iteration volume "
+          "exceeds the verify limit");
+      out << json_envelope("optimize", std::move(doc)).dump(2) << '\n';
+      return ExitCode::kFailure;
+    }
+    res.transform = mr->transform;
+    res.method = mr->method;
+    res.predicted_mws = predicted_mws_after(nest, res.transform);
+  } else {
+    res = optimize_locality(nest, opts);
+  }
 
   Json doc = Json::object();
   // Same certification gate as the runtime's optimize path: record the
@@ -405,7 +468,26 @@ ExitCode cmd_optimize_json(const std::string& source, std::ostream& out, int thr
   }
   doc.set("transform", std::move(rows));
   doc.set("mws_before", simulate(nest).mws_total);
-  doc.set("mws_after", simulate_transformed(nest, res.transform).mws_total);
+  const Int mws_after = simulate_transformed(nest, res.transform).mws_total;
+  doc.set("mws_after", mws_after);
+  // The chosen objective, named and valued, in every optimize document --
+  // miss-ratio runs stay distinguishable from MWS runs.
+  doc.set("objective", ospec->name());
+  if (ospec->miss_ratio) {
+    doc.set("objective_capacity", ospec->capacity);
+    // Re-measure on the final transform so a downgrade reports the shipped
+    // plan's ratio, not the refused one's.
+    const bool ident = res.transform == IntMat::identity(nest.depth());
+    MrcOptions mo;
+    mo.transform = ident ? nullptr : &res.transform;
+    const double after = compute_mrc(nest, mo, arena)
+                             .aggregate.miss_ratio(ospec->capacity);
+    doc.set("objective_value", Json::number(after));
+    doc.set("miss_ratio_before", Json::number(mr->miss_ratio_before));
+    doc.set("miss_ratio_after", Json::number(after));
+  } else {
+    doc.set("objective_value", mws_after);
+  }
   TransformedNest tn(nest, res.transform);
   doc.set("transformed_loop", tn.print());
   try {
@@ -740,6 +822,112 @@ ExitCode cmd_codegen(const std::string& source, const CodegenCliOptions& cli,
   return rc;
 }
 
+ExitCode cmd_mrc(const std::string& source, const MrcCliOptions& cli,
+                 std::ostream& out, const std::string& file) {
+  if (cli.json) {
+    // Route through an AnalysisSession so the payload is byte-identical to
+    // what `lmre batch` and `lmre serve` embed for the same request
+    // (including lint rejections and volume-gate errors).
+    AnalysisRequest::Mrc mopt;
+    mopt.plan = cli.plan;
+    mopt.sample_rate = cli.sample_rate;
+    mopt.capacities = cli.capacities;
+    SessionOptions sopts;
+    sopts.run.threads = cli.threads;
+    AnalysisSession session(sopts);
+    AnalysisResult res =
+        session.run(AnalysisRequest{source, file, std::move(mopt)});
+    out << json_envelope("mrc", Json::raw(res.payload)).dump(2) << '\n';
+    return res.status;
+  }
+
+  ProgramSourceMap smap;
+  Program program = parse_program(source, &smap);
+  if (auto rc = lint_gate(program, smap, file, /*json=*/false, "mrc", out)) {
+    return *rc;
+  }
+  if (program.phase_count() > 1) {
+    out << "mrc works on single-nest sources\n";
+    return ExitCode::kFailure;
+  }
+  const LoopNest& nest = program.phase_nest(0);
+
+  // Resolve the execution order.  MRC measures an order, it does not
+  // certify one -- legality questions belong to `lmre verify`.
+  IntMat transform = IntMat::identity(nest.depth());
+  std::string plan_str = "identity";
+  std::string method;
+  if (cli.plan == "auto") {
+    MinimizerOptions mopts;
+    mopts.threads = cli.threads;
+    OptimizeResult res = optimize_locality(nest, mopts);
+    transform = res.transform;
+    method = res.method;
+    plan_str = transform.str();
+  } else if (!cli.plan.empty()) {
+    std::string perr;
+    std::optional<VerifyPlan> parsed = parse_plan_spec(cli.plan, &perr);
+    if (!parsed) {
+      out << "bad --plan spec: " << perr << '\n';
+      return ExitCode::kUsage;
+    }
+    if (parsed->has_tiling()) {
+      out << "mrc measures unimodular execution orders; tiling chunks are "
+             "not supported\n";
+      return ExitCode::kUsage;
+    }
+    transform = parsed->combined(nest.depth());
+    plan_str = parsed->str();
+  }
+
+  const bool ident = transform == IntMat::identity(nest.depth());
+  MrcOptions mo;
+  mo.transform = ident ? nullptr : &transform;
+  mo.sample_rate = cli.sample_rate;
+  MrcResult m = compute_mrc(nest, mo);
+  std::vector<Int> caps = cli.capacities;
+  if (caps.empty()) caps = default_mrc_capacities(m);
+
+  const bool exact = m.sample_rate >= 1.0;
+  auto weight = [&](double v) {
+    if (exact) return with_commas(static_cast<Int>(std::llround(v)));
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(1) << v;
+    return ss.str();
+  };
+
+  out << "plan: " << plan_str;
+  if (!method.empty()) out << " (method '" << method << "')";
+  out << '\n';
+  if (exact) {
+    out << "mode: exact\n";
+  } else {
+    out << "mode: sampled at rate " << m.sample_rate << " ("
+        << with_commas(m.sampled_elements) << " sampled elements, error bound "
+        << percent(m.error_bound) << ")\n";
+  }
+  out << "accesses: " << weight(m.aggregate.total)
+      << "  cold misses (distinct): " << weight(m.aggregate.cold)
+      << "  knee: " << with_commas(m.knee) << '\n';
+
+  TextTable arrays;
+  arrays.header({"array", "refs", "accesses", "distinct", "knee"});
+  for (const MrcArrayCurve& a : m.arrays) {
+    arrays.row({a.name, with_commas(a.refs), weight(a.hist.total),
+                weight(a.hist.cold), with_commas(a.hist.max_distance())});
+  }
+  out << arrays.render();
+
+  TextTable curve;
+  curve.header({"LRU capacity", "misses", "miss ratio"});
+  for (Int c : caps) {
+    curve.row({with_commas(c), weight(m.aggregate.misses(c)),
+               percent(m.aggregate.miss_ratio(c))});
+  }
+  out << curve.render();
+  return ExitCode::kSuccess;
+}
+
 ExitCode cmd_figure2(std::ostream& out, int threads) {
   MinimizerOptions opts;
   opts.threads = threads;
@@ -936,6 +1124,13 @@ ExitCode cmd_request(const std::string& source, const std::string& file,
   request.set("source", source);
   Json options = Json::object();
   if (!opts.plan.empty()) options.set("plan", opts.plan);
+  if (!opts.objective.empty()) options.set("objective", opts.objective);
+  if (opts.sample_rate > 0) options.set("sample_rate", opts.sample_rate);
+  if (!opts.capacities.empty()) {
+    Json caps = Json::array();
+    for (Int c : opts.capacities) caps.push(c);
+    options.set("capacities", std::move(caps));
+  }
   if (opts.deadline_ms > 0) options.set("deadline_ms", opts.deadline_ms);
   if (options.size() > 0) request.set("options", std::move(options));
 
@@ -1054,8 +1249,12 @@ std::string usage() {
       "                                the bounds N1..Nn (O(1) in the trip\n"
       "                                counts, declines with LMRE-E017\n"
       "                                rather than guessing)\n"
-      "  optimize  [--json] [--threads=N] <file|->\n"
-      "                                window-minimizing transformation\n"
+      "  optimize  [--json] [--threads=N] [--objective=SPEC] <file|->\n"
+      "                                window-minimizing transformation;\n"
+      "                                --objective=miss-ratio:<capacity>\n"
+      "                                re-scores the top candidates by exact\n"
+      "                                LRU miss ratio at that capacity\n"
+      "                                (default SPEC: mws)\n"
       "  lint      [--json] [--strict] [--plan[=\"a b; c d\"]] <file|->\n"
       "                                static diagnostics (check IDs LMRE-*);\n"
       "                                --plan re-certifies a transform plan\n"
@@ -1079,6 +1278,15 @@ std::string usage() {
       "                                bare --plan takes the optimizer's\n"
       "                                (certified) plan, --run compiles\n"
       "                                and executes the check with cc\n"
+      "  mrc       [--json] [--plan[=SPEC]] [--sample-rate=R]\n"
+      "            [--capacities=LIST] <file|->\n"
+      "                                reuse-distance histogram + miss-ratio\n"
+      "                                curve under the given execution order\n"
+      "                                (bare --plan: the optimizer's plan);\n"
+      "                                --sample-rate enables deterministic\n"
+      "                                SHARDS-style spatial sampling with a\n"
+      "                                declared error bound, --capacities\n"
+      "                                picks the curve's evaluation points\n"
       "  batch     [--json] [--threads=N] [--cache-dir=D] [--metrics=FILE]\n"
       "            <dir|files...>      full pipeline over a corpus of .loop\n"
       "                                files with memoized results; --metrics\n"
@@ -1092,10 +1300,13 @@ std::string usage() {
       "                                overloaded), per-request deadlines,\n"
       "                                graceful drain on SIGINT/SIGTERM\n"
       "  request   <socket> <file|-> [--kind=K] [--plan=SPEC]\n"
+      "            [--objective=SPEC] [--sample-rate=R] [--capacities=LIST]\n"
       "            [--deadline=MS] [--id=S] [--raw]\n"
       "                                send one request to a running server;\n"
-      "                                --plan forwards a verify/codegen plan\n"
-      "                                spec, --raw prints just the payload\n"
+      "                                --plan forwards a verify/codegen/mrc\n"
+      "                                plan spec, --objective/--sample-rate/\n"
+      "                                --capacities the optimize and mrc\n"
+      "                                knobs, --raw prints just the payload\n"
       "  version                       schema version + build info\n"
       "  distances <file|->            dependence distance/direction table\n"
       "  misscurve <file|-> [caps...]  exact LRU miss counts by capacity\n"
@@ -1155,6 +1366,26 @@ std::optional<IntMat> parse_plan_matrix(const std::string& text) {
   return m;
 }
 
+// Parses "--capacities=1,64,540" (comma-separated non-negative integers);
+// nullopt on malformed input or an empty list.
+std::optional<std::vector<Int>> parse_capacity_list(const std::string& text) {
+  std::vector<Int> caps;
+  std::istringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    try {
+      size_t pos = 0;
+      long long v = std::stoll(tok, &pos);
+      if (pos != tok.size() || v < 0) return std::nullopt;
+      caps.push_back(static_cast<Int>(v));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (caps.empty()) return std::nullopt;
+  return caps;
+}
+
 }  // namespace
 
 ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -1169,9 +1400,11 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
   bool json = false;
   bool symbolic = false;
   int threads = 1;
+  std::string objective;
   LintCliOptions lint_opts;
   VerifyCliOptions verify_opts;
   CodegenCliOptions codegen_opts;
+  MrcCliOptions mrc_opts;
   BatchCliOptions batch_opts;
   ServeCliOptions serve_opts;
   RequestCliOptions request_opts;
@@ -1284,6 +1517,72 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         return ExitCode::kUsage;
       }
       it = rest.erase(it);
+    } else if (cmd == "optimize" && it->rfind("--objective=", 0) == 0) {
+      objective = it->substr(12);
+      if (!parse_objective_spec(objective)) {
+        err << "bad --objective spec '" << objective
+            << "' (want mws or miss-ratio:<capacity>)\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "mrc" && *it == "--plan") {
+      // Bare --plan means "the optimizer's own plan".
+      mrc_opts.plan = "auto";
+      it = rest.erase(it);
+    } else if (cmd == "mrc" && it->rfind("--plan=", 0) == 0) {
+      mrc_opts.plan = it->substr(7);
+      std::string perr;
+      if (mrc_opts.plan != "auto" &&
+          !parse_plan_spec(mrc_opts.plan, &perr)) {
+        err << "bad --plan spec: " << perr << '\n';
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "mrc" && it->rfind("--sample-rate=", 0) == 0) {
+      try {
+        mrc_opts.sample_rate = std::stod(it->substr(14));
+      } catch (const std::exception&) {
+        err << "bad --sample-rate value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (!(mrc_opts.sample_rate > 0.0) || mrc_opts.sample_rate > 1.0) {
+        err << "--sample-rate must be in (0, 1]\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "mrc" && it->rfind("--capacities=", 0) == 0) {
+      auto caps = parse_capacity_list(it->substr(13));
+      if (!caps) {
+        err << "bad --capacities list: " << it->substr(13)
+            << " (want comma-separated non-negative integers)\n";
+        return ExitCode::kUsage;
+      }
+      mrc_opts.capacities = std::move(*caps);
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--objective=", 0) == 0) {
+      request_opts.objective = it->substr(12);
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--sample-rate=", 0) == 0) {
+      try {
+        request_opts.sample_rate = std::stod(it->substr(14));
+      } catch (const std::exception&) {
+        err << "bad --sample-rate value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (!(request_opts.sample_rate > 0.0) || request_opts.sample_rate > 1.0) {
+        err << "--sample-rate must be in (0, 1]\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--capacities=", 0) == 0) {
+      auto caps = parse_capacity_list(it->substr(13));
+      if (!caps) {
+        err << "bad --capacities list: " << it->substr(13)
+            << " (want comma-separated non-negative integers)\n";
+        return ExitCode::kUsage;
+      }
+      request_opts.capacities = std::move(*caps);
+      it = rest.erase(it);
     } else if (cmd == "codegen" && *it == "--run") {
       codegen_opts.run = true;
       it = rest.erase(it);
@@ -1351,8 +1650,8 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
     return cmd_batch(rest, batch_opts, out, err);
   }
   if (cmd == "analyze" || cmd == "optimize" || cmd == "lint" ||
-      cmd == "verify" || cmd == "codegen" || cmd == "distances" ||
-      cmd == "misscurve" || cmd == "series") {
+      cmd == "verify" || cmd == "codegen" || cmd == "mrc" ||
+      cmd == "distances" || cmd == "misscurve" || cmd == "series") {
     if (rest.empty()) {
       err << usage();
       return ExitCode::kUsage;
@@ -1371,9 +1670,11 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
                     : cmd_analyze(*source, out, file);
       }
       if (cmd == "optimize" && json) {
-        return cmd_optimize_json(*source, out, threads, file);
+        return cmd_optimize_json(*source, out, threads, file, objective);
       }
-      if (cmd == "optimize") return cmd_optimize(*source, out, threads, file);
+      if (cmd == "optimize") {
+        return cmd_optimize(*source, out, threads, file, objective);
+      }
       if (cmd == "lint") return cmd_lint(*source, lint_opts, out, file);
       if (cmd == "verify") {
         verify_opts.json = json;
@@ -1384,6 +1685,11 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         codegen_opts.json = json;
         codegen_opts.threads = threads;
         return cmd_codegen(*source, codegen_opts, out, err, file);
+      }
+      if (cmd == "mrc") {
+        mrc_opts.json = json;
+        mrc_opts.threads = threads;
+        return cmd_mrc(*source, mrc_opts, out, file);
       }
       if (cmd == "distances") return cmd_distances(*source, out);
       if (cmd == "series") return cmd_series(*source, out);

@@ -32,12 +32,16 @@ namespace lmre::tools {
 ExitCode cmd_analyze(const std::string& source, std::ostream& out,
                      const std::string& file = "<input>");
 
-/// `lmre optimize <dsl>`: transformation search, transformed loop,
-/// before/after windows.  Lint-gated like cmd_analyze.  `threads` follows
-/// the RunOptions convention (0 = hardware concurrency, 1 = serial);
-/// results are identical either way.
+/// `lmre optimize [--objective=SPEC] <dsl>`: transformation search,
+/// transformed loop, before/after windows.  Lint-gated like cmd_analyze.
+/// `threads` follows the RunOptions convention (0 = hardware concurrency,
+/// 1 = serial); results are identical either way.  `objective` selects the
+/// search metric: ""/"mws" = the paper's window objective,
+/// "miss-ratio:<capacity>" re-scores the top candidates by exact miss
+/// ratio at that LRU capacity (src/mrc).
 ExitCode cmd_optimize(const std::string& source, std::ostream& out,
-                      int threads = 1, const std::string& file = "<input>");
+                      int threads = 1, const std::string& file = "<input>",
+                      const std::string& objective = {});
 
 /// Options for `lmre lint`, parsed by run_cli.
 struct LintCliOptions {
@@ -90,8 +94,12 @@ ExitCode cmd_symbolic_json(const std::string& source, std::ostream& out,
                            const std::string& file = "<input>");
 
 /// `lmre optimize --json <dsl>`: machine-readable optimization result.
+/// The document always names the chosen objective ("objective",
+/// "objective_value"); miss-ratio runs add "objective_capacity" and the
+/// before/after miss ratios.
 ExitCode cmd_optimize_json(const std::string& source, std::ostream& out,
-                           int threads = 1, const std::string& file = "<input>");
+                           int threads = 1, const std::string& file = "<input>",
+                           const std::string& objective = {});
 
 /// Options for `lmre verify`, parsed by run_cli.
 struct VerifyCliOptions {
@@ -140,6 +148,29 @@ ExitCode cmd_codegen(const std::string& source, const CodegenCliOptions& opts,
                      std::ostream& out, std::ostream& err,
                      const std::string& file = "<input>");
 
+/// Options for `lmre mrc`, parsed by run_cli.
+struct MrcCliOptions {
+  bool json = false;  ///< emit the session's "mrc" payload in the envelope
+  /// --plan[=SPEC]: execution order to measure.  "" = the identity order,
+  /// "auto" (bare --plan) = the plan `lmre optimize` emits, anything else
+  /// = a verify-grammar spec (unimodular steps only; tiling is rejected).
+  std::string plan;
+  double sample_rate = 1.0;     ///< --sample-rate=R in (0, 1]; 1 = exact
+  std::vector<Int> capacities;  ///< --capacities=LIST; empty = auto sweep
+  int threads = 1;              ///< auto-plan optimizer workers
+};
+
+/// `lmre mrc [--json] [--plan[=SPEC]] [--sample-rate=R] [--capacities=LIST]
+/// <file|->`: reuse-distance histogram and miss-ratio curve (src/mrc) for
+/// the nest under the given execution order -- exact, or SHARDS-sampled at
+/// `--sample-rate` with a declared error bound.  Text mode renders the
+/// curve as a table; --json routes through an AnalysisSession so the
+/// payload is byte-identical to what batch/serve embed for the same
+/// request.  kUsage on a malformed plan/rate/capacity, kFailure when the
+/// trace volume exceeds the verify limit (JSON mode).
+ExitCode cmd_mrc(const std::string& source, const MrcCliOptions& opts,
+                 std::ostream& out, const std::string& file = "<input>");
+
 /// `lmre figure2`: the paper's main table.
 ExitCode cmd_figure2(std::ostream& out, int threads = 1);
 
@@ -185,8 +216,11 @@ ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
 struct RequestCliOptions {
   std::string socket;       ///< Unix-domain socket of a running server
   std::string kind = "full";///< --kind=K, any name in kAnalysisKinds
-  std::string plan;         ///< --plan=SPEC (verify: "" = audit; codegen:
-                            ///< "" = identity, "auto" = optimizer's plan)
+  std::string plan;         ///< --plan=SPEC (verify: "" = audit; codegen/
+                            ///< mrc: "" = identity, "auto" = optimizer's)
+  std::string objective;    ///< --objective=SPEC (optimize; "" = omit)
+  double sample_rate = 0;   ///< --sample-rate=R (mrc; 0 = omit)
+  std::vector<Int> capacities;  ///< --capacities=LIST (mrc; empty = omit)
   double deadline_ms = 0;   ///< --deadline=MS (0 = none)
   std::string id;           ///< --id=S (defaults to the file name)
   bool raw = false;         ///< --raw: print only the result payload
