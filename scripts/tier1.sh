@@ -2,7 +2,9 @@
 # Tier-1 gate: the standard build + full ctest run, a static-analysis
 # stage (clang-tidy when available + -Werror strict rebuild with a verify
 # smoke), a batch smoke, a serve smoke (socket round trips byte-identical
-# to batch, overload shedding, graceful SIGTERM drain), then two
+# to batch, overload shedding, single-flight coalescing, graceful SIGTERM
+# drain), a serve-load smoke (CLI TCP round trip byte-identical to the
+# Unix transport + the bench_server --check load-harness gate), then two
 # sanitizer passes --
 # ThreadSanitizer over the parallel-search + shared-cache/server suites
 # and ASan+UBSan over the parser / lint / CLI suites (the layers that
@@ -98,20 +100,69 @@ grep -q '"serve.completed": 2' "$BATCH_CACHE/serve_metrics.json" \
   || { echo "FAIL: serve metrics snapshot missing request counts"; exit 1; }
 grep -q '"serve.latency_ms"' "$BATCH_CACHE/serve_metrics.json" \
   || { echo "FAIL: serve metrics snapshot lacks the latency histogram"; exit 1; }
-# Overload probe: one worker, queue depth 1, three back-to-back requests
-# over stdio.  The single worker holds the first (heavy) request while the
-# later lines arrive, so the bounded queue must shed at least one of them
-# with "overloaded" -- and every line still gets a response.
+# Overload probe: one worker, queue depth 1, three back-to-back identical
+# requests over stdio with coalescing disabled.  The single worker holds
+# the first (heavy) request while the later lines arrive, so the bounded
+# queue must shed at least one of them with "overloaded" -- and every line
+# still gets a response.
 OVERLOAD_OUT="$BATCH_CACHE/serve_overload.out"
 OVERLOAD_SRC="$(grep -v '^#' examples/loops/matmult.loop | tr '\n' ' ')"
 { for i in 1 2 3; do
     printf '{"id":%d,"source":"%s"}\n' "$i" "$OVERLOAD_SRC"
   done
-} | ./build/tools/lmre serve --stdio --workers=1 --queue=1 > "$OVERLOAD_OUT"
+} | ./build/tools/lmre serve --stdio --workers=1 --queue-depth=1 \
+  --no-coalesce > "$OVERLOAD_OUT"
 [ "$(wc -l < "$OVERLOAD_OUT")" -eq 3 ] \
   || { echo "FAIL: stdio serve did not answer every request line"; exit 1; }
 grep -q '"overloaded"' "$OVERLOAD_OUT" \
   || { echo "FAIL: full queue did not shed with an overloaded response"; exit 1; }
+# The same three identical lines WITH coalescing (the default): the queue
+# never fills because duplicates park on the in-flight computation, so all
+# three answer successfully and the snapshot counts two coalesced fans.
+COALESCE_OUT="$BATCH_CACHE/serve_coalesce.out"
+{ for i in 1 2 3; do
+    printf '{"id":%d,"source":"%s"}\n' "$i" "$OVERLOAD_SRC"
+  done
+} | ./build/tools/lmre serve --stdio --workers=1 --queue-depth=1 \
+  --metrics="$BATCH_CACHE/serve_coalesce_metrics.json" > "$COALESCE_OUT"
+[ "$(wc -l < "$COALESCE_OUT")" -eq 3 ] \
+  || { echo "FAIL: coalescing stdio serve did not answer every line"; exit 1; }
+grep -q '"overloaded"' "$COALESCE_OUT" \
+  && { echo "FAIL: coalescing serve shed an identical duplicate"; exit 1; }
+grep -q '"serve.coalesced": 2' "$BATCH_CACHE/serve_coalesce_metrics.json" \
+  || { echo "FAIL: metrics snapshot did not count 2 coalesced responses"; exit 1; }
+
+echo "== tier 1: serve-load smoke (TCP transport + load harness gate) =="
+# CLI TCP round trip: an ephemeral port announced on stdout, one request
+# over --tcp whose payload must be byte-identical to the Unix-socket
+# payload above, SIGTERM drain, and the metrics snapshot carrying the TCP
+# connection gauges and the shard configuration.
+TCP_OUT="$BATCH_CACHE/serve_tcp.out"
+./build/tools/lmre serve --tcp=127.0.0.1:0 --workers=2 --cache-shards=4 \
+  --metrics="$BATCH_CACHE/serve_tcp_metrics.json" > "$TCP_OUT" &
+TCP_PID=$!
+for _ in $(seq 50); do grep -q 'listening on' "$TCP_OUT" 2>/dev/null && break; sleep 0.1; done
+TCP_PORT="$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$TCP_OUT")"
+[ -n "$TCP_PORT" ] \
+  || { echo "FAIL: serve --tcp never announced its port"; exit 1; }
+./build/tools/lmre request --tcp=127.0.0.1:"$TCP_PORT" --raw \
+  examples/loops/fir.loop > "$BATCH_CACHE/tcp_cold.json"
+cmp "$BATCH_CACHE/tcp_cold.json" "$BATCH_CACHE/serve_cold.json" \
+  || { echo "FAIL: TCP serve payload differs from the Unix-socket payload"; exit 1; }
+kill -TERM "$TCP_PID"
+wait "$TCP_PID" \
+  || { echo "FAIL: serve --tcp did not exit 0 on SIGTERM"; exit 1; }
+grep -q '"serve.tcp_conns_opened": 1' "$BATCH_CACHE/serve_tcp_metrics.json" \
+  || { echo "FAIL: TCP metrics snapshot missing the connection gauges"; exit 1; }
+grep -q '"cache.shards": 4' "$BATCH_CACHE/serve_tcp_metrics.json" \
+  || { echo "FAIL: metrics snapshot missing the cache shard config"; exit 1; }
+# Load-harness regression gate at reduced scale: sharded-cache replay,
+# a 200-connection TCP storm over mixed request kinds, the single-flight
+# exactly-one-computation proof, and the overload shed demo.  Runs in the
+# temp dir so its check-mode BENCH_server.json never clobbers the full-run
+# snapshot at the repo root.
+(cd "$BATCH_CACHE" && exec "$OLDPWD/build/bench/bench_server" --check) \
+  || { echo "FAIL: bench_server --check load gate"; exit 1; }
 
 echo "== tier 1: ThreadSanitizer pass over the parallel suites =="
 cmake -B build-tsan -S . -DLMRE_SANITIZE=thread >/dev/null

@@ -1,5 +1,6 @@
 #include "runtime/cache.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <filesystem>
@@ -20,14 +21,49 @@ std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
   return h;
 }
 
+namespace {
+
+ResultCacheConfig normalized(ResultCacheConfig config) {
+  if (config.capacity == 0) config.capacity = 1;
+  if (config.shards == 0) config.shards = 1;
+  if (config.shards > 256) config.shards = 256;
+  // Power-of-two shard count: shard selection is a mask over the FNV-1a
+  // key, so every key maps without a division.
+  size_t pow2 = 1;
+  while (pow2 < config.shards) pow2 <<= 1;
+  config.shards = pow2;
+  if (config.ttl_seconds < 0) config.ttl_seconds = 0;
+  return config;
+}
+
+}  // namespace
+
 ResultCache::ResultCache(size_t capacity, std::string disk_dir)
-    : capacity_(capacity == 0 ? 1 : capacity), dir_(std::move(disk_dir)) {}
+    : ResultCache(ResultCacheConfig{capacity, std::move(disk_dir)}) {}
+
+ResultCache::ResultCache(ResultCacheConfig config)
+    : config_(normalized(std::move(config))) {
+  shards_.reserve(config_.shards);
+  const size_t base = config_.capacity / config_.shards;
+  const size_t extra = config_.capacity % config_.shards;
+  const size_t byte_base = config_.byte_budget / config_.shards;
+  for (size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    if (shard->capacity == 0) shard->capacity = 1;
+    shard->byte_budget = config_.byte_budget == 0 ? 0 : byte_base;
+    if (config_.byte_budget != 0 && shard->byte_budget == 0) {
+      shard->byte_budget = 1;  // a degenerate budget still bounds, never frees
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
 
 std::string ResultCache::disk_path(std::uint64_t key) const {
   char name[32];
   std::snprintf(name, sizeof name, "%016llx.lmre",
                 static_cast<unsigned long long>(key));
-  return dir_ + "/" + name;
+  return config_.disk_dir + "/" + name;
 }
 
 namespace {
@@ -51,8 +87,25 @@ std::optional<int> parse_cache_header(const std::string& header) {
 
 }  // namespace
 
-std::optional<CachedEntry> ResultCache::disk_load(std::uint64_t key) const {
-  std::ifstream in(disk_path(key), std::ios::binary);
+std::optional<CachedEntry> ResultCache::disk_load(std::uint64_t key,
+                                                  Shard& shard) const {
+  const std::string path = disk_path(key);
+  if (config_.ttl_seconds > 0) {
+    // The disk layer expires by file mtime (rewritten on every put), so a
+    // TTL bounds staleness across both layers, not just memory.
+    std::error_code ec;
+    auto mtime = std::filesystem::last_write_time(path, ec);
+    if (!ec) {
+      auto age = std::filesystem::file_time_type::clock::now() - mtime;
+      if (std::chrono::duration<double>(age).count() > config_.ttl_seconds) {
+        std::filesystem::remove(path, ec);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.expired += 1;
+        return std::nullopt;
+      }
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::string header;
   if (!std::getline(in, header)) return std::nullopt;
@@ -68,7 +121,7 @@ std::optional<CachedEntry> ResultCache::disk_load(std::uint64_t key) const {
 
 void ResultCache::disk_store(std::uint64_t key, const CachedEntry& entry) {
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
+  std::filesystem::create_directories(config_.disk_dir, ec);
   if (ec) return;  // best effort: no disk layer is never fatal
   // Unique temp name per writer thread, then atomic rename: a reader only
   // ever sees complete files, and same-key racers both leave a valid one.
@@ -85,78 +138,171 @@ void ResultCache::disk_store(std::uint64_t key, const CachedEntry& entry) {
   if (ec) std::filesystem::remove(tmp.str(), ec);
 }
 
+bool ResultCache::expired_locked(const Shard&, const Stored& stored) const {
+  if (config_.ttl_seconds <= 0) return false;
+  auto age = std::chrono::steady_clock::now() - stored.inserted;
+  return std::chrono::duration<double>(age).count() > config_.ttl_seconds;
+}
+
+void ResultCache::erase_locked(
+    Shard& shard,
+    std::unordered_map<std::uint64_t, LruList::iterator>::iterator it) {
+  shard.bytes -= it->second->second.entry.payload.size();
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
 std::optional<CachedEntry> ResultCache::get(std::uint64_t key) {
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-      hits_ += 1;
-      return it->second->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (expired_locked(shard, it->second->second)) {
+        // Past the TTL: drop the resident copy and fall through to the
+        // disk probe / miss path below.
+        erase_locked(shard, it);
+        shard.expired += 1;
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        shard.hits += 1;
+        return it->second->second.entry;
+      }
     }
   }
-  if (!dir_.empty()) {
+  if (!config_.disk_dir.empty()) {
     // Disk probe outside the lock: file IO must not serialize the pool.
-    if (std::optional<CachedEntry> entry = disk_load(key)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (index_.find(key) == index_.end()) insert_locked(key, *entry);
-      hits_ += 1;
-      disk_hits_ += 1;
+    if (std::optional<CachedEntry> entry = disk_load(key, shard)) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.index.find(key) == shard.index.end()) {
+        insert_locked(shard, key, *entry);
+      }
+      shard.hits += 1;
+      shard.disk_hits += 1;
       return entry;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  misses_ += 1;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.misses += 1;
   return std::nullopt;
 }
 
-void ResultCache::insert_locked(std::uint64_t key, CachedEntry entry) {
-  lru_.emplace_front(key, std::move(entry));
-  index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    evictions_ += 1;
+void ResultCache::insert_locked(Shard& shard, std::uint64_t key,
+                                CachedEntry entry) {
+  const size_t entry_bytes = entry.payload.size();
+  if (shard.byte_budget != 0 && entry_bytes > shard.byte_budget) {
+    // Admission policy: an entry that alone exceeds the shard's whole
+    // byte slice would evict everything and still not fit durably.
+    shard.admission_rejects += 1;
+    return;
+  }
+  shard.lru.emplace_front(
+      key, Stored{std::move(entry), std::chrono::steady_clock::now()});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += entry_bytes;
+  while (shard.lru.size() > shard.capacity ||
+         (shard.byte_budget != 0 && shard.bytes > shard.byte_budget)) {
+    shard.bytes -= shard.lru.back().second.entry.payload.size();
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    shard.evictions += 1;
   }
 }
 
 void ResultCache::put(std::uint64_t key, CachedEntry entry) {
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->second = entry;
-      lru_.splice(lru_.begin(), lru_, it->second);
-    } else {
-      insert_locked(key, entry);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh: same key, possibly different bytes (and a fresh TTL
+      // clock); re-run the policy through a clean re-insert.
+      erase_locked(shard, it);
     }
+    insert_locked(shard, key, entry);
   }
-  if (!dir_.empty()) disk_store(key, entry);
+  if (!config_.disk_dir.empty()) disk_store(key, entry);
 }
 
 Int ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  Int total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->hits;
+  }
+  return total;
 }
 
 Int ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  Int total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->misses;
+  }
+  return total;
 }
 
 Int ResultCache::disk_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return disk_hits_;
+  Int total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->disk_hits;
+  }
+  return total;
 }
 
 Int ResultCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return evictions_;
+  Int total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->evictions;
+  }
+  return total;
+}
+
+Int ResultCache::expired() const {
+  Int total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->expired;
+  }
+  return total;
+}
+
+Int ResultCache::admission_rejects() const {
+  Int total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->admission_rejects;
+  }
+  return total;
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->bytes;
+  }
+  return total;
+}
+
+size_t ResultCache::shard_entries_max() const {
+  size_t worst = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    worst = std::max(worst, s->lru.size());
+  }
+  return worst;
 }
 
 }  // namespace lmre

@@ -195,7 +195,7 @@ AnalysisSession::AnalysisSession(SessionOptions opts,
       cache_(std::move(cache)),
       metrics_(std::move(metrics)) {
   if (!cache_) {
-    cache_ = std::make_shared<ResultCache>(opts_.cache_capacity, opts_.cache_dir);
+    cache_ = std::make_shared<ResultCache>(opts_.cache_config());
   }
   if (!metrics_) metrics_ = std::make_shared<Metrics>();
 }
@@ -800,17 +800,31 @@ std::vector<AnalysisResult> AnalysisSession::run_batch(
       [&](Int i) { return run_with_threads(requests[static_cast<size_t>(i)], 1); });
 }
 
+void export_cache_gauges(Metrics& metrics, const ResultCache& cache) {
+  const Int hits = cache.hits(), misses = cache.misses();
+  metrics.gauge("cache.hits", static_cast<double>(hits));
+  metrics.gauge("cache.misses", static_cast<double>(misses));
+  metrics.gauge("cache.disk_hits", static_cast<double>(cache.disk_hits()));
+  metrics.gauge("cache.evictions", static_cast<double>(cache.evictions()));
+  metrics.gauge("cache.size", static_cast<double>(cache.size()));
+  metrics.gauge("cache.hit_rate",
+                hits + misses == 0
+                    ? 0.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(hits + misses));
+  // Shard-policy aggregates (one-shard caches report them too: shards=1,
+  // zero expiries/rejects -- the snapshot shape never depends on policy).
+  metrics.gauge("cache.shards", static_cast<double>(cache.shard_count()));
+  metrics.gauge("cache.bytes", static_cast<double>(cache.bytes()));
+  metrics.gauge("cache.expired", static_cast<double>(cache.expired()));
+  metrics.gauge("cache.admission_rejects",
+                static_cast<double>(cache.admission_rejects()));
+  metrics.gauge("cache.shard_entries_max",
+                static_cast<double>(cache.shard_entries_max()));
+}
+
 Json AnalysisSession::metrics_json() {
-  const Int hits = cache_->hits(), misses = cache_->misses();
-  metrics_->gauge("cache.hits", static_cast<double>(hits));
-  metrics_->gauge("cache.misses", static_cast<double>(misses));
-  metrics_->gauge("cache.disk_hits", static_cast<double>(cache_->disk_hits()));
-  metrics_->gauge("cache.evictions", static_cast<double>(cache_->evictions()));
-  metrics_->gauge("cache.size", static_cast<double>(cache_->size()));
-  metrics_->gauge("cache.hit_rate",
-                 hits + misses == 0
-                     ? 0.0
-                     : static_cast<double>(hits) / static_cast<double>(hits + misses));
+  export_cache_gauges(*metrics_, *cache_);
   return metrics_->to_json();
 }
 

@@ -197,8 +197,17 @@ struct AnalysisResult {
 
 struct SessionOptions {
   RunOptions run;              ///< threads / verify_limit / strict
-  size_t cache_capacity = 256; ///< in-memory LRU entries
+  size_t cache_capacity = 256; ///< in-memory LRU entries (across shards)
   std::string cache_dir;       ///< on-disk store; "" = memory only
+  size_t cache_shards = 1;     ///< independently-locked cache shards
+  double cache_ttl_seconds = 0;///< > 0: cached results expire after this
+  size_t cache_byte_budget = 0;///< > 0: payload-byte cap across shards
+
+  /// The residency policy these options describe (see runtime/cache.h).
+  ResultCacheConfig cache_config() const {
+    return ResultCacheConfig{cache_capacity, cache_dir, cache_shards,
+                             cache_ttl_seconds, cache_byte_budget};
+  }
 };
 
 class AnalysisSession {
@@ -242,7 +251,8 @@ class AnalysisSession {
 
   /// Metrics snapshot with the cache counters folded in as gauges
   /// (cache.hits, cache.misses, cache.disk_hits, cache.evictions,
-  /// cache.size, cache.hit_rate).
+  /// cache.size, cache.hit_rate, plus the shard-policy aggregates
+  /// cache.shards/bytes/expired/admission_rejects/shard_entries_max).
   Json metrics_json();
 
  private:
@@ -254,5 +264,10 @@ class AnalysisSession {
   std::shared_ptr<ResultCache> cache_;
   std::shared_ptr<Metrics> metrics_;
 };
+
+/// Folds the cache counters and shard-policy aggregates into `metrics` as
+/// gauges -- the shared shape behind AnalysisSession::metrics_json and the
+/// serve snapshot.
+void export_cache_gauges(Metrics& metrics, const ResultCache& cache);
 
 }  // namespace lmre

@@ -1,0 +1,72 @@
+#pragma once
+
+// Single-flight request coalescing for the serve pool.
+//
+// Concurrent misses on one cache key should compute once: the first
+// admission with a given key becomes the *leader* and is queued for a
+// worker; every later admission while that flight is open becomes a
+// *waiter* -- parked here, never queued, never probing the cache or a
+// session.  When the leader's worker finishes it closes the flight and
+// fans the one serialized result out to leader and waiters alike, so the
+// byte-identical-payload contract holds trivially: all M responses splice
+// the same payload text.
+//
+// Registering at admission (rather than at the worker, after a cache
+// miss) makes "M concurrent identical cold requests -> exactly one
+// runs.total" deterministic: the flight exists from the moment the leader
+// is admitted until its worker responds, so any request admitted in that
+// window attaches -- there is no race where a second copy slips into the
+// queue between the leader's pop and its cache insert.  Waiters also cost
+// no queue slots, so a thundering herd on one key cannot shed unrelated
+// work.
+//
+// The template is generic over the parked job type so tests can stress
+// the flight table without dragging in the server.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lmre {
+
+template <typename Job>
+class SingleFlight {
+ public:
+  /// Registers `key`.  Returns true when the caller is the leader (keep
+  /// the job, queue it); returns false when a flight is already open --
+  /// `*job` has been moved into the flight's waiter list and the caller
+  /// must NOT queue or answer it.
+  bool lead_or_wait(std::uint64_t key, Job* job) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = flights_.try_emplace(key);
+    if (inserted) return true;
+    it->second.push_back(std::move(*job));
+    return false;
+  }
+
+  /// Closes the flight and returns the parked waiters (possibly empty).
+  /// The caller (the leader's worker, or the leader's admitter when
+  /// queueing failed) answers every one of them with the same result.
+  std::vector<Job> finish(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return {};
+    std::vector<Job> waiters = std::move(it->second);
+    flights_.erase(it);
+    return waiters;
+  }
+
+  /// Open flights right now (leaders whose workers have not finished).
+  size_t open() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flights_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Job>> flights_;
+};
+
+}  // namespace lmre

@@ -6,11 +6,16 @@
 // own AnalysisSession over ONE shared ResultCache and ONE shared Metrics
 // registry -- so every client warms the cache for every other client, and
 // one snapshot describes the whole process.  Requests arrive as
-// newline-delimited JSON (server/wire.h) over either transport:
+// newline-delimited JSON (server/wire.h) over any transport:
 //
+//  * serve_tcp(host, port): a TCP listener driven by a poll-based event
+//    loop (server/epoll_loop.h) -- one thread owns every socket, workers
+//    only ever append response bytes to per-connection buffers, so dead
+//    clients and slow readers cost the loop an errno, never a worker,
 //  * serve_socket(path): a Unix-domain stream socket; each accepted
-//    connection gets a reader thread, responses go back over the same
-//    connection (interleaved across requests, correlated by id), and
+//    connection gets a reader thread (joined as soon as its client goes
+//    away, not at shutdown), responses go back over the same connection
+//    (interleaved across requests, correlated by id), and
 //  * serve_streams(in, out): stdin/stdout framing for tests and scripts.
 //
 // Admission control: a BoundedQueue between the readers and the pool.  A
@@ -21,10 +26,17 @@
 // deadline passed during computation; computation is never preempted
 // mid-stage, and a late result is still cached for the next client.
 //
+// Single-flight coalescing (server/coalesce.h, on by default): while a
+// request for key K is queued or computing, any further request hashing
+// to K parks as a waiter instead of being queued.  The one computation's
+// serialized result answers the whole group, so a thundering herd of
+// identical cold requests costs one `runs.total`, one queue slot, and M
+// byte-identical response lines.
+//
 // Shutdown: request_stop() is async-signal-safe (one atomic store).  The
-// accept loop notices within its poll interval, stops admitting, wakes the
-// connection readers, drains in-flight work, flushes metrics, and exits
-// cleanly -- every admitted request gets a response.
+// transport loop notices within its poll interval, stops admitting, wakes
+// the connection readers, drains in-flight work, flushes metrics, and
+// exits cleanly -- every admitted request gets a response.
 //
 // The determinism contract extends to the wire: a serve response's result
 // payload is byte-identical to what `lmre batch` embeds for the same
@@ -33,6 +45,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -40,6 +53,7 @@
 #include <vector>
 
 #include "runtime/session.h"
+#include "server/coalesce.h"
 #include "server/queue.h"
 #include "server/wire.h"
 #include "support/error.h"
@@ -48,10 +62,11 @@
 namespace lmre {
 
 struct ServerOptions {
-  int workers = 1;          ///< pool size (>= 1 enforced)
-  size_t queue_depth = 16;  ///< bounded backlog (>= 1 enforced)
-  SessionOptions session;   ///< cache capacity/dir + run options
-  std::string metrics_file; ///< snapshot written on drain; "" = none
+  int workers = 1;           ///< pool size (>= 1 enforced)
+  size_t queue_depth = 256;  ///< bounded backlog (>= 1 enforced)
+  bool coalesce = true;      ///< single-flight identical-request coalescing
+  SessionOptions session;    ///< cache policy + run options
+  std::string metrics_file;  ///< snapshot written on drain; "" = none
 };
 
 /// Where a response line goes (one per client connection / stream).
@@ -83,9 +98,21 @@ class AnalysisServer {
   /// kFailure when the socket cannot be created/bound.
   ExitCode serve_socket(const std::string& path);
 
-  /// Parses, admits, or sheds one request line; any immediate error
-  /// (bad_request / overloaded) is written to `sink` before returning.
-  /// Exposed for tests; transports call this per line.
+  /// TCP transport: binds host:port (port 0 = kernel-assigned; see
+  /// tcp_port()) and runs the poll-based event loop on the calling thread
+  /// until request_stop(), then drains and flushes every buffered
+  /// response before returning.  kFailure when binding fails (reason in
+  /// *error when given).
+  ExitCode serve_tcp(const std::string& host, int port,
+                     std::string* error = nullptr);
+
+  /// The port serve_tcp actually bound, or -1 before binding.  Readable
+  /// from other threads (tests bind port 0 and discover the port here).
+  int tcp_port() const { return tcp_port_.load(std::memory_order_acquire); }
+
+  /// Parses, admits, coalesces, or sheds one request line; any immediate
+  /// error (bad_request / overloaded) is written to `sink` before
+  /// returning.  Exposed for tests; transports call this per line.
   void admit_line(const std::string& line,
                   const std::shared_ptr<ResponseSink>& sink);
 
@@ -115,6 +142,7 @@ class AnalysisServer {
   struct Job {
     ServerRequest request;
     std::shared_ptr<ResponseSink> sink;
+    std::uint64_t key = 0;  ///< content hash; the coalescing identity
     std::chrono::steady_clock::time_point admitted;
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
@@ -122,14 +150,21 @@ class AnalysisServer {
 
   void worker_loop(AnalysisSession& session);
   void respond(const Job& job, const std::string& line);
+  /// Deadline-checks, records latency/counters, and writes the response
+  /// for one member of a result group (`coalesced` marks waiters).
+  void respond_result(const Job& job, const AnalysisResult& result,
+                      bool coalesced);
+  void write_metrics_file();
 
   ServerOptions opts_;
   std::shared_ptr<ResultCache> cache_;
   std::shared_ptr<Metrics> metrics_;
   std::vector<std::unique_ptr<AnalysisSession>> sessions_;
   BoundedQueue<Job> queue_;
+  SingleFlight<Job> flights_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_{false};
+  std::atomic<int> tcp_port_{-1};
   std::atomic<size_t> queue_peak_{0};  ///< high-water mark of queued jobs
   bool drained_ = false;
   std::mutex drain_mu_;  ///< serializes drain() callers

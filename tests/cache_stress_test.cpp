@@ -1,7 +1,9 @@
-// Concurrency stress for the shared ResultCache (satellite of the serve
-// subsystem): many threads hammering overlapping keys through one cache
-// with a live disk layer.  Designed to run under TSan (scripts/tier1.sh
-// stage 3) to catch torn reads and counter races.
+// Concurrency stress for the shared ResultCache and the serve pool's
+// single-flight table (satellites of the serve subsystem): many threads
+// hammering overlapping keys through one cache with a live disk layer,
+// the same traffic through a sharded/TTL/byte-budget configuration, and
+// racing leaders on a SingleFlight.  Designed to run under TSan
+// (scripts/tier1.sh TSan stage) to catch torn reads and counter races.
 //
 // Invariants checked:
 //  * a get() either misses or returns a COMPLETE entry -- the payload is
@@ -9,16 +11,20 @@
 //    two writers (each key has exactly one canonical value, so any
 //    deviation is a torn read);
 //  * hits() + misses() == total get() probes, exactly, across all threads;
-//  * the in-memory layer never exceeds its capacity.
+//  * the in-memory layer never exceeds its capacity (entries or bytes);
+//  * for every key, concurrent lead_or_wait races elect EXACTLY one
+//    leader, and finish() hands that leader every parked waiter.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/cache.h"
+#include "server/coalesce.h"
 
 namespace lmre {
 namespace {
@@ -91,6 +97,104 @@ TEST(ResultCacheStress, OverlappingKeysAcrossThreadsWithDiskLayer) {
     EXPECT_EQ(entry->status, status_for(key));
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheStress, ShardedConfigKeepsInvariantsUnderContention) {
+  // The same overlapping-key traffic through the fleet configuration:
+  // many shards, a TTL that never fires inside the test, and a byte
+  // budget tight enough to force byte-driven evictions.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+  constexpr std::uint64_t kKeys = 64;
+
+  ResultCacheConfig cfg;
+  cfg.capacity = 48;
+  cfg.shards = 8;
+  cfg.ttl_seconds = 3600.0;       // armed, but nothing expires mid-test
+  cfg.byte_budget = 48 * 200;     // ~half the working set's bytes
+  ResultCache cache(cfg);
+  ASSERT_EQ(cache.shard_count(), 8u);
+
+  std::vector<long> probes(kThreads, 0);
+  std::vector<int> torn(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(r) * (2 * t + 1) + t) % kKeys;
+        if (auto entry = cache.get(key)) {
+          if (entry->payload != value_for(key) ||
+              entry->status != status_for(key)) {
+            torn[t] += 1;
+          }
+        } else {
+          cache.put(key, {status_for(key), value_for(key)});
+        }
+        probes[t] += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  long total_probes = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_probes += probes[t];
+    EXPECT_EQ(torn[t], 0) << "thread " << t << " saw torn/corrupt entries";
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), total_probes);
+  EXPECT_EQ(cache.expired(), 0);  // the armed TTL never fired
+  EXPECT_LE(cache.size(), cfg.capacity);
+  EXPECT_LE(cache.bytes(), cfg.byte_budget);
+  EXPECT_LE(cache.shard_entries_max(), cfg.capacity / cfg.shards);
+  EXPECT_GT(cache.evictions(), 0);  // the budget actually pushed back
+}
+
+TEST(SingleFlightStress, ExactlyOneLeaderPerKeyAndNoLostWaiters) {
+  // kThreads threads race lead_or_wait on every key; exactly one thread
+  // per key may win leadership, and its finish() must recover all
+  // kThreads - 1 parked jobs.  Leaders spin until every racer for the
+  // key has registered, mimicking a worker that computes while waiters
+  // pile onto the flight.
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+
+  SingleFlight<int> flights;
+  std::vector<std::atomic<int>> leaders(kKeys);
+  std::vector<std::atomic<int>> arrivals(kKeys);
+  std::vector<std::atomic<int>> recovered(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    leaders[k] = 0;
+    arrivals[k] = 0;
+    recovered[k] = 0;
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kKeys; ++k) {
+        int job = t;
+        bool leader = flights.lead_or_wait(static_cast<std::uint64_t>(k), &job);
+        arrivals[k].fetch_add(1);
+        if (!leader) continue;  // parked: the leader answers for us
+        leaders[k].fetch_add(1);
+        // "Compute" until every thread has arrived at this key, so the
+        // flight provably collects all kThreads - 1 waiters.
+        while (arrivals[k].load() < kThreads) std::this_thread::yield();
+        std::vector<int> waiters =
+            flights.finish(static_cast<std::uint64_t>(k));
+        recovered[k].fetch_add(static_cast<int>(waiters.size()));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(leaders[k].load(), 1) << "key " << k << " elected != 1 leader";
+    EXPECT_EQ(recovered[k].load(), kThreads - 1)
+        << "key " << k << " lost waiters";
+  }
+  EXPECT_EQ(flights.open(), 0u);
 }
 
 }  // namespace

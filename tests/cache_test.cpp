@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "cachesim/cache.h"
 #include "codes/examples.h"
@@ -137,6 +139,119 @@ TEST(ResultCacheDisk, PutProducesStrictlyParseableFiles) {
   EXPECT_EQ(entry->payload, "payload with\nnewlines");
   EXPECT_EQ(reader.disk_hits(), 1);
   std::filesystem::remove_all(dir);
+}
+
+// ---- ResultCache residency policy (shards / TTL / byte budget) -------------
+
+std::string payload_of(size_t bytes) { return std::string(bytes, 'p'); }
+
+TEST(ResultCachePolicy, CompatCtorIsSingleShardWithNoExpiry) {
+  ResultCache c(8);
+  EXPECT_EQ(c.shard_count(), 1u);
+  EXPECT_EQ(c.config().capacity, 8u);
+  EXPECT_DOUBLE_EQ(c.config().ttl_seconds, 0.0);
+  EXPECT_EQ(c.config().byte_budget, 0u);
+}
+
+TEST(ResultCachePolicy, ShardCountRoundsUpToPowerOfTwoAndClamps) {
+  ResultCacheConfig cfg;
+  cfg.shards = 6;
+  EXPECT_EQ(ResultCache(cfg).shard_count(), 8u);
+  cfg.shards = 0;
+  EXPECT_EQ(ResultCache(cfg).shard_count(), 1u);
+  cfg.shards = 1000;
+  EXPECT_EQ(ResultCache(cfg).shard_count(), 256u);
+}
+
+TEST(ResultCachePolicy, ShardsPartitionKeysByLowBits) {
+  ResultCacheConfig cfg;
+  cfg.capacity = 64;
+  cfg.shards = 4;
+  ResultCache c(cfg);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    c.put(key, {0, payload_of(8)});
+  }
+  // Sequential keys land round-robin on the 4 shards: 16 entries each, no
+  // shard over its 16-entry slice, nothing evicted.
+  EXPECT_EQ(c.size(), 64u);
+  EXPECT_EQ(c.evictions(), 0);
+  EXPECT_EQ(c.shard_entries_max(), 16u);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_TRUE(c.get(key).has_value()) << "key " << key;
+  }
+}
+
+TEST(ResultCachePolicy, PerShardCapacityEvictsLruWithinTheShard) {
+  ResultCacheConfig cfg;
+  cfg.capacity = 4;  // 2 shards x 2 entries
+  cfg.shards = 2;
+  ResultCache c(cfg);
+  // Keys 0,2,4 all hash to shard 0 (low bit clear): the third insert
+  // evicts that shard's LRU tail even though the cache as a whole has
+  // room elsewhere.
+  c.put(0, {0, "a"});
+  c.put(2, {0, "b"});
+  c.put(4, {0, "c"});
+  EXPECT_EQ(c.evictions(), 1);
+  EXPECT_FALSE(c.get(0).has_value());  // shard-0 LRU victim
+  EXPECT_TRUE(c.get(2).has_value());
+  EXPECT_TRUE(c.get(4).has_value());
+}
+
+TEST(ResultCachePolicy, ByteBudgetEvictsOldestAndRejectsOversized) {
+  ResultCacheConfig cfg;
+  cfg.capacity = 100;
+  cfg.byte_budget = 100;
+  ResultCache c(cfg);
+  c.put(1, {0, payload_of(60)});
+  EXPECT_EQ(c.bytes(), 60u);
+  c.put(2, {0, payload_of(60)});  // 120 > 100: LRU key 1 is evicted
+  EXPECT_EQ(c.bytes(), 60u);
+  EXPECT_EQ(c.evictions(), 1);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_TRUE(c.get(2).has_value());
+  // An entry larger than the whole budget is refused outright rather than
+  // flushing everything for nothing.
+  c.put(3, {0, payload_of(150)});
+  EXPECT_EQ(c.admission_rejects(), 1);
+  EXPECT_FALSE(c.get(3).has_value());
+  EXPECT_TRUE(c.get(2).has_value());  // resident set untouched
+}
+
+TEST(ResultCachePolicy, TtlExpiresMemoryAndDiskEntries) {
+  const std::string dir = ::testing::TempDir() + "lmre_cache_ttl";
+  std::filesystem::remove_all(dir);
+  ResultCacheConfig cfg;
+  cfg.disk_dir = dir;
+  cfg.ttl_seconds = 0.05;
+  ResultCache c(cfg);
+  c.put(7, {0, "fresh"});
+  ASSERT_TRUE(c.get(7).has_value());  // within the TTL
+  EXPECT_EQ(c.expired(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // Past the TTL both layers refuse: the resident entry is dropped and
+  // the disk file (expired by mtime) is removed, so this is a true miss.
+  EXPECT_FALSE(c.get(7).has_value());
+  EXPECT_GE(c.expired(), 1);
+  EXPECT_EQ(c.misses(), 1);
+  EXPECT_EQ(c.size(), 0u);
+  ResultCache fresh_reader(ResultCacheConfig{4, dir});
+  EXPECT_FALSE(fresh_reader.get(7).has_value()) << "expired disk file survived";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCachePolicy, RefreshingAKeyReplacesBytesExactly) {
+  ResultCacheConfig cfg;
+  cfg.capacity = 4;
+  cfg.byte_budget = 1000;
+  ResultCache c(cfg);
+  c.put(9, {0, payload_of(100)});
+  c.put(9, {0, payload_of(40)});  // refresh with a smaller payload
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.bytes(), 40u);
+  auto entry = c.get(9);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->payload.size(), 40u);
 }
 
 TEST(CacheSim, WindowSizedCacheCapturesAllReuse) {

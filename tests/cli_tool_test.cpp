@@ -411,7 +411,48 @@ TEST(CliVersion, JsonUsesTheStandardEnvelope) {
 TEST(CliServe, RejectsMissingTransport) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"serve"}, out, err), ExitCode::kUsage);
-  EXPECT_NE(err.str().find("socket path or --stdio"), std::string::npos);
+  EXPECT_NE(err.str().find("socket path, --tcp=HOST:PORT, or --stdio"),
+            std::string::npos);
+}
+
+TEST(CliServe, RejectsMultipleTransports) {
+  // Each pair of transports must be refused, not silently preferred.
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"serve", "/tmp/a.sock", "--stdio"}, out, err),
+            ExitCode::kUsage);
+  EXPECT_EQ(run_cli({"serve", "/tmp/a.sock", "--tcp=127.0.0.1:0"}, out, err),
+            ExitCode::kUsage);
+  EXPECT_EQ(run_cli({"serve", "--stdio", "--tcp=127.0.0.1:0"}, out, err),
+            ExitCode::kUsage);
+  EXPECT_NE(err.str().find("exactly one transport"), std::string::npos);
+}
+
+TEST(CliServe, ValidatesTuningFlags) {
+  struct Case {
+    const char* flag;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"--queue-depth=0", "--queue-depth must be >= 1"},
+      {"--queue-depth=abc", "bad --queue-depth value"},
+      {"--queue=0", "--queue-depth must be >= 1"},  // legacy spelling
+      {"--cache-shards=0", "--cache-shards must be >= 1"},
+      {"--cache-shards=x", "bad --cache-shards value"},
+      {"--cache-ttl=-1", "--cache-ttl must be >= 0"},
+      {"--cache-ttl=soon", "bad --cache-ttl value"},
+      {"--cache-bytes=-5", "--cache-bytes must be >= 0"},
+      {"--cache-bytes=big", "bad --cache-bytes value"},
+      {"--tcp=127.0.0.1", "bad --tcp value"},       // no port
+      {"--tcp=127.0.0.1:99999", "bad --tcp value"},  // port out of range
+  };
+  for (const Case& c : cases) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_cli({"serve", "--stdio", c.flag}, out, err),
+              ExitCode::kUsage)
+        << c.flag;
+    EXPECT_NE(err.str().find(c.needle), std::string::npos)
+        << c.flag << " -> " << err.str();
+  }
 }
 
 TEST(CliRequest, UnreachableSocketFails) {
@@ -421,6 +462,32 @@ TEST(CliRequest, UnreachableSocketFails) {
   std::ostringstream out, err;
   EXPECT_EQ(run_cli({"request", missing, file}, out, err), ExitCode::kFailure);
   EXPECT_NE(err.str().find("cannot connect"), std::string::npos);
+}
+
+TEST(CliRequest, UnreachableTcpServerFails) {
+  // Port 1 on loopback: privileged and almost certainly unbound, so the
+  // connect is refused rather than hanging.
+  std::string file = ::testing::TempDir() + "request_tcp_input.loop";
+  std::ofstream(file) << kExample8;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"request", "--tcp=127.0.0.1:1", file}, out, err),
+            ExitCode::kFailure);
+  EXPECT_NE(err.str().find("cannot connect"), std::string::npos);
+}
+
+TEST(CliRequest, TcpRejectsBadAddressAndExtraPositional) {
+  std::string file = ::testing::TempDir() + "request_tcp_input.loop";
+  std::ofstream(file) << kExample8;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli({"request", "--tcp=nowhere", file}, out, err),
+            ExitCode::kUsage);
+  EXPECT_NE(err.str().find("bad --tcp value"), std::string::npos);
+  // With --tcp the socket positional must be dropped.
+  std::ostringstream out2, err2;
+  EXPECT_EQ(
+      run_cli({"request", "--tcp=127.0.0.1:1", "/tmp/a.sock", file}, out2,
+              err2),
+      ExitCode::kUsage);
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Tests for the lmre serve subsystem (src/server): the wire-JSON reader
 // with verbatim raw slices, request validation, and the AnalysisServer
-// over both transports -- byte-identity with direct session runs,
-// load-shedding at a full queue, deadline expiry, graceful drain, and
-// concurrent socket clients sharing one warm cache.
+// over all three transports (stdio, Unix socket, TCP) -- byte-identity
+// with direct session runs, load-shedding at a full queue, single-flight
+// coalescing of identical requests, deadline expiry, graceful drain,
+// dead-client teardown, and concurrent clients sharing one warm cache.
 
 #include <gtest/gtest.h>
 
@@ -22,6 +23,7 @@
 #include "runtime/session.h"
 #include "server/queue.h"
 #include "server/server.h"
+#include "server/tcp.h"
 #include "server/wire.h"
 #include "support/json.h"
 
@@ -317,10 +319,14 @@ TEST(Server, StreamsAnswersEveryRequestOnDrain) {
     ASSERT_TRUE(doc.has_value()) << "missing response for id " << i;
     EXPECT_EQ(wire_status(*doc), 0);
   }
-  // 8 requests over 2 distinct sources.  Concurrent workers may race the
-  // first compute of each source, so the exact miss count varies, but
-  // every probe is exactly one hit or one miss.
-  EXPECT_EQ(server.cache().hits() + server.cache().misses(), 8);
+  // 8 requests over 2 distinct sources.  Every request is answered from
+  // exactly one of three paths: a cache hit, a cache miss (computed), or
+  // a coalesced flight (answered by another request's computation without
+  // ever probing the cache).  The split between them depends on worker
+  // timing, but the first compute of each source is always a miss.
+  EXPECT_EQ(server.cache().hits() + server.cache().misses() +
+                server.metrics().counter("serve.coalesced"),
+            8);
   EXPECT_GE(server.cache().misses(), 2);
   EXPECT_EQ(server.metrics().latency_count("serve.latency_ms"), 8);
 }
@@ -379,8 +385,10 @@ TEST(Server, FullQueueShedsWithOverloaded) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ASSERT_EQ(server.queued(), 0u) << "worker never picked up the request";
+  // Distinct kinds of the same source: different cache keys, so the third
+  // line cannot coalesce onto the second -- it must hit the full queue.
   server.admit_line(request_line("\"queued\"", kFirSource), sink);  // fills depth 1
-  server.admit_line(request_line("\"shed\"", kFirSource), sink);    // queue full
+  server.admit_line(request_line("\"shed\"", kFirSource, "analyze"), sink);  // queue full
   server.drain();
 
   auto lines = sink->lines();
@@ -395,6 +403,91 @@ TEST(Server, FullQueueShedsWithOverloaded) {
   ASSERT_TRUE(heavy.has_value());
   EXPECT_EQ(wire_status(*heavy), 0);
   EXPECT_EQ(server.metrics().counter("serve.overloaded"), 1);
+}
+
+// ---- single-flight coalescing ----------------------------------------------
+
+TEST(Server, CoalescesIdenticalConcurrentColdRequests) {
+  ServerOptions opts;
+  opts.workers = 1;
+  AnalysisServer server(opts);
+  auto sink = std::make_shared<CollectingSink>();
+
+  // Occupy the single worker with a heavy unrelated request so the five
+  // identical lines below are all admitted while their leader is still
+  // queued -- the flight stays open for every one of them.
+  server.admit_line(request_line("\"busy\"", kMatmultSource), sink);
+  for (int i = 0; i < 2000 && server.queued() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.queued(), 0u) << "worker never picked up the request";
+  constexpr int kIdentical = 5;
+  for (int i = 0; i < kIdentical; ++i) {
+    server.admit_line(request_line(std::to_string(i), kFirSource), sink);
+  }
+  server.drain();
+
+  // Exactly two computations happened in this process: the busy request
+  // and ONE shared run for the five identical cold requests.
+  EXPECT_EQ(server.metrics().counter("runs.total"), 2);
+  EXPECT_EQ(server.metrics().counter("runs.computed"), 2);
+  EXPECT_EQ(server.metrics().counter("serve.coalesced"), kIdentical - 1);
+  EXPECT_EQ(server.metrics().counter("serve.completed"), kIdentical + 1);
+
+  // Every waiter got the leader's bytes verbatim.
+  auto lines = sink->lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kIdentical) + 1);
+  std::string shared_payload;
+  for (int i = 0; i < kIdentical; ++i) {
+    auto doc = response_for(lines, std::to_string(i));
+    ASSERT_TRUE(doc.has_value()) << "missing response for id " << i;
+    EXPECT_EQ(wire_status(*doc), 0);
+    const WireValue* payload = doc->find("result")->find("result");
+    ASSERT_NE(payload, nullptr);
+    if (shared_payload.empty()) shared_payload = payload->raw;
+    EXPECT_EQ(payload->raw, shared_payload);
+  }
+}
+
+TEST(Server, DifferentKindsOfOneSourceNeverCoalesce) {
+  // The flight identity is the cache key, which folds in the request
+  // kind: lint and analyze of one source must both compute.
+  ServerOptions opts;
+  opts.workers = 1;
+  AnalysisServer server(opts);
+  std::string feed = request_line("\"l\"", kFirSource, "lint") + "\n" +
+                     request_line("\"a\"", kFirSource, "analyze") + "\n";
+  std::istringstream in(feed);
+  std::ostringstream out;
+  server.serve_streams(in, out);
+
+  EXPECT_EQ(server.metrics().counter("runs.total"), 2);
+  EXPECT_EQ(server.metrics().counter("serve.coalesced"), 0);
+  auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const char* id : {"\"l\"", "\"a\""}) {
+    auto doc = response_for(lines, id);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(wire_status(*doc), 0);
+  }
+}
+
+TEST(Server, CoalescingDisabledRunsEveryRequest) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.coalesce = false;
+  AnalysisServer server(opts);
+  std::string line = request_line("\"x\"", kFirSource, "analyze") + "\n";
+  std::istringstream in(line + line);
+  std::ostringstream out;
+  server.serve_streams(in, out);
+
+  // Both lines went through the queue; the second was a warm cache hit,
+  // not a coalesced waiter.
+  EXPECT_EQ(server.metrics().counter("runs.total"), 2);
+  EXPECT_EQ(server.metrics().counter("serve.coalesced"), 0);
+  EXPECT_EQ(server.cache().hits(), 1);
+  EXPECT_EQ(server.cache().misses(), 1);
 }
 
 TEST(Server, ExpiredDeadlineReportsTimeout) {
@@ -515,8 +608,12 @@ TEST(Server, SocketConcurrentClientsShareOneCacheAndDrainCleanly) {
     ASSERT_NE(payload, nullptr);
     EXPECT_EQ(payload->raw, warm_payload);
   }
+  // One cold compute for the warm-up.  Each concurrent client was either
+  // a warm cache hit or rode an open flight (coalesced); both paths
+  // splice the same cached bytes.
   EXPECT_EQ(server.cache().misses(), 1);
-  EXPECT_EQ(server.cache().hits(), kClients);
+  EXPECT_EQ(server.cache().hits() + server.metrics().counter("serve.coalesced"),
+            kClients);
   EXPECT_EQ(server.metrics().counter("serve.completed"), kClients + 1);
   ::unlink(path.c_str());
 }
@@ -531,6 +628,257 @@ TEST(Server, SocketStopWithoutClientsExitsCleanly) {
   server.request_stop();
   serving.join();  // poll loop notices within ~100ms
   EXPECT_TRUE(server.stopped());
+}
+
+// Connect-only unix client (the disconnect tests need a raw fd).
+int unix_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& line) {
+  std::string framed = line + '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+TEST(Server, SocketClientKilledMidFlightDoesNotLoseOthersOrLeakReaders) {
+  std::string path = test_socket_path("lmre_server_kill.sock");
+  ServerOptions opts;
+  opts.workers = 1;
+  AnalysisServer server(opts);
+  std::thread serving([&] {
+    EXPECT_EQ(server.serve_socket(path), ExitCode::kSuccess);
+  });
+
+  // Wait for the listener (retry a throwaway round trip).
+  std::string up;
+  for (int attempt = 0; attempt < 200 && up.empty(); ++attempt) {
+    up = roundtrip(path, request_line("\"up\"", kFirSource, "lint"));
+    if (up.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(up.empty()) << "server never came up on " << path;
+
+  // Client A sends a heavy request and dies without reading the answer.
+  int a = unix_connect(path);
+  ASSERT_GE(a, 0);
+  send_all(a, request_line("\"doomed\"", kMatmultSource));
+  ::close(a);
+
+  // The accept loop must reap A's reader thread while still serving --
+  // not at shutdown.  conn_closed counts joins inside the loop.
+  for (int i = 0; i < 500 && server.metrics().counter("serve.conn_closed") < 2;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.metrics().counter("serve.conn_closed"), 2)
+      << "finished readers were not reaped during serving";
+
+  // Client B's request, admitted while A's is in flight or computed
+  // after it, must come back complete.
+  std::string b = roundtrip(path, request_line("\"b\"", kFirSource, "analyze"));
+  ASSERT_FALSE(b.empty()) << "surviving client lost its response";
+  auto doc = response_for({b}, "\"b\"");
+  ASSERT_TRUE(doc.has_value()) << b;
+  EXPECT_EQ(wire_status(*doc), 0);
+
+  server.request_stop();
+  serving.join();
+  // Every accepted connection's reader was joined exactly once, and every
+  // admitted request completed (A's response was dropped at its dead
+  // socket, after counting).
+  EXPECT_EQ(server.metrics().counter("serve.conn_closed"),
+            server.metrics().counter("serve.conn_opened"));
+  EXPECT_EQ(server.metrics().counter("serve.completed"), 3);
+  ::unlink(path.c_str());
+}
+
+// ---- tcp transport ---------------------------------------------------------
+
+TEST(Tcp, ParseHostPort) {
+  std::string error;
+  auto hp = parse_host_port("127.0.0.1:8080", &error);
+  ASSERT_TRUE(hp.has_value()) << error;
+  EXPECT_EQ(hp->host, "127.0.0.1");
+  EXPECT_EQ(hp->port, 8080);
+
+  hp = parse_host_port("localhost:0", &error);
+  ASSERT_TRUE(hp.has_value()) << error;
+  EXPECT_EQ(hp->port, 0);
+
+  hp = parse_host_port(":9", &error);  // empty host = all interfaces
+  ASSERT_TRUE(hp.has_value()) << error;
+  EXPECT_EQ(hp->host, "");
+
+  EXPECT_FALSE(parse_host_port("no-port", &error).has_value());
+  EXPECT_FALSE(parse_host_port("h:99999", &error).has_value());
+  EXPECT_FALSE(parse_host_port("h:-1", &error).has_value());
+  EXPECT_FALSE(parse_host_port("h:12x", &error).has_value());
+  EXPECT_FALSE(parse_host_port("some.dns.name:1", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// One-shot TCP client: connect, send `line`, read one response line.
+std::string tcp_roundtrip(int port, const std::string& line) {
+  int fd = tcp_connect("127.0.0.1", port);
+  if (fd < 0) return "";
+  send_all(fd, line);
+  ::shutdown(fd, SHUT_WR);  // half-close: the response must still arrive
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+    size_t nl = response.find('\n');
+    if (nl != std::string::npos) {
+      response.resize(nl);
+      break;
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+// Binds port 0 and waits for the kernel-assigned port to surface.
+int wait_for_tcp_port(AnalysisServer& server) {
+  for (int i = 0; i < 500 && server.tcp_port() < 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return server.tcp_port();
+}
+
+TEST(Server, TcpResponseIsByteIdenticalToSessionPayload) {
+  AnalysisSession direct;
+  std::string expected =
+      direct.run({kFirSource, "x.loop", AnalysisRequest::Kind::kFull}).payload;
+
+  ServerOptions opts;
+  opts.workers = 2;
+  AnalysisServer server(opts);
+  std::thread serving([&] {
+    EXPECT_EQ(server.serve_tcp("127.0.0.1", 0), ExitCode::kSuccess);
+  });
+  int port = wait_for_tcp_port(server);
+  ASSERT_GT(port, 0) << "serve_tcp never bound";
+
+  std::string response = tcp_roundtrip(port, request_line("1", kFirSource));
+  ASSERT_FALSE(response.empty());
+  auto doc = response_for({response}, "1");
+  ASSERT_TRUE(doc.has_value()) << response;
+  EXPECT_EQ(wire_status(*doc), 0);
+  const WireValue* payload = doc->find("result")->find("result");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->raw, expected);  // the contract holds over TCP too
+
+  server.request_stop();
+  serving.join();
+  EXPECT_EQ(server.metrics().counter("serve.completed"), 1);
+  EXPECT_EQ(server.metrics().gauge_value("serve.tcp_conns_opened"), 1.0);
+}
+
+TEST(Server, TcpConcurrentClientsAllAnswered) {
+  ServerOptions opts;
+  opts.workers = 4;
+  AnalysisServer server(opts);
+  std::thread serving([&] {
+    EXPECT_EQ(server.serve_tcp("127.0.0.1", 0), ExitCode::kSuccess);
+  });
+  int port = wait_for_tcp_port(server);
+  ASSERT_GT(port, 0);
+
+  constexpr int kClients = 8;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = tcp_roundtrip(
+          port, request_line(std::to_string(i),
+                             i % 2 ? kFirSource : kMatmultSource, "analyze"));
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.request_stop();
+  serving.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(responses[i].empty()) << "client " << i << " got no response";
+    auto doc = response_for({responses[i]}, std::to_string(i));
+    ASSERT_TRUE(doc.has_value()) << responses[i];
+    EXPECT_EQ(wire_status(*doc), 0);
+  }
+  EXPECT_EQ(server.metrics().counter("serve.completed"), kClients);
+}
+
+TEST(Server, TcpClientVanishingMidFlightDoesNotLoseOthers) {
+  ServerOptions opts;
+  opts.workers = 1;
+  AnalysisServer server(opts);
+  std::thread serving([&] {
+    EXPECT_EQ(server.serve_tcp("127.0.0.1", 0), ExitCode::kSuccess);
+  });
+  int port = wait_for_tcp_port(server);
+  ASSERT_GT(port, 0);
+
+  // Client A fires a heavy request and slams the connection shut without
+  // reading; its response has nowhere to go.
+  int a = tcp_connect("127.0.0.1", port);
+  ASSERT_GE(a, 0);
+  send_all(a, request_line("\"doomed\"", kMatmultSource));
+  ::close(a);
+
+  // Client B must be completely unaffected.
+  std::string b = tcp_roundtrip(port, request_line("\"b\"", kFirSource));
+  ASSERT_FALSE(b.empty()) << "surviving client lost its response";
+  auto doc = response_for({b}, "\"b\"");
+  ASSERT_TRUE(doc.has_value()) << b;
+  EXPECT_EQ(wire_status(*doc), 0);
+
+  server.request_stop();
+  serving.join();
+  // Both requests were admitted and completed; A's bytes were dropped at
+  // its dead socket without disturbing the loop or a worker.
+  EXPECT_EQ(server.metrics().counter("serve.completed"), 2);
+  EXPECT_EQ(server.metrics().gauge_value("serve.tcp_conns_opened"), 2.0);
+  EXPECT_EQ(server.metrics().gauge_value("serve.tcp_conns_closed"), 2.0);
+}
+
+TEST(Server, TcpStopWithoutClientsExitsCleanly) {
+  AnalysisServer server(ServerOptions{});
+  std::thread serving([&] {
+    EXPECT_EQ(server.serve_tcp("127.0.0.1", 0), ExitCode::kSuccess);
+  });
+  ASSERT_GT(wait_for_tcp_port(server), 0);
+  server.request_stop();
+  serving.join();
+  EXPECT_TRUE(server.stopped());
+}
+
+TEST(Server, TcpBindFailureReportsError) {
+  AnalysisServer blocker(ServerOptions{});
+  std::thread serving([&] { blocker.serve_tcp("127.0.0.1", 0); });
+  int port = wait_for_tcp_port(blocker);
+  ASSERT_GT(port, 0);
+
+  AnalysisServer server(ServerOptions{});
+  std::string error;
+  EXPECT_EQ(server.serve_tcp("127.0.0.1", port, &error), ExitCode::kFailure);
+  EXPECT_NE(error.find("bind"), std::string::npos) << error;
+
+  blocker.request_stop();
+  serving.join();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstring>
@@ -13,8 +14,10 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/report.h"
 #include "codegen/codegen.h"
@@ -31,6 +34,7 @@
 #include "mrc/mrc.h"
 #include "runtime/session.h"
 #include "server/server.h"
+#include "server/tcp.h"
 #include "server/wire.h"
 #include "support/json.h"
 #include "support/text.h"
@@ -1081,14 +1085,27 @@ void handle_stop_signal(int) {
 
 ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
                    std::ostream& out, std::ostream& err) {
-  if (opts.socket.empty() && !opts.stdio) {
-    err << "serve: need a socket path or --stdio\n";
+  if (opts.socket.empty() && opts.tcp.empty() && !opts.stdio) {
+    err << "serve: need a socket path, --tcp=HOST:PORT, or --stdio\n";
     return ExitCode::kUsage;
+  }
+  std::optional<HostPort> tcp_target;
+  if (!opts.tcp.empty()) {
+    std::string perr;
+    tcp_target = parse_host_port(opts.tcp, &perr);
+    if (!tcp_target) {
+      err << "serve: bad --tcp address: " << perr << '\n';
+      return ExitCode::kUsage;
+    }
   }
   ServerOptions sopts;
   sopts.workers = opts.workers;
   sopts.queue_depth = opts.queue_depth;
+  sopts.coalesce = opts.coalesce;
   sopts.session.cache_dir = opts.cache_dir;
+  sopts.session.cache_shards = opts.cache_shards;
+  sopts.session.cache_ttl_seconds = opts.cache_ttl;
+  sopts.session.cache_byte_budget = opts.cache_bytes;
   sopts.metrics_file = opts.metrics_file;
   AnalysisServer server(sopts);
 
@@ -1099,6 +1116,25 @@ ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
   ExitCode rc = ExitCode::kSuccess;
   if (opts.stdio) {
     server.serve_streams(in, out);
+  } else if (tcp_target) {
+    // Announce the bound address once the loop is listening -- with
+    // --tcp=HOST:0 this is how scripts learn the kernel-assigned port.
+    std::thread announcer([&server, &out, &tcp_target] {
+      while (server.tcp_port() < 0 && !server.stopped()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (server.tcp_port() >= 0) {
+        out << "serve: listening on " << tcp_target->host << ':'
+            << server.tcp_port() << std::endl;
+      }
+    });
+    std::string terr;
+    rc = server.serve_tcp(tcp_target->host, tcp_target->port, &terr);
+    server.request_stop();  // releases the announcer on bind failure
+    announcer.join();
+    if (rc != ExitCode::kSuccess) {
+      err << "serve: " << (terr.empty() ? "cannot listen" : terr) << '\n';
+    }
   } else {
     rc = server.serve_socket(opts.socket);
     if (rc != ExitCode::kSuccess) {
@@ -1134,19 +1170,35 @@ ExitCode cmd_request(const std::string& source, const std::string& file,
   if (opts.deadline_ms > 0) options.set("deadline_ms", opts.deadline_ms);
   if (options.size() > 0) request.set("options", std::move(options));
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (opts.socket.size() >= sizeof(addr.sun_path)) {
-    err << "request: socket path too long\n";
-    return ExitCode::kFailure;
-  }
-  std::strncpy(addr.sun_path, opts.socket.c_str(), sizeof(addr.sun_path) - 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    if (fd >= 0) ::close(fd);
-    err << "request: cannot connect to " << opts.socket << '\n';
-    return ExitCode::kFailure;
+  int fd = -1;
+  if (!opts.tcp.empty()) {
+    std::string terr;
+    std::optional<HostPort> target = parse_host_port(opts.tcp, &terr);
+    if (!target) {
+      err << "request: bad --tcp address: " << terr << '\n';
+      return ExitCode::kUsage;
+    }
+    fd = tcp_connect(target->host, target->port, &terr);
+    if (fd < 0) {
+      err << "request: cannot connect to " << opts.tcp << ": " << terr << '\n';
+      return ExitCode::kFailure;
+    }
+  } else {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socket.size() >= sizeof(addr.sun_path)) {
+      err << "request: socket path too long\n";
+      return ExitCode::kFailure;
+    }
+    std::strncpy(addr.sun_path, opts.socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      if (fd >= 0) ::close(fd);
+      err << "request: cannot connect to " << opts.socket << '\n';
+      return ExitCode::kFailure;
+    }
   }
 
   std::string line = request.dump(0) + '\n';
@@ -1291,15 +1343,22 @@ std::string usage() {
       "            <dir|files...>      full pipeline over a corpus of .loop\n"
       "                                files with memoized results; --metrics\n"
       "                                writes counters/timers/cache stats\n"
-      "  serve     <socket>|--stdio [--workers=N] [--queue=N]\n"
-      "            [--cache-dir=D] [--metrics=FILE]\n"
+      "  serve     <socket>|--stdio|--tcp=HOST:PORT [--workers=N]\n"
+      "            [--queue-depth=N] [--cache-shards=N] [--cache-ttl=S]\n"
+      "            [--cache-bytes=N] [--no-coalesce] [--cache-dir=D]\n"
+      "            [--metrics=FILE]\n"
       "                                long-running analysis server over a\n"
-      "                                Unix socket (or stdin/stdout with\n"
-      "                                --stdio); newline-delimited JSON\n"
+      "                                Unix socket, TCP (PORT 0 = pick one,\n"
+      "                                announced on stdout), or stdin/stdout\n"
+      "                                with --stdio; newline-delimited JSON\n"
       "                                requests, bounded queue (full =>\n"
-      "                                overloaded), per-request deadlines,\n"
+      "                                overloaded), sharded result cache,\n"
+      "                                single-flight coalescing of identical\n"
+      "                                in-flight requests (--no-coalesce\n"
+      "                                disables), per-request deadlines,\n"
       "                                graceful drain on SIGINT/SIGTERM\n"
-      "  request   <socket> <file|-> [--kind=K] [--plan=SPEC]\n"
+      "  request   <socket> <file|-> | --tcp=HOST:PORT <file|->\n"
+      "            [--kind=K] [--plan=SPEC]\n"
       "            [--objective=SPEC] [--sample-rate=R] [--capacities=LIST]\n"
       "            [--deadline=MS] [--id=S] [--raw]\n"
       "                                send one request to a running server;\n"
@@ -1472,19 +1531,81 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
         return ExitCode::kUsage;
       }
       it = rest.erase(it);
-    } else if (cmd == "serve" && it->rfind("--queue=", 0) == 0) {
+    } else if (cmd == "serve" && (it->rfind("--queue=", 0) == 0 ||
+                                  it->rfind("--queue-depth=", 0) == 0)) {
+      // --queue= is the original spelling; --queue-depth= the documented one.
+      size_t eq = it->find('=');
       int depth = 0;
       try {
-        depth = std::stoi(it->substr(8));
+        depth = std::stoi(it->substr(eq + 1));
       } catch (const std::exception&) {
-        err << "bad --queue value: " << *it << '\n';
+        err << "bad --queue-depth value: " << *it << '\n';
         return ExitCode::kUsage;
       }
       if (depth < 1) {
-        err << "--queue must be >= 1\n";
+        err << "--queue-depth must be >= 1\n";
         return ExitCode::kUsage;
       }
       serve_opts.queue_depth = static_cast<size_t>(depth);
+      it = rest.erase(it);
+    } else if (cmd == "serve" && it->rfind("--tcp=", 0) == 0) {
+      serve_opts.tcp = it->substr(6);
+      std::string perr;
+      if (!parse_host_port(serve_opts.tcp, &perr)) {
+        err << "bad --tcp value: " << perr << '\n';
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "serve" && it->rfind("--cache-shards=", 0) == 0) {
+      int shards = 0;
+      try {
+        shards = std::stoi(it->substr(15));
+      } catch (const std::exception&) {
+        err << "bad --cache-shards value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (shards < 1) {
+        err << "--cache-shards must be >= 1\n";
+        return ExitCode::kUsage;
+      }
+      serve_opts.cache_shards = static_cast<size_t>(shards);
+      it = rest.erase(it);
+    } else if (cmd == "serve" && it->rfind("--cache-ttl=", 0) == 0) {
+      try {
+        serve_opts.cache_ttl = std::stod(it->substr(12));
+      } catch (const std::exception&) {
+        err << "bad --cache-ttl value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (serve_opts.cache_ttl < 0) {
+        err << "--cache-ttl must be >= 0 seconds\n";
+        return ExitCode::kUsage;
+      }
+      it = rest.erase(it);
+    } else if (cmd == "serve" && it->rfind("--cache-bytes=", 0) == 0) {
+      long long bytes = 0;
+      try {
+        bytes = std::stoll(it->substr(14));
+      } catch (const std::exception&) {
+        err << "bad --cache-bytes value: " << *it << '\n';
+        return ExitCode::kUsage;
+      }
+      if (bytes < 0) {
+        err << "--cache-bytes must be >= 0\n";
+        return ExitCode::kUsage;
+      }
+      serve_opts.cache_bytes = static_cast<size_t>(bytes);
+      it = rest.erase(it);
+    } else if (cmd == "serve" && *it == "--no-coalesce") {
+      serve_opts.coalesce = false;
+      it = rest.erase(it);
+    } else if (cmd == "request" && it->rfind("--tcp=", 0) == 0) {
+      request_opts.tcp = it->substr(6);
+      std::string perr;
+      if (!parse_host_port(request_opts.tcp, &perr)) {
+        err << "bad --tcp value: " << perr << '\n';
+        return ExitCode::kUsage;
+      }
       it = rest.erase(it);
     } else if (cmd == "request" && it->rfind("--kind=", 0) == 0) {
       request_opts.kind = it->substr(7);
@@ -1622,21 +1743,29 @@ ExitCode run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "version" || cmd == "--version") return cmd_version(json, out);
   if (cmd == "serve") {
     if (!rest.empty()) serve_opts.socket = rest[0];
-    if (rest.size() > 1 || (serve_opts.stdio && !serve_opts.socket.empty())) {
-      err << "serve: give exactly one transport (a socket path or --stdio)\n";
+    const int transports = (serve_opts.socket.empty() ? 0 : 1) +
+                           (serve_opts.stdio ? 1 : 0) +
+                           (serve_opts.tcp.empty() ? 0 : 1);
+    if (rest.size() > 1 || transports > 1) {
+      err << "serve: give exactly one transport (a socket path, "
+             "--tcp=HOST:PORT, or --stdio)\n";
       return ExitCode::kUsage;
     }
     return cmd_serve(serve_opts, std::cin, out, err);
   }
   if (cmd == "request") {
-    if (rest.size() != 2) {
+    // Unix transport names the socket positionally; TCP takes --tcp= and
+    // leaves only the request file.
+    const size_t want = request_opts.tcp.empty() ? 2 : 1;
+    if (rest.size() != want) {
       err << usage();
       return ExitCode::kUsage;
     }
-    request_opts.socket = rest[0];
-    auto source = read_source(rest[1], err);
+    if (request_opts.tcp.empty()) request_opts.socket = rest[0];
+    const std::string& path = rest[want - 1];
+    auto source = read_source(path, err);
     if (!source) return ExitCode::kFailure;
-    const std::string file = rest[1] == "-" ? "<stdin>" : rest[1];
+    const std::string file = path == "-" ? "<stdin>" : path;
     return cmd_request(*source, file, request_opts, out, err);
   }
   if (cmd == "figure2") return cmd_figure2(out, threads);

@@ -196,25 +196,35 @@ ExitCode cmd_batch(const std::vector<std::string>& inputs,
 
 /// Options for `lmre serve`, parsed by run_cli.
 struct ServeCliOptions {
-  std::string socket;        ///< Unix-domain socket path ("" with stdio)
+  std::string socket;        ///< Unix-domain socket path ("" with stdio/tcp)
+  std::string tcp;           ///< --tcp=HOST:PORT ("" with socket/stdio)
   bool stdio = false;        ///< --stdio: newline-JSON over stdin/stdout
   int workers = 1;           ///< --workers=N: analysis pool size
-  size_t queue_depth = 16;   ///< --queue=N: bounded backlog before shedding
+  size_t queue_depth = 256;  ///< --queue-depth=N: backlog before shedding
+  bool coalesce = true;      ///< --no-coalesce disables single-flight
+  size_t cache_shards = 8;   ///< --cache-shards=N: result-cache shards
+  double cache_ttl = 0;      ///< --cache-ttl=S: result expiry in seconds
+  size_t cache_bytes = 0;    ///< --cache-bytes=N: in-memory payload cap
   std::string cache_dir;     ///< --cache-dir=D: persistent result cache
   std::string metrics_file;  ///< --metrics=F: snapshot written on drain
 };
 
-/// `lmre serve <socket>|--stdio [--workers=N] [--queue=N] [--cache-dir=D]
-/// [--metrics=FILE]`: runs the concurrent analysis server (src/server) until
-/// SIGINT/SIGTERM (socket mode) or stdin EOF (--stdio), then drains
-/// gracefully: in-flight requests finish, metrics flush, exit kSuccess.
-/// `in` feeds the --stdio transport (run_cli passes std::cin).
+/// `lmre serve <socket>|--tcp=HOST:PORT|--stdio [--workers=N]
+/// [--queue-depth=N] [--cache-shards=N] [--cache-ttl=S] [--cache-bytes=N]
+/// [--cache-dir=D] [--metrics=FILE] [--no-coalesce]`: runs the concurrent
+/// analysis server (src/server) until SIGINT/SIGTERM (socket/tcp mode) or
+/// stdin EOF (--stdio), then drains gracefully: in-flight requests
+/// finish, metrics flush, exit kSuccess.  TCP mode announces the bound
+/// address on `out` ("serve: listening on HOST:PORT" -- with --tcp=H:0
+/// that is the kernel-assigned port).  `in` feeds the --stdio transport
+/// (run_cli passes std::cin).
 ExitCode cmd_serve(const ServeCliOptions& opts, std::istream& in,
                    std::ostream& out, std::ostream& err);
 
 /// Options for `lmre request`, parsed by run_cli.
 struct RequestCliOptions {
   std::string socket;       ///< Unix-domain socket of a running server
+  std::string tcp;          ///< --tcp=HOST:PORT of a running TCP server
   std::string kind = "full";///< --kind=K, any name in kAnalysisKinds
   std::string plan;         ///< --plan=SPEC (verify: "" = audit; codegen/
                             ///< mrc: "" = identity, "auto" = optimizer's)
@@ -226,12 +236,13 @@ struct RequestCliOptions {
   bool raw = false;         ///< --raw: print only the result payload
 };
 
-/// `lmre request <socket> <file|-> [--kind=K] [--deadline=MS] [--id=S]
-/// [--raw]`: one-shot client -- sends `source` to a running server and
-/// prints the response line (--raw: just the embedded result payload,
-/// byte-identical to what `lmre batch` embeds).  The exit code follows the
-/// wire status: 0-4 map to ExitCode directly, overloaded/timeout exit
-/// kFailure, bad_request exits kUsage.
+/// `lmre request <socket>|--tcp=HOST:PORT <file|-> [--kind=K]
+/// [--deadline=MS] [--id=S] [--raw]`: one-shot client -- sends `source`
+/// to a running server (Unix socket or TCP) and prints the response line
+/// (--raw: just the embedded result payload, byte-identical to what
+/// `lmre batch` embeds).  The exit code follows the wire status: 0-4 map
+/// to ExitCode directly, overloaded/timeout exit kFailure, bad_request
+/// exits kUsage.
 ExitCode cmd_request(const std::string& source, const std::string& file,
                      const RequestCliOptions& opts, std::ostream& out,
                      std::ostream& err);
